@@ -1,0 +1,37 @@
+//! # greta-baselines
+//!
+//! The state-of-the-art **two-step** competitors evaluated against GRETA in
+//! paper §10, plus a brute-force oracle:
+//!
+//! * [`oracle`] — reference implementation: enumerate every trend, aggregate
+//!   per trend. Ground truth for correctness tests and property checks.
+//! * [`sase`] — SASE-style \[31\]: events in stacks with predecessor
+//!   pointers; at window close a DFS re-constructs every trend, which is
+//!   then aggregated. Low memory, exponential time.
+//! * [`cet`] — CET-style \[24\]: shares common sub-trends by materializing a
+//!   node per (sub-)trend; aggregation happens upon construction. Faster
+//!   than SASE, exponential memory.
+//! * [`flink`] — Flink-style \[4\]: the Kleene query is flattened into a set
+//!   of fixed-length sequence queries (lengths 1..L); each is evaluated
+//!   separately, multiplying the workload.
+//!
+//! All engines consume the same [`greta_query::CompiledQuery`] and produce
+//! the same result rows as `greta_core::GretaEngine`, so any divergence is
+//! a bug — the integration suite and proptests compare them exhaustively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aseq;
+pub mod cet;
+pub mod common;
+pub mod flink;
+pub mod oracle;
+pub mod sase;
+
+pub use aseq::{AseqEngine, AseqUnsupported};
+pub use cet::CetEngine;
+pub use common::{MatchGraph, PartitionedStream, TrendStats, TwoStepRun};
+pub use flink::FlinkEngine;
+pub use oracle::oracle_run;
+pub use sase::SaseEngine;

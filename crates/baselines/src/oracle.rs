@@ -1,0 +1,55 @@
+//! Brute-force reference implementation ("two-step" in its purest form):
+//! enumerate every trend, aggregate each one. Exponential — use on small
+//! inputs only. This is the ground truth that the GRETA engine and all
+//! baselines are validated against in the integration and property tests.
+
+use crate::common::run_two_step;
+use greta_core::results::WindowResult;
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+
+/// Run the query by full enumeration. Panics on budget exhaustion never —
+/// the budget is unlimited; keep inputs small.
+pub fn oracle_run(
+    query: &CompiledQuery,
+    registry: &SchemaRegistry,
+    events: &[Event],
+) -> Vec<WindowResult<f64>> {
+    run_two_step(query, registry, events, u64::MAX, |_, _, _| 0, false).rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::{EventBuilder, Time};
+
+    #[test]
+    fn oracle_counts_subsets_for_flat_kleene() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &["x"]).unwrap();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
+            .unwrap();
+        let evs: Vec<_> = (1..=5u64)
+            .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build())
+            .collect();
+        let rows = oracle_run(&q, &reg, &evs);
+        assert_eq!(rows[0].values[0].to_f64(), 31.0); // 2^5 - 1
+    }
+
+    #[test]
+    fn oracle_handles_windows() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &["x"]).unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5", &reg).unwrap();
+        let evs: Vec<_> = [1u64, 3, 8]
+            .iter()
+            .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(*t)).build())
+            .collect();
+        let rows = oracle_run(&q, &reg, &evs);
+        let mut by_window: Vec<(u64, f64)> =
+            rows.iter().map(|r| (r.window, r.values[0].to_f64())).collect();
+        by_window.sort_by_key(|x| x.0);
+        assert_eq!(by_window, vec![(0, 7.0), (1, 1.0)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion bench for **Fig. 15**: patterns with a negative sub-pattern
+//! (`SEQ(Stock S+, NOT Halt H)`) over the stock stream. Negation shrinks
+//! the graph/stacks before trends are constructed, so all engines should
+//! get faster relative to Fig. 14 (paper §10.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_bench::{run_greta, run_two_step_engine, TwoStep};
+use greta_core::EngineConfig;
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use greta_workloads::{StockConfig, StockGen};
+
+fn setup(n: usize) -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = StockGen::new(
+        StockConfig {
+            events: n,
+            halt_rate: 0.002,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    let query = CompiledQuery::parse(
+        &format!(
+            "RETURN sector, COUNT(*) PATTERN SEQ(Stock S+, NOT Halt H) \
+             WHERE [company, sector] AND S.price > NEXT(S).price \
+             GROUP-BY sector WITHIN {n} SLIDE {n}"
+        ),
+        &reg,
+    )
+    .unwrap();
+    (reg, query, events)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_negation");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let (reg, query, events) = setup(n);
+        group.bench_with_input(BenchmarkId::new("GRETA", n), &n, |b, _| {
+            b.iter(|| run_greta(&query, &reg, &events, EngineConfig::default()))
+        });
+        for which in [TwoStep::Sase, TwoStep::Cet, TwoStep::Flink] {
+            group.bench_with_input(BenchmarkId::new(which.name(), n), &n, |b, _| {
+                b.iter(|| run_two_step_engine(which, &query, &reg, &events, 5_000_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for **Fig. 16**: varying the selectivity of the
+//! `P.speed > NEXT(P).speed` edge predicate over the Linear Road stream.
+//! The two-step engines degrade with selectivity; GRETA stays flat
+//! (paper §10.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_bench::{run_greta, run_two_step_engine, TwoStep};
+use greta_core::EngineConfig;
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use greta_workloads::{LinearRoadConfig, LinearRoadGen};
+
+fn setup(n: usize, bias: f64) -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = LinearRoadGen::new(
+        LinearRoadConfig {
+            events: n,
+            slowdown_bias: bias,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    let query = CompiledQuery::parse(
+        &format!(
+            "RETURN segment, COUNT(*), AVG(P.speed) PATTERN Position P+ \
+             WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed \
+             GROUP-BY segment WITHIN {n} SLIDE {n}"
+        ),
+        &reg,
+    )
+    .unwrap();
+    (reg, query, events)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_selectivity");
+    group.sample_size(10);
+    let n = 400;
+    for bias in [0.1f64, 0.5, 0.9] {
+        let (reg, query, events) = setup(n, bias);
+        let label = format!("{bias}");
+        group.bench_with_input(BenchmarkId::new("GRETA", &label), &bias, |b, _| {
+            b.iter(|| run_greta(&query, &reg, &events, EngineConfig::default()))
+        });
+        for which in [TwoStep::Sase, TwoStep::Cet, TwoStep::Flink] {
+            group.bench_with_input(BenchmarkId::new(which.name(), &label), &bias, |b, _| {
+                b.iter(|| run_two_step_engine(which, &query, &reg, &events, 5_000_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for **Fig. 17**: query Q2 over the cluster stream,
+//! varying the number of event trend groups (distinct mappers). The
+//! two-step engines improve with more groups (shorter trends per group);
+//! GRETA stays flat (paper §10.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_bench::{run_greta, run_greta_parallel, run_two_step_engine, TwoStep};
+use greta_core::EngineConfig;
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use greta_workloads::{ClusterConfig, ClusterGen};
+
+fn setup(n: usize, groups: u32) -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = ClusterGen::new(
+        ClusterConfig {
+            events: n,
+            mappers: groups,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    let query = CompiledQuery::parse(
+        &format!(
+            "RETURN mapper, SUM(M.cpu) PATTERN SEQ(Start S, Measurement M+, End E) \
+             WHERE [job, mapper] AND M.load < NEXT(M).load \
+             GROUP-BY mapper WITHIN {n} SLIDE {n}"
+        ),
+        &reg,
+    )
+    .unwrap();
+    (reg, query, events)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_groups");
+    group.sample_size(10);
+    let n = 600;
+    for groups in [1u32, 5, 10] {
+        let (reg, query, events) = setup(n, groups);
+        group.bench_with_input(BenchmarkId::new("GRETA", groups), &groups, |b, _| {
+            b.iter(|| run_greta(&query, &reg, &events, EngineConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("GRETA-par4", groups), &groups, |b, _| {
+            b.iter(|| run_greta_parallel(&query, &reg, &events, EngineConfig::default(), 4))
+        });
+        for which in [TwoStep::Sase, TwoStep::Cet, TwoStep::Flink] {
+            group.bench_with_input(BenchmarkId::new(which.name(), groups), &groups, |b, _| {
+                b.iter(|| run_two_step_engine(which, &query, &reg, &events, 5_000_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the core building blocks: per-event graph insertion
+//! (the quadratic inner loop of Theorem 8.1), template compilation, and
+//! bignum arithmetic for exact trend counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_bignum::BigUint;
+use greta_core::{EngineConfig, GretaEngine};
+use greta_query::CompiledQuery;
+use greta_types::{EventBuilder, SchemaRegistry, Time};
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("A", &["x"]).unwrap();
+    let mut g = c.benchmark_group("micro_graph_insert");
+    g.sample_size(10);
+    for n in [200u64, 400, 800] {
+        let query =
+            CompiledQuery::parse(&format!("RETURN COUNT(*) PATTERN A+ WITHIN {n} SLIDE {n}"), &reg)
+                .unwrap();
+        let events: Vec<_> = (0..n)
+            .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("dense_kleene", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e =
+                    GretaEngine::<f64>::with_config(query.clone(), reg.clone(), EngineConfig::default())
+                        .unwrap();
+                for ev in &events {
+                    e.process(ev).unwrap();
+                }
+                e.finish().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut reg = SchemaRegistry::new();
+    for t in ["A", "B", "C", "D", "E"] {
+        reg.register_type(t, &["x", "y"]).unwrap();
+    }
+    let text = "RETURN COUNT(*), SUM(A.x) \
+                PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ \
+                WHERE [y] AND A.x < NEXT(A).x GROUP-BY y WITHIN 600 SLIDE 60";
+    c.bench_function("micro_query_compile", |b| {
+        b.iter(|| CompiledQuery::parse(text, &reg).unwrap())
+    });
+}
+
+fn bench_bignum(c: &mut Criterion) {
+    let mut big = BigUint::one();
+    for _ in 0..1000 {
+        big.mul_u64(3);
+    }
+    let other = big.clone();
+    let mut g = c.benchmark_group("micro_bignum");
+    g.bench_function("add_1000_limbs", |b| {
+        b.iter(|| {
+            let mut x = big.clone();
+            x.add_assign_ref(&other);
+            x
+        })
+    });
+    g.bench_function("to_decimal_string", |b| b.iter(|| big.to_string()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert_throughput, bench_compile, bench_bignum);
+criterion_main!(benches);

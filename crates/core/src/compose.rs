@@ -1,0 +1,423 @@
+//! Count composition for disjunctive and conjunctive patterns (paper §9).
+//!
+//! Let `Cij = COUNT(Pij)` (trends matched by both patterns), and
+//! `Ci = COUNT(Pi) − Cij`, `Cj = COUNT(Pj) − Cij` the exclusive counts:
+//!
+//! * **Disjunction**: `COUNT(Pi ∨ Pj) = Ci + Cj + Cij`
+//!   (equivalently `COUNT(Pi) + COUNT(Pj) − Cij`).
+//! * **Conjunction** (pairs of trends):
+//!   `COUNT(Pi ∧ Pj) = Ci·Cj + Ci·Cij + Cj·Cij + C(Cij, 2)`.
+//!
+//! When the two patterns share no event type, `Cij = 0` — the common case
+//! after desugaring `*`/`?` — and the compiler already folds those
+//! alternatives additively. These helpers cover the general case where the
+//! caller obtains `Cij` from a product pattern.
+
+use greta_bignum::BigUint;
+use greta_query::compile::{AggKind, AltPlan, CompiledAgg, CompiledQuery, GraphId, GraphSpec};
+use greta_query::predicate::PredicateSet;
+use greta_query::template::{StateInfo, Template, TransKind};
+use greta_query::StateId;
+
+/// Errors from query-level composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The operand query has a shape the product construction does not
+    /// cover (multiple alternatives, negation, predicates, non-COUNT(*)
+    /// aggregates, mismatched windows).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::Unsupported(m) => write!(f, "composition unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+fn single_positive_plan(q: &CompiledQuery) -> Result<&AltPlan, ComposeError> {
+    if q.alternatives.len() != 1 {
+        return Err(ComposeError::Unsupported(
+            "operand must have a single pattern alternative",
+        ));
+    }
+    let alt = &q.alternatives[0];
+    if alt.graphs.len() != 1 {
+        return Err(ComposeError::Unsupported("operand must be negation-free"));
+    }
+    if !alt.predicates.vertex.is_empty() || !alt.predicates.edges.is_empty() {
+        return Err(ComposeError::Unsupported(
+            "operand must be predicate-free (predicates would need conjunction)",
+        ));
+    }
+    Ok(alt)
+}
+
+/// Build the **product template** recognizing exactly the trends matched by
+/// *both* operand patterns (the DFA-intersection of §9 used to obtain
+/// `Cij`). Returns `Ok(None)` when the intersection is empty by
+/// construction (`Cij = 0`, e.g. type-disjoint operands).
+///
+/// Operand queries must be single-alternative, negation- and
+/// predicate-free `COUNT(*)` queries over the same window (the §9 setting).
+pub fn intersection_query(
+    qa: &CompiledQuery,
+    qb: &CompiledQuery,
+) -> Result<Option<CompiledQuery>, ComposeError> {
+    if qa.window != qb.window {
+        return Err(ComposeError::Unsupported("operand windows differ"));
+    }
+    let a = single_positive_plan(qa)?;
+    let b = single_positive_plan(qb)?;
+    let (ta, tb) = (&a.graphs[0].template, &b.graphs[0].template);
+
+    // Product states: pairs of states with the same event type.
+    let mut pair_id: std::collections::HashMap<(StateId, StateId), StateId> =
+        std::collections::HashMap::new();
+    let mut states: Vec<StateInfo> = Vec::new();
+    let mut state_types = Vec::new();
+    for sa in &ta.states {
+        for sb in &tb.states {
+            if sa.type_name != sb.type_name {
+                continue;
+            }
+            let id = StateId(states.len() as u16);
+            pair_id.insert((sa.occ, sb.occ), id);
+            states.push(StateInfo {
+                occ: id,
+                type_name: sa.type_name.clone(),
+                binding: format!("{}&{}", sa.binding, sb.binding),
+            });
+            state_types.push((id, a.graphs[0].type_of(sa.occ)));
+        }
+    }
+    let (Some(&start), Some(&end)) = (
+        pair_id.get(&(ta.start, tb.start)),
+        pair_id.get(&(ta.end, tb.end)),
+    ) else {
+        return Ok(None); // start/end types differ ⇒ no common trend
+    };
+
+    // Product transitions: both operands must allow the adjacency.
+    let mut transitions = Vec::new();
+    for (fa, ga, _) in &ta.transitions {
+        for (fb, gb, _) in &tb.transitions {
+            if let (Some(&from), Some(&to)) = (pair_id.get(&(*fa, *fb)), pair_id.get(&(*ga, *gb)))
+            {
+                transitions.push((from, to, TransKind::Seq));
+            }
+        }
+    }
+    transitions.sort();
+    transitions.dedup();
+
+    let template = Template {
+        states,
+        transitions,
+        start,
+        end,
+    };
+    Ok(Some(CompiledQuery {
+        alternatives: vec![AltPlan {
+            graphs: vec![GraphSpec {
+                id: GraphId(0),
+                template,
+                parent: None,
+                previous: None,
+                following: None,
+                state_types,
+            }],
+            predicates: PredicateSet::default(),
+        }],
+        aggregates: vec![CompiledAgg {
+            label: "COUNT(*)".into(),
+            kind: AggKind::CountStar,
+        }],
+        window: qa.window,
+        group_by: Vec::new(),
+        partition_attrs: Vec::new(),
+    }))
+}
+
+/// `COUNT(Pi ∨ Pj)` from total counts and the overlap count.
+///
+/// Panics if `cij` exceeds either total (it is a sub-multiset of both).
+pub fn disjunction_count(count_i: &BigUint, count_j: &BigUint, cij: &BigUint) -> BigUint {
+    assert!(cij <= count_i && cij <= count_j, "overlap exceeds a total");
+    let mut out = count_i.clone();
+    out.add_assign_ref(count_j);
+    out.sub_assign_ref(cij);
+    out
+}
+
+/// `COUNT(Pi ∧ Pj)` from total counts and the overlap count (paper §9).
+pub fn conjunction_count(count_i: &BigUint, count_j: &BigUint, cij: &BigUint) -> BigUint {
+    assert!(cij <= count_i && cij <= count_j, "overlap exceeds a total");
+    let mut ci = count_i.clone(); // exclusive to Pi
+    ci.sub_assign_ref(cij);
+    let mut cj = count_j.clone(); // exclusive to Pj
+    cj.sub_assign_ref(cij);
+
+    let mut out = ci.mul_ref(&cj);
+    out.add_assign_ref(&ci.mul_ref(cij));
+    out.add_assign_ref(&cj.mul_ref(cij));
+    out.add_assign_ref(&cij.choose_2());
+    out
+}
+
+/// f64 variants for the default engine carrier.
+pub fn disjunction_count_f64(ci: f64, cj: f64, cij: f64) -> f64 {
+    ci + cj - cij
+}
+
+/// f64 conjunction count (paper §9 formula).
+pub fn conjunction_count_f64(count_i: f64, count_j: f64, cij: f64) -> f64 {
+    let ci = count_i - cij;
+    let cj = count_j - cij;
+    ci * cj + ci * cij + cj * cij + cij * (cij - 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GretaEngine;
+    use greta_types::{Event, EventBuilder, SchemaRegistry, Time};
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    fn reg_ab() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        reg.register_type("B", &[]).unwrap();
+        reg
+    }
+
+    fn stream(reg: &SchemaRegistry, spec: &[(&str, u64)]) -> Vec<Event> {
+        spec.iter()
+            .map(|(t, ts)| EventBuilder::new(reg, t).unwrap().at(Time(*ts)).build())
+            .collect()
+    }
+
+    fn count(q: &CompiledQuery, reg: &SchemaRegistry, evs: &[Event]) -> f64 {
+        let mut e = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        e.run(evs).unwrap().iter().map(|r| r.values[0].to_f64()).sum()
+    }
+
+    #[test]
+    fn product_template_of_overlapping_patterns() {
+        // Pi = SEQ(A, B+), Pj = SEQ(A+, B): common trends are exactly
+        // SEQ(A, B) (one a, one b).
+        let reg = reg_ab();
+        let qa = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let qb = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A+, B) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let qij = intersection_query(&qa, &qb).unwrap().expect("non-empty");
+        let q_ab = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let evs = stream(&reg, &[("A", 1), ("A", 2), ("B", 3), ("B", 4), ("A", 5), ("B", 6)]);
+        assert_eq!(count(&qij, &reg, &evs), count(&q_ab, &reg, &evs));
+        // And the §9 disjunction formula is internally consistent.
+        let (ci, cj, cij) = (
+            count(&qa, &reg, &evs),
+            count(&qb, &reg, &evs),
+            count(&qij, &reg, &evs),
+        );
+        assert_eq!(disjunction_count_f64(ci, cj, cij), ci + cj - cij);
+        assert!(cij <= ci.min(cj));
+    }
+
+    #[test]
+    fn identical_patterns_intersect_to_themselves() {
+        let reg = reg_ab();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
+            .unwrap();
+        let qij = intersection_query(&q, &q).unwrap().expect("non-empty");
+        let evs = stream(&reg, &[("A", 1), ("A", 2), ("A", 3)]);
+        assert_eq!(count(&qij, &reg, &evs), 7.0);
+    }
+
+    #[test]
+    fn type_disjoint_patterns_have_empty_intersection() {
+        let reg = reg_ab();
+        let qa = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
+            .unwrap();
+        let qb = CompiledQuery::parse("RETURN COUNT(*) PATTERN B+ WITHIN 100 SLIDE 100", &reg)
+            .unwrap();
+        assert!(intersection_query(&qa, &qb).unwrap().is_none());
+    }
+
+    #[test]
+    fn unsupported_operands_are_rejected() {
+        let reg = reg_ab();
+        let plain =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
+        let negated = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A+, NOT B) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        assert!(intersection_query(&plain, &negated).is_err());
+        let other_window =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 50 SLIDE 50", &reg).unwrap();
+        assert!(intersection_query(&plain, &other_window).is_err());
+    }
+
+    #[test]
+    fn disjunction_via_product_matches_trend_set_union() {
+        // Ground truth: enumerate the two trend sets as event-index
+        // sequences and take the set union.
+        let reg = reg_ab();
+        let qa = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A, B+) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let qb = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A+, B) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let evs = stream(&reg, &[("A", 1), ("B", 2), ("A", 3), ("B", 4), ("B", 5)]);
+
+        // Union via brute-force path enumeration over each template.
+        let union = {
+            let mut set: std::collections::HashSet<Vec<usize>> = Default::default();
+            for q in [&qa, &qb] {
+                enumerate_event_paths(q, &evs, &mut set);
+            }
+            set.len() as f64
+        };
+        let qij = intersection_query(&qa, &qb).unwrap().unwrap();
+        let formula = disjunction_count_f64(
+            count(&qa, &reg, &evs),
+            count(&qb, &reg, &evs),
+            count(&qij, &reg, &evs),
+        );
+        assert_eq!(formula, union);
+
+        fn enumerate_event_paths(
+            q: &CompiledQuery,
+            evs: &[Event],
+            out: &mut std::collections::HashSet<Vec<usize>>,
+        ) {
+            // Tiny brute force: try every subsequence of event indices and
+            // check it against the template adjacency.
+            let t = &q.alternatives[0].graphs[0].template;
+            let n = evs.len();
+            let type_of = |i: usize| evs[i].type_id;
+            let spec = &q.alternatives[0].graphs[0];
+            // enumerate subsets in index order up to length n
+            let mut stack: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+            while let Some(path) = stack.pop() {
+                let last = *path.last().unwrap();
+                // state assignment check by simple DP over states
+                if accepts(spec, t, evs, &path) {
+                    out.insert(path.clone());
+                }
+                for next in last + 1..n {
+                    if evs[next].time > evs[last].time {
+                        let mut p = path.clone();
+                        p.push(next);
+                        stack.push(p);
+                    }
+                }
+                let _ = type_of;
+            }
+        }
+
+        fn accepts(
+            spec: &greta_query::compile::GraphSpec,
+            t: &Template,
+            evs: &[Event],
+            path: &[usize],
+        ) -> bool {
+            // DP over possible states per position.
+            let mut cur: Vec<StateId> = t
+                .states
+                .iter()
+                .filter(|s| s.occ == t.start && spec.type_of(s.occ) == evs[path[0]].type_id)
+                .map(|s| s.occ)
+                .collect();
+            for &i in &path[1..] {
+                let mut next = Vec::new();
+                for s in &t.states {
+                    if spec.type_of(s.occ) != evs[i].type_id {
+                        continue;
+                    }
+                    let preds = t.predecessors(s.occ);
+                    if cur.iter().any(|c| preds.contains(c)) {
+                        next.push(s.occ);
+                    }
+                }
+                cur = next;
+                if cur.is_empty() {
+                    return false;
+                }
+            }
+            cur.contains(&t.end)
+        }
+    }
+
+    #[test]
+    fn disjoint_patterns_add() {
+        assert_eq!(disjunction_count(&b(5), &b(7), &b(0)), b(12));
+        // Conjunction of disjoint patterns: all pairs.
+        assert_eq!(conjunction_count(&b(5), &b(7), &b(0)), b(35));
+    }
+
+    #[test]
+    fn overlap_subtracted_once() {
+        assert_eq!(disjunction_count(&b(5), &b(7), &b(3)), b(9));
+    }
+
+    #[test]
+    fn conjunction_with_overlap() {
+        // Ci=2 exclusive, Cj=4 exclusive, Cij=3:
+        // 2*4 + 2*3 + 4*3 + C(3,2)=3 → 8+6+12+3 = 29.
+        assert_eq!(conjunction_count(&b(5), &b(7), &b(3)), b(29));
+        assert_eq!(conjunction_count_f64(5.0, 7.0, 3.0), 29.0);
+    }
+
+    #[test]
+    fn identical_patterns() {
+        // Pi = Pj = Pij with n trends: disjunction = n; conjunction = C(n,2).
+        assert_eq!(disjunction_count(&b(4), &b(4), &b(4)), b(4));
+        assert_eq!(conjunction_count(&b(4), &b(4), &b(4)), b(6));
+        assert_eq!(conjunction_count_f64(4.0, 4.0, 4.0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn invalid_overlap_panics() {
+        disjunction_count(&b(2), &b(5), &b(3));
+    }
+
+    #[test]
+    fn f64_matches_bignum() {
+        for (i, j, o) in [(10u64, 20, 5), (0, 0, 0), (7, 7, 7), (100, 50, 50)] {
+            assert_eq!(
+                disjunction_count(&b(i), &b(j), &b(o)).to_f64(),
+                disjunction_count_f64(i as f64, j as f64, o as f64)
+            );
+            assert_eq!(
+                conjunction_count(&b(i), &b(j), &b(o)).to_f64(),
+                conjunction_count_f64(i as f64, j as f64, o as f64)
+            );
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The GRETA engine (paper Fig. 4, runtime side): stream partitioning,
+//! per-partition graphs, window lifecycle, result emission.
+//!
+//! Responsibilities:
+//!
+//! * **Partitioning** (§6): events are routed by the values of the
+//!   partition attributes (`GROUP-BY` + equivalence predicates). Events of
+//!   types carrying only a sub-key (negative-pattern types such as
+//!   `Accident` in Q3) are broadcast to all matching partitions and kept in
+//!   a window-deep replay buffer so that later-created partitions observe
+//!   them too.
+//! * **Windows** (§6): windows close when the watermark passes their end;
+//!   results are rendered per group and panes whose last window closed are
+//!   batch-purged (§7).
+//! * **Final aggregation**: incremental (Algorithm 2 line 8) unless a
+//!   trailing negation (Case 2) forces deferred per-close scans.
+//! * **Metrics** (§10.1): events/vertices/edges counters and analytic
+//!   memory accounting with peak tracking.
+
+use crate::agg::{AggLayout, AggState, TrendNum};
+use crate::graph::{AltRuntime, Ctx};
+use crate::grouping::{KeyExtractor, PartitionKey};
+use crate::memory::{MemoryFootprint, PeakTracker};
+use crate::results::{render_aggregates, WindowResult};
+use crate::semantics::Semantics;
+use crate::window::{window_close_time, windows_of, WindowId};
+use crate::EngineError;
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry, Time, TypeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Event selection semantics (default: skip-till-any-match, §2).
+    pub semantics: Semantics,
+    /// Use Vertex-Tree range queries for edge predicates (ablation switch;
+    /// `false` falls back to scans with residual evaluation).
+    pub use_range_index: bool,
+    /// Track peak memory after every event (small per-event cost).
+    pub track_memory: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            semantics: Semantics::SkipTillAny,
+            use_range_index: true,
+            track_memory: true,
+        }
+    }
+}
+
+/// Engine counters (§10.1 metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Events consumed.
+    pub events: u64,
+    /// Vertices inserted across all partitions/graphs.
+    pub vertices: u64,
+    /// Edges traversed (predecessor merges).
+    pub edges: u64,
+    /// Result rows emitted.
+    pub results: u64,
+}
+
+struct Partition<N: TrendNum> {
+    alts: Vec<AltRuntime<N>>,
+}
+
+/// The GRETA engine. Generic over the aggregate carrier `N` (`f64` default
+/// mirrors large-count behaviour; `u64` saturates; `BigUint` is exact).
+pub struct GretaEngine<N: TrendNum = f64> {
+    query: CompiledQuery,
+    registry: SchemaRegistry,
+    layout: AggLayout,
+    config: EngineConfig,
+    extractor: KeyExtractor,
+    partitions: HashMap<PartitionKey, Partition<N>>,
+    /// Events of types that lack the full partition key (broadcast types),
+    /// kept one window deep for replay into new partitions.
+    replay: VecDeque<Event>,
+    broadcast_types: HashSet<TypeId>,
+    root_types: HashSet<TypeId>,
+    /// Incremental per-(window, group) final aggregates.
+    results: BTreeMap<WindowId, HashMap<PartitionKey, AggState<N>>>,
+    /// Windows touched by any event (deferred-final scans).
+    touched: BTreeSet<WindowId>,
+    emitted: Vec<WindowResult<N>>,
+    watermark: Time,
+    saw_event: bool,
+    deferred_final: bool,
+    stats: EngineStats,
+    peak: PeakTracker,
+    /// Running byte total of partition graph state (updated incrementally
+    /// per delivery; recomputed after batch purges at window close).
+    live_bytes: usize,
+}
+
+impl<N: TrendNum> GretaEngine<N> {
+    /// Create an engine with default configuration.
+    pub fn new(query: CompiledQuery, registry: SchemaRegistry) -> Result<Self, EngineError> {
+        Self::with_config(query, registry, EngineConfig::default())
+    }
+
+    /// Create an engine with an explicit configuration.
+    pub fn with_config(
+        query: CompiledQuery,
+        registry: SchemaRegistry,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let extractor = KeyExtractor::new(&query, &registry);
+        let mut root_types = HashSet::new();
+        let mut all_types = HashSet::new();
+        for alt in &query.alternatives {
+            for (_, tid) in &alt.graphs[0].state_types {
+                root_types.insert(*tid);
+            }
+            for g in &alt.graphs {
+                for (_, tid) in &g.state_types {
+                    all_types.insert(*tid);
+                }
+            }
+        }
+        // Root-graph event types must carry the full partition key: the
+        // partition of a positive event must be unambiguous.
+        for tid in &root_types {
+            if !extractor.has_full_key(*tid) {
+                let schema = registry.schema(*tid);
+                let missing = query
+                    .partition_attrs
+                    .iter()
+                    .find(|a| schema.attr(a).is_none())
+                    .cloned()
+                    .unwrap_or_default();
+                return Err(EngineError::PartitionAttr {
+                    attr: missing,
+                    ty: schema.name.clone(),
+                });
+            }
+        }
+        // Broadcast types: appear only outside the root graph OR lack the
+        // full key.
+        let broadcast_types: HashSet<TypeId> = all_types
+            .iter()
+            .copied()
+            .filter(|t| !root_types.contains(t) || !extractor.has_full_key(*t))
+            .collect();
+
+        let layout = AggLayout::new(&query.aggregates);
+        Ok(GretaEngine {
+            deferred_final: false, // resolved lazily per partition
+            query,
+            registry,
+            layout,
+            config,
+            extractor,
+            partitions: HashMap::new(),
+            replay: VecDeque::new(),
+            broadcast_types,
+            root_types,
+            results: BTreeMap::new(),
+            touched: BTreeSet::new(),
+            emitted: Vec::new(),
+            watermark: Time::ZERO,
+            saw_event: false,
+            stats: EngineStats::default(),
+            peak: PeakTracker::default(),
+            live_bytes: 0,
+        })
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// The schema registry.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of live partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Process one event (must arrive in-order by time, §2).
+    pub fn process(&mut self, e: &Event) -> Result<(), EngineError> {
+        if self.saw_event && e.time < self.watermark {
+            return Err(EngineError::OutOfOrder {
+                watermark: self.watermark.ticks(),
+                got: e.time.ticks(),
+            });
+        }
+        self.saw_event = true;
+        self.watermark = e.time;
+        self.close_due(e.time);
+        self.stats.events += 1;
+
+        let is_root_type = self.root_types.contains(&e.type_id);
+        let is_broadcast = self.broadcast_types.contains(&e.type_id);
+        let key = self.extractor.key_of(e);
+
+        if is_root_type && !is_broadcast {
+            self.ensure_partition(&key);
+            self.deliver(&key.clone(), e);
+        } else if is_broadcast {
+            // Deliver to every matching partition, remember for replay.
+            let targets: Vec<PartitionKey> = self
+                .partitions
+                .keys()
+                .filter(|k| key.matches(k))
+                .cloned()
+                .collect();
+            for t in targets {
+                self.deliver(&t, e);
+            }
+            self.replay.push_back(e.clone());
+            // Replay buffer is one window deep (DESIGN.md: Def-5 effects for
+            // late-created partitions are window-bounded).
+            let cutoff = e.time.ticks().saturating_sub(self.query.window.within);
+            while self
+                .replay
+                .front()
+                .is_some_and(|old| old.time.ticks() < cutoff)
+            {
+                self.replay.pop_front();
+            }
+        }
+        // Events of types not in the query are ignored entirely.
+
+        for w in windows_of(e.time, &self.query.window) {
+            self.touched.insert(w);
+        }
+        if self.config.track_memory {
+            let bytes = self.memory_bytes();
+            self.peak.observe(bytes);
+        }
+        Ok(())
+    }
+
+    fn ensure_partition(&mut self, key: &PartitionKey) {
+        if self.partitions.contains_key(key) {
+            return;
+        }
+        let mut part = Partition {
+            alts: self
+                .query
+                .alternatives
+                .iter()
+                .map(|alt| AltRuntime::new(alt, &self.query.window))
+                .collect(),
+        };
+        self.deferred_final = self.deferred_final
+            || part.alts.iter().any(AltRuntime::needs_deferred_final);
+        // Replay buffered broadcast events that match this partition.
+        let replayable: Vec<Event> = self
+            .replay
+            .iter()
+            .filter(|old| self.extractor.key_of(old).matches(key))
+            .cloned()
+            .collect();
+        let ctx = Ctx {
+            layout: &self.layout,
+            window: self.query.window,
+            semantics: self.config.semantics,
+            use_range_index: self.config.use_range_index,
+        };
+        for (i, old) in replayable.iter().enumerate() {
+            // Replayed events are historical; give them sequence numbers
+            // below any live event's global index. Contiguous semantics is
+            // approximate across replay (see DESIGN.md).
+            let seq = i as u64;
+            for (alt, plan) in part.alts.iter_mut().zip(&self.query.alternatives) {
+                alt.process(plan, &ctx, old, seq, |_, _| {});
+            }
+        }
+        self.live_bytes += part.alts.iter().map(AltRuntime::bytes).sum::<usize>();
+        self.partitions.insert(key.clone(), part);
+    }
+
+    fn deliver(&mut self, key: &PartitionKey, e: &Event) {
+        let n_group = self.query.group_by.len();
+        let group = key.group_prefix(n_group);
+        let ctx = Ctx {
+            layout: &self.layout,
+            window: self.query.window,
+            semantics: self.config.semantics,
+            use_range_index: self.config.use_range_index,
+        };
+        let part = self.partitions.get_mut(key).expect("partition exists");
+        // Global stream arrival index: contiguous semantics counts *every*
+        // stream event as a potential gap (Table 1: "skips none").
+        let seq = self.stats.events;
+        let mut end_updates: Vec<(WindowId, AggState<N>)> = Vec::new();
+        for (alt, plan) in part.alts.iter_mut().zip(&self.query.alternatives) {
+            let (v0, e0, b0) = (alt.vertices_inserted, alt.edges_traversed, alt.bytes());
+            alt.process(plan, &ctx, e, seq, |w, st| {
+                end_updates.push((w, st.clone()));
+            });
+            self.stats.vertices += alt.vertices_inserted - v0;
+            self.stats.edges += alt.edges_traversed - e0;
+            self.live_bytes = self.live_bytes + alt.bytes() - b0;
+        }
+        if !self.deferred_final {
+            for (w, st) in end_updates {
+                let slot = self
+                    .results
+                    .entry(w)
+                    .or_default()
+                    .entry(group.clone())
+                    .or_insert_with(|| AggState::zero(&self.layout));
+                slot.merge(&st);
+            }
+        }
+    }
+
+    /// Close (emit + purge) every window whose end is ≤ `t`.
+    fn close_due(&mut self, t: Time) {
+        let w = self.query.window;
+        while let Some(&wid) = self.touched.first() {
+            let close = window_close_time(wid, &w);
+            if close > t {
+                break;
+            }
+            self.touched.remove(&wid);
+            self.emit_window(wid, close);
+            // Batch pane purge: panes fully covered by closed windows die.
+            // Window `wid` closed ⇒ panes ending at or before close - within
+            // + slide·0… compute: pane dead iff its last window ≤ wid, i.e.
+            // pane_end ≤ (wid+1)·slide.
+            let deadline = Time((wid + 1) * w.slide);
+            for part in self.partitions.values_mut() {
+                for alt in &mut part.alts {
+                    alt.purge_panes_before(deadline);
+                }
+            }
+            // Purges changed many partitions at once: recompute the total.
+            self.live_bytes = self
+                .partitions
+                .values()
+                .map(|p| p.alts.iter().map(AltRuntime::bytes).sum::<usize>())
+                .sum();
+        }
+    }
+
+    fn emit_window(&mut self, wid: WindowId, close: Time) {
+        let mut groups: HashMap<PartitionKey, AggState<N>> = HashMap::new();
+        if self.deferred_final {
+            let n_group = self.query.group_by.len();
+            for (key, part) in &self.partitions {
+                let group = key.group_prefix(n_group);
+                for (alt, plan) in part.alts.iter().zip(&self.query.alternatives) {
+                    let st = alt.collect_final(plan, &self.layout, wid, close);
+                    if !st.count.is_zero() {
+                        groups
+                            .entry(group.clone())
+                            .or_insert_with(|| AggState::zero(&self.layout))
+                            .merge(&st);
+                    }
+                }
+            }
+        } else if let Some(g) = self.results.remove(&wid) {
+            groups = g;
+        }
+        let mut rows: Vec<WindowResult<N>> = groups
+            .into_iter()
+            .filter(|(_, st)| !st.count.is_zero())
+            .map(|(group, st)| WindowResult {
+                window: wid,
+                group,
+                values: render_aggregates(&st, &self.query.aggregates, &self.layout),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.group.cmp(&b.group));
+        self.stats.results += rows.len() as u64;
+        self.emitted.extend(rows);
+    }
+
+    /// Drain results of windows closed so far.
+    pub fn poll_results(&mut self) -> Vec<WindowResult<N>> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    /// Flush: close all remaining windows and drain every result.
+    pub fn finish(&mut self) -> Vec<WindowResult<N>> {
+        self.close_due(Time::MAX);
+        self.poll_results()
+    }
+
+    /// Convenience: process a whole in-order batch and return all results.
+    pub fn run(&mut self, events: &[Event]) -> Result<Vec<WindowResult<N>>, EngineError> {
+        for e in events {
+            self.process(e)?;
+        }
+        Ok(self.finish())
+    }
+}
+
+impl<N: TrendNum> MemoryFootprint for GretaEngine<N> {
+    fn memory_bytes(&self) -> usize {
+        let parts: usize = self.live_bytes;
+        let results: usize = self
+            .results
+            .values()
+            .map(|g| {
+                g.iter()
+                    .map(|(k, st)| k.heap_size() + st.heap_size() + 64)
+                    .sum::<usize>()
+            })
+            .sum();
+        let replay: usize = self.replay.iter().map(Event::heap_size).sum();
+        parts + results + replay
+    }
+
+    fn peak_memory_bytes(&self) -> usize {
+        self.peak.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::EventBuilder;
+
+    fn reg_ab() -> SchemaRegistry {
+        let mut r = SchemaRegistry::new();
+        r.register_type("A", &["attr", "grp"]).unwrap();
+        r.register_type("B", &["attr", "grp"]).unwrap();
+        r.register_type("E", &["attr", "grp"]).unwrap();
+        r
+    }
+
+    fn ev(r: &SchemaRegistry, ty: &str, t: u64, attr: f64, grp: i64) -> Event {
+        EventBuilder::new(r, ty)
+            .unwrap()
+            .at(Time(t))
+            .set("attr", attr)
+            .unwrap()
+            .set("grp", grp)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn example_1_all_aggregates() {
+        // Figure 12: COUNT(*)=11, COUNT(A)=20, MIN=4, MAX=6, SUM=100, AVG=5.
+        let r = reg_ab();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*), COUNT(A), MIN(A.attr), MAX(A.attr), SUM(A.attr), AVG(A.attr) \
+             PATTERN (SEQ(A+, B))+ WITHIN 100 SLIDE 100",
+            &r,
+        )
+        .unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let evs = vec![
+            ev(&r, "A", 1, 5.0, 0),
+            ev(&r, "B", 2, 0.0, 0),
+            ev(&r, "A", 3, 6.0, 0),
+            ev(&r, "A", 4, 4.0, 0),
+            ev(&r, "B", 7, 0.0, 0),
+        ];
+        let rows = eng.run(&evs).unwrap();
+        assert_eq!(rows.len(), 1);
+        let v: Vec<f64> = rows[0].values.iter().map(|x| x.to_f64()).collect();
+        assert_eq!(v, vec![11.0, 20.0, 4.0, 6.0, 100.0, 5.0]);
+    }
+
+    #[test]
+    fn grouping_partitions_results() {
+        let r = reg_ab();
+        let q = CompiledQuery::parse(
+            "RETURN grp, COUNT(*) PATTERN A+ GROUP-BY grp WITHIN 100 SLIDE 100",
+            &r,
+        )
+        .unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let evs = vec![
+            ev(&r, "A", 1, 0.0, 1),
+            ev(&r, "A", 2, 0.0, 2),
+            ev(&r, "A", 3, 0.0, 1),
+        ];
+        let rows = eng.run(&evs).unwrap();
+        assert_eq!(rows.len(), 2);
+        // group 1: {a1}, {a3}, {a1,a3} = 3; group 2: {a2} = 1.
+        let counts: Vec<f64> = rows.iter().map(|r| r.values[0].to_f64()).collect();
+        assert_eq!(counts, vec![3.0, 1.0]);
+        assert_eq!(eng.partition_count(), 2);
+    }
+
+    #[test]
+    fn sliding_windows_share_the_graph() {
+        // WITHIN 10 SLIDE 5 over a1 a3 a8: windows [0,10) and [5,15).
+        // W0: trends over {a1,a3,a8} = 7; W1: {a8} = 1.
+        let r = reg_ab();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5", &r).unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let rows = eng
+            .run(&[ev(&r, "A", 1, 0.0, 0), ev(&r, "A", 3, 0.0, 0), ev(&r, "A", 8, 0.0, 0)])
+            .unwrap();
+        let mut by_window: Vec<(WindowId, f64)> =
+            rows.iter().map(|r| (r.window, r.values[0].to_f64())).collect();
+        by_window.sort_by_key(|a| a.0);
+        assert_eq!(by_window, vec![(0, 7.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn windows_close_incrementally_and_memory_shrinks() {
+        let r = reg_ab();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", &r).unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        for t in 0..10 {
+            eng.process(&ev(&r, "A", t, 0.0, 0)).unwrap();
+        }
+        assert!(eng.poll_results().is_empty()); // window not closed yet
+        eng.process(&ev(&r, "A", 25, 0.0, 0)).unwrap();
+        let rows = eng.poll_results();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[0].to_f64(), 1023.0); // 2^10 - 1
+        // Old pane purged: memory bounded.
+        assert!(eng.memory_bytes() < eng.peak_memory_bytes());
+        let final_rows = eng.finish();
+        assert_eq!(final_rows.len(), 1); // window of t=25
+        assert_eq!(final_rows[0].values[0].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let r = reg_ab();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", &r).unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        eng.process(&ev(&r, "A", 5, 0.0, 0)).unwrap();
+        let err = eng.process(&ev(&r, "A", 3, 0.0, 0)).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn trailing_negation_defers_final() {
+        // SEQ(A+, NOT E), Fig. 8(a): e3 marks the previous a's (a1, a2)
+        // invalid — per Example 5 they are deleted, so they neither count
+        // as END events at close nor connect to the later a4.
+        let r = reg_ab();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A+, NOT E) WITHIN 100 SLIDE 100",
+            &r,
+        )
+        .unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let rows = eng
+            .run(&[
+                ev(&r, "A", 1, 0.0, 0),
+                ev(&r, "A", 2, 0.0, 0),
+                ev(&r, "E", 3, 0.0, 0),
+                ev(&r, "A", 4, 0.0, 0),
+            ])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        // Only a4 is a valid END at close and it has no valid predecessors:
+        // final count = a4.count = 1.
+        assert_eq!(rows[0].values[0].to_f64(), 1.0);
+    }
+
+    #[test]
+    fn leading_negation_with_subkey_broadcast() {
+        // Q3-style: accident lacks `vehicle`; positions partition by
+        // (grp=segment, attr-ish vehicle). Accident must hit all matching
+        // partitions.
+        let mut r = SchemaRegistry::new();
+        r.register_type("Accident", &["segment"]).unwrap();
+        r.register_type("Position", &["vehicle", "segment"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
+             WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 100 SLIDE 100",
+            &r,
+        )
+        .unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let pos = |t: u64, v: i64, s: i64| {
+            EventBuilder::new(&r, "Position")
+                .unwrap()
+                .at(Time(t))
+                .set("vehicle", v)
+                .unwrap()
+                .set("segment", s)
+                .unwrap()
+                .build()
+        };
+        let acc = |t: u64, s: i64| {
+            EventBuilder::new(&r, "Accident")
+                .unwrap()
+                .at(Time(t))
+                .set("segment", s)
+                .unwrap()
+                .build()
+        };
+        let rows = eng
+            .run(&[
+                pos(1, 7, 1), // segment 1, vehicle 7
+                acc(2, 1),    // accident in segment 1
+                pos(3, 7, 1), // dropped (after accident)
+                pos(4, 9, 1), // new partition (vehicle 9) — replay sees accident
+                pos(5, 5, 2), // segment 2 unaffected
+            ])
+            .unwrap();
+        // Segment 1: only the trend {pos(1)} (later positions dropped).
+        // Segment 2: {pos(5)}.
+        assert_eq!(rows.len(), 2);
+        let counts: Vec<f64> = rows.iter().map(|x| x.values[0].to_f64()).collect();
+        assert_eq!(counts, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_partition_attr_on_root_type_rejected() {
+        let mut r = SchemaRegistry::new();
+        r.register_type("A", &["x"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN A+ WHERE [x] GROUP-BY x WITHIN 10 SLIDE 10",
+            &r,
+        )
+        .unwrap();
+        // x exists — fine.
+        assert!(GretaEngine::<u64>::new(q, r.clone()).is_ok());
+        let mut r2 = SchemaRegistry::new();
+        r2.register_type("A", &["x"]).unwrap();
+        r2.register_type("B", &["y"]).unwrap();
+        let q2 = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A, B) GROUP-BY x WITHIN 10 SLIDE 10",
+            &r2,
+        )
+        .unwrap();
+        let err = GretaEngine::<u64>::new(q2, r2).map(|_| ()).unwrap_err();
+        assert!(matches!(err, EngineError::PartitionAttr { .. }));
+    }
+
+    #[test]
+    fn edge_predicate_filters_connections() {
+        // A+ with attr strictly decreasing.
+        let r = reg_ab();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN A S+ WHERE S.attr > NEXT(S).attr WITHIN 100 SLIDE 100",
+            &r,
+        )
+        .unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        let rows = eng
+            .run(&[
+                ev(&r, "A", 1, 10.0, 0),
+                ev(&r, "A", 2, 12.0, 0),
+                ev(&r, "A", 3, 8.0, 0),
+            ])
+            .unwrap();
+        // Down-trends: {a1},{a2},{a3},(a1,a3),(a2,a3) = 5.
+        assert_eq!(rows[0].values[0].to_f64(), 5.0);
+    }
+
+    #[test]
+    fn range_index_ablation_gives_same_results() {
+        let r = reg_ab();
+        let mk = || {
+            CompiledQuery::parse(
+                "RETURN COUNT(*) PATTERN A S+ WHERE S.attr > NEXT(S).attr WITHIN 100 SLIDE 100",
+                &r,
+            )
+            .unwrap()
+        };
+        let evs: Vec<Event> = (0..30)
+            .map(|i| ev(&r, "A", i, ((i * 37) % 19) as f64, 0))
+            .collect();
+        let mut e1 = GretaEngine::<u64>::new(mk(), r.clone()).unwrap();
+        let mut e2 = GretaEngine::<u64>::with_config(
+            mk(),
+            r.clone(),
+            EngineConfig {
+                use_range_index: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(e1.run(&evs).unwrap(), e2.run(&evs).unwrap());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let r = reg_ab();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", &r).unwrap();
+        let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
+        eng.run(&[ev(&r, "A", 1, 0.0, 0), ev(&r, "A", 2, 0.0, 0)])
+            .unwrap();
+        let s = eng.stats();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.vertices, 2);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.results, 1);
+    }
+}

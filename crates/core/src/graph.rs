@@ -1,0 +1,551 @@
+//! Runtime GRETA graphs for one stream partition (paper §4.2, Algorithm 2,
+//! extended with negation §5.2, sliding windows §6 and selection semantics
+//! §9).
+//!
+//! An [`AltRuntime`] maintains one [`GraphStorage`] per graph of a compiled
+//! alternative (the positive root plus negative sub-patterns). Processing an
+//! event:
+//!
+//! 1. offer it to every graph/state whose event type matches (Case-3
+//!    negation may drop it, Fig. 8(b));
+//! 2. filter by vertex predicates;
+//! 3. find valid predecessors per predecessor state — Vertex-Tree range
+//!    query for the range-form edge predicate, residual predicates on the
+//!    candidates, Definition-5 invalidation thresholds, selection-semantics
+//!    filter;
+//! 4. insert iff START or some predecessor exists (Algorithm 2 line 5);
+//! 5. compute the per-window aggregates by merging predecessor states and
+//!    applying the event's own contribution (Theorem 9.1);
+//! 6. END events: root graphs report their aggregate to the caller;
+//!    negative graphs append to their [`InvalidationLog`] and prune the
+//!    finished trend (Example 5).
+
+use crate::agg::{AggLayout, AggState, TrendNum};
+use crate::negation::{
+    end_event_valid_at_close, insertion_dropped, needs_deferred_final, predecessor_valid,
+    DepMode, Dependency, InvalidationLog,
+};
+use crate::semantics::Semantics;
+use crate::storage::{GraphStorage, Vertex, VertexId};
+use crate::window::{pane_length, windows_of, WindowId};
+use greta_query::compile::AltPlan;
+use greta_query::{StateId, WindowSpec};
+use greta_types::{Event, Time, TypeId};
+use std::collections::HashMap;
+
+/// Immutable per-event processing context.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx<'a> {
+    /// Aggregate layout of the query.
+    pub layout: &'a AggLayout,
+    /// The window specification.
+    pub window: WindowSpec,
+    /// Selection semantics.
+    pub semantics: Semantics,
+    /// Whether Vertex-Tree range queries are used (ablation switch).
+    pub use_range_index: bool,
+}
+
+/// One graph's runtime state.
+struct GraphRuntime<N: TrendNum> {
+    storage: GraphStorage<N>,
+    /// Invalidations produced by this graph (non-empty only for negative
+    /// graphs that finished trends).
+    log: InvalidationLog,
+    /// States indexed by event type.
+    states_by_type: HashMap<TypeId, Vec<StateId>>,
+    /// Dependencies on child (negative) graphs.
+    deps: Vec<Dependency>,
+}
+
+/// Runtime of one compiled alternative within one partition.
+pub struct AltRuntime<N: TrendNum> {
+    graphs: Vec<GraphRuntime<N>>,
+    /// Vertices inserted (statistics).
+    pub vertices_inserted: u64,
+    /// Edges traversed, i.e. predecessor pairs merged (statistics; the
+    /// quadratic term of Theorem 8.1).
+    pub edges_traversed: u64,
+}
+
+impl<N: TrendNum> AltRuntime<N> {
+    /// Set up runtime state for an alternative.
+    pub fn new(plan: &AltPlan, window: &WindowSpec) -> AltRuntime<N> {
+        let pane_len = pane_length(window);
+        let graphs = plan
+            .graphs
+            .iter()
+            .map(|spec| {
+                // Sort attribute per state: first range-form edge predicate
+                // using this state as the previous side.
+                let mut sort_attr = HashMap::new();
+                for s in &spec.template.states {
+                    let attr = plan
+                        .predicates
+                        .edges
+                        .iter()
+                        .filter(|e| e.prev_state == s.occ)
+                        .find_map(|e| e.range.as_ref().map(|r| r.prev_attr));
+                    sort_attr.insert(s.occ, attr);
+                }
+                let mut states_by_type: HashMap<TypeId, Vec<StateId>> = HashMap::new();
+                for (sid, tid) in &spec.state_types {
+                    states_by_type.entry(*tid).or_default().push(*sid);
+                }
+                let deps = plan
+                    .graphs
+                    .iter()
+                    .filter(|g| g.parent == Some(spec.id))
+                    .map(|g| Dependency {
+                        child: g.id,
+                        mode: DepMode::of(g),
+                    })
+                    .collect();
+                GraphRuntime {
+                    storage: GraphStorage::new(pane_len, sort_attr),
+                    log: InvalidationLog::default(),
+                    states_by_type,
+                    deps,
+                }
+            })
+            .collect();
+        AltRuntime {
+            graphs,
+            vertices_inserted: 0,
+            edges_traversed: 0,
+        }
+    }
+
+    /// True when final aggregates must be computed at window close instead
+    /// of incrementally (trailing negation on the root, Case 2).
+    pub fn needs_deferred_final(&self) -> bool {
+        needs_deferred_final(&self.graphs[0].deps)
+    }
+
+    /// Process one event. `event_seq` is the partition-local arrival index.
+    /// `on_root_end` is called once per window entry of every END vertex
+    /// inserted into the **root** graph (drives incremental final
+    /// aggregation, Algorithm 2 line 8).
+    pub fn process(
+        &mut self,
+        plan: &AltPlan,
+        ctx: &Ctx<'_>,
+        e: &Event,
+        event_seq: u64,
+        mut on_root_end: impl FnMut(WindowId, &AggState<N>),
+    ) {
+        for gi in 0..self.graphs.len() {
+            self.process_graph(plan, ctx, gi, e, event_seq, &mut on_root_end);
+        }
+    }
+
+    fn process_graph(
+        &mut self,
+        plan: &AltPlan,
+        ctx: &Ctx<'_>,
+        gi: usize,
+        e: &Event,
+        event_seq: u64,
+        on_root_end: &mut impl FnMut(WindowId, &AggState<N>),
+    ) {
+        let spec = &plan.graphs[gi];
+        let Some(states) = self.graphs[gi].states_by_type.get(&e.type_id) else {
+            return;
+        };
+        let states = states.clone();
+
+        // Case-3 negation: drop events arriving strictly after the first
+        // finished trend of a DropFollowing child (Fig. 8(b)).
+        {
+            let deps = &self.graphs[gi].deps;
+            let logs = |g: greta_query::compile::GraphId| {
+                self.graphs.get(g.0 as usize).map(|gr| &gr.log)
+            };
+            if insertion_dropped(deps, logs, e.time) {
+                return;
+            }
+        }
+
+        for state in states {
+            // Vertex predicates (local filters, §6).
+            if !plan
+                .predicates
+                .vertex_preds(state)
+                .all(|p| p.expr.eval_bool(None, e))
+            {
+                continue;
+            }
+            let is_start = spec.template.is_start(state);
+            let is_end = spec.template.is_end(state);
+
+            // --- predecessor collection ------------------------------------
+            let mut preds: Vec<VertexId> = Vec::new();
+            let lo = Time(e.time.ticks().saturating_sub(ctx.window.within - 1));
+            for p_state in spec.template.predecessors(state) {
+                let eps: Vec<_> = plan.predicates.edge_preds(p_state, state).collect();
+                // Range form answered by the Vertex Tree (if it sorts on
+                // the predicate's attribute).
+                let range_idx = if ctx.use_range_index {
+                    eps.iter().position(|ep| {
+                        ep.range.as_ref().is_some_and(|r| {
+                            self.graphs[gi].storage.indexes_attr(p_state, r.prev_attr)
+                        })
+                    })
+                } else {
+                    None
+                };
+                let range = range_idx.map(|i| eps[i].range.as_ref().unwrap().bound(e));
+
+                let (storage, deps, logs_src) = {
+                    let (before, rest) = self.graphs.split_at(gi);
+                    let (cur, after) = rest.split_first().unwrap();
+                    // Child graphs always have larger ids than the parent
+                    // (BFS flattening), so their logs live in `after`.
+                    let _ = before;
+                    (&cur.storage, &cur.deps, after)
+                };
+                let logs = |g: greta_query::compile::GraphId| {
+                    let idx = g.0 as usize;
+                    idx.checked_sub(gi + 1).and_then(|i| logs_src.get(i)).map(|gr| &gr.log)
+                };
+
+                let mut best: Option<(u64, VertexId)> = None; // skip-till-next
+                storage.visit_candidates(p_state, lo, e.time, range, |id, v| {
+                    // Definition-5 invalidation.
+                    if !predecessor_valid(deps, logs, p_state, state, v.event.time, e.time) {
+                        return;
+                    }
+                    // Residual edge predicates (the range one is exact).
+                    for (i, ep) in eps.iter().enumerate() {
+                        if Some(i) == range_idx {
+                            continue;
+                        }
+                        if !ep.expr.eval_bool(Some(&v.event), e) {
+                            return;
+                        }
+                    }
+                    match ctx.semantics {
+                        Semantics::SkipTillAny => preds.push(id),
+                        Semantics::Contiguous => {
+                            if v.seq + 1 == event_seq {
+                                preds.push(id);
+                            }
+                        }
+                        Semantics::SkipTillNext => {
+                            if best.is_none_or(|(s, _)| v.seq > s) {
+                                best = Some((v.seq, id));
+                            }
+                        }
+                    }
+                });
+                if let Some((_, id)) = best {
+                    preds.push(id);
+                }
+            }
+
+            // Algorithm 2 line 5: MID/END events need a predecessor.
+            if !is_start && preds.is_empty() {
+                continue;
+            }
+
+            // --- aggregate propagation (Theorem 9.1) ------------------------
+            let mut aggs: Vec<(WindowId, AggState<N>)> = windows_of(e.time, &ctx.window)
+                .map(|w| (w, AggState::zero(ctx.layout)))
+                .collect();
+            let mut latest_start = if is_start { e.time } else { Time::ZERO };
+            {
+                let storage = &self.graphs[gi].storage;
+                for pid in &preds {
+                    let pv = storage.store.get(*pid);
+                    latest_start = latest_start.max(pv.latest_start);
+                    for (w, st) in aggs.iter_mut() {
+                        if let Some(ps) = pv.agg(*w) {
+                            st.merge(ps);
+                        }
+                    }
+                }
+            }
+            self.edges_traversed += preds.len() as u64;
+            for (_, st) in aggs.iter_mut() {
+                st.apply_own(e, is_start, ctx.layout);
+            }
+
+            let vertex = Vertex {
+                event: e.clone(),
+                state,
+                seq: event_seq,
+                latest_start,
+                aggs,
+            };
+
+            if is_end && gi == 0 {
+                for (w, st) in &vertex.aggs {
+                    on_root_end(*w, st);
+                }
+            }
+            let finished_negative = is_end && gi != 0;
+            self.graphs[gi].storage.insert(vertex);
+            self.vertices_inserted += 1;
+
+            if finished_negative {
+                // A negative trend finished: record the invalidation and
+                // prune the dominated prefix (Example 5, Theorem 5.1).
+                self.graphs[gi].log.push(e.time, latest_start);
+                self.graphs[gi].storage.purge_vertices_up_to(latest_start);
+            }
+        }
+    }
+
+    /// Deferred final aggregation for Case-2 negation: fold the aggregates
+    /// of all still-valid END vertices of the root graph for window `wid`
+    /// closing at `close_time`.
+    pub fn collect_final(
+        &self,
+        plan: &AltPlan,
+        layout: &AggLayout,
+        wid: WindowId,
+        close_time: Time,
+    ) -> AggState<N> {
+        let spec = &plan.graphs[0];
+        let deps = &self.graphs[0].deps;
+        let logs =
+            |g: greta_query::compile::GraphId| self.graphs.get(g.0 as usize).map(|gr| &gr.log);
+        let mut acc = AggState::zero(layout);
+        self.graphs[0]
+            .storage
+            .visit_state(spec.template.end, |_, v| {
+                if let Some(st) = v.agg(wid) {
+                    if end_event_valid_at_close(deps, logs, v.event.time, close_time) {
+                        acc.merge(st);
+                    }
+                }
+            });
+        acc
+    }
+
+    /// Batch-delete panes that ended before `deadline` in all graphs.
+    pub fn purge_panes_before(&mut self, deadline: Time) -> usize {
+        self.graphs
+            .iter_mut()
+            .map(|g| g.storage.purge_panes_before(deadline))
+            .sum()
+    }
+
+    /// Live vertices across all graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.iter().map(|g| g.storage.len()).sum()
+    }
+
+    /// True when no vertices are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of live state.
+    pub fn bytes(&self) -> usize {
+        self.graphs
+            .iter()
+            .map(|g| g.storage.bytes() + g.log.heap_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_query::CompiledQuery;
+    use greta_types::{EventBuilder, SchemaRegistry};
+
+    fn setup(pattern: &str) -> (SchemaRegistry, CompiledQuery) {
+        let mut reg = SchemaRegistry::new();
+        for t in ["A", "B", "C", "D", "E"] {
+            reg.register_type(t, &["attr"]).unwrap();
+        }
+        let q = CompiledQuery::parse(
+            &format!("RETURN COUNT(*) PATTERN {pattern} WITHIN 1000 SLIDE 1000"),
+            &reg,
+        )
+        .unwrap();
+        (reg, q)
+    }
+
+    fn run_count(pattern: &str, events: &[(&str, u64)]) -> f64 {
+        let (reg, q) = setup(pattern);
+        let layout = AggLayout::new(&q.aggregates);
+        let plan = &q.alternatives[0];
+        let mut rt = AltRuntime::<f64>::new(plan, &q.window);
+        let ctx = Ctx {
+            layout: &layout,
+            window: q.window,
+            semantics: Semantics::SkipTillAny,
+            use_range_index: true,
+        };
+        let mut total = 0.0;
+        for (seq, (ty, t)) in events.iter().enumerate() {
+            let e = EventBuilder::new(&reg, ty).unwrap().at(Time(*t)).build();
+            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+        }
+        total
+    }
+
+    #[test]
+    fn figure_6c_count_43() {
+        // (SEQ(A+, B))+ over {a1, b2, a3, a4, b7, a8, b9} = 43 trends (§4.2).
+        let count = run_count(
+            "(SEQ(A+, B))+",
+            &[("A", 1), ("B", 2), ("A", 3), ("A", 4), ("B", 7), ("A", 8), ("B", 9)],
+        );
+        assert_eq!(count, 43.0);
+    }
+
+    #[test]
+    fn example_1_count_11() {
+        let count = run_count(
+            "(SEQ(A+, B))+",
+            &[("A", 1), ("B", 2), ("A", 3), ("A", 4), ("B", 7)],
+        );
+        assert_eq!(count, 11.0);
+    }
+
+    #[test]
+    fn flat_kleene_counts_subsets() {
+        // A+ over n a's: every non-empty subset in time order = 2^n - 1.
+        let events: Vec<(&str, u64)> = (1..=6).map(|t| ("A", t)).collect();
+        assert_eq!(run_count("A+", &events), 63.0);
+    }
+
+    #[test]
+    fn seq_without_loop() {
+        // SEQ(A+, B) over a1 a2 b3: trends (a1 b3), (a2 b3), (a1 a2 b3) = 3.
+        assert_eq!(run_count("SEQ(A+, B)", &[("A", 1), ("A", 2), ("B", 3)]), 3.0);
+        // Irrelevant B first is skipped (no predecessor), Fig. 6(b).
+        assert_eq!(
+            run_count("SEQ(A+, B)", &[("B", 0), ("A", 1), ("A", 2), ("B", 3)]),
+            3.0
+        );
+    }
+
+    #[test]
+    fn mid_events_need_predecessors() {
+        // SEQ(A, B, C): b before any a is not inserted.
+        assert_eq!(run_count("SEQ(A, B, C)", &[("B", 1), ("C", 2)]), 0.0);
+        assert_eq!(
+            run_count("SEQ(A, B, C)", &[("A", 1), ("B", 2), ("C", 3)]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn figure_6d_nested_negation() {
+        // (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ over
+        // {a1, b2, c2, a3, e3, a4, c5, d6, b7, a8, b9} (Example 4):
+        // e3 invalidates c2, so (c5,d6) is the only negative trend; it marks
+        // a1,a3,a4 invalid for b's after t6. b7 has no valid predecessors
+        // and is not inserted. The marked a's still connect to a8
+        // ("the marked a's are valid to connect to new a's"), so
+        // a8.count = 1 + (a1:1 + b2:1 + a3:3 + a4:6) = 12; b9 connects to
+        // a8 only: b9.count = 12. Final = b2 (1) + b9 (12) = 13.
+        let count = run_count(
+            "(SEQ(A+, NOT SEQ(C, NOT E, D), B))+",
+            &[
+                ("A", 1),
+                ("B", 2),
+                ("C", 2),
+                ("A", 3),
+                ("E", 3),
+                ("A", 4),
+                ("C", 5),
+                ("D", 6),
+                ("B", 7),
+                ("A", 8),
+                ("B", 9),
+            ],
+        );
+        assert_eq!(count, 13.0);
+    }
+
+    #[test]
+    fn negative_graph_pruning_keeps_count_correct() {
+        // Same as above but with another (C,D) pair later: pruning c5,d6
+        // after the first finished trend must not lose the invalidation.
+        let count = run_count(
+            "SEQ(A+, NOT SEQ(C, D), B)",
+            &[("A", 1), ("C", 2), ("D", 3), ("A", 4), ("B", 5)],
+        );
+        // (c2,d3) invalidates a1 for b's after t3, but a1 still connects to
+        // a4 (A→A is unaffected, Example 4): trends (a4,b5) and (a1,a4,b5).
+        assert_eq!(count, 2.0);
+    }
+
+    #[test]
+    fn case3_drops_following_events() {
+        // SEQ(NOT E, A+): e3 kills all later a's (Fig. 8(b)).
+        let count = run_count("SEQ(NOT E, A+)", &[("A", 1), ("A", 2), ("E", 3), ("A", 4)]);
+        // Valid: trends within {a1, a2} = 3.
+        assert_eq!(count, 3.0);
+    }
+
+    #[test]
+    fn contiguous_semantics_counts_runs() {
+        let (reg, q) = setup("A+");
+        let layout = AggLayout::new(&q.aggregates);
+        let plan = &q.alternatives[0];
+        let mut rt = AltRuntime::<f64>::new(plan, &q.window);
+        let ctx = Ctx {
+            layout: &layout,
+            window: q.window,
+            semantics: Semantics::Contiguous,
+            use_range_index: true,
+        };
+        let mut total = 0.0;
+        for (seq, t) in [1u64, 2, 3].iter().enumerate() {
+            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(*t)).build();
+            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+        }
+        // Contiguous trends of a1 a2 a3: (a1),(a2),(a3),(a1a2),(a2a3),(a1a2a3) = 6
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn skip_till_next_is_polynomial() {
+        let (reg, q) = setup("A+");
+        let layout = AggLayout::new(&q.aggregates);
+        let plan = &q.alternatives[0];
+        let mut rt = AltRuntime::<f64>::new(plan, &q.window);
+        let ctx = Ctx {
+            layout: &layout,
+            window: q.window,
+            semantics: Semantics::SkipTillNext,
+            use_range_index: true,
+        };
+        let mut total = 0.0;
+        for (seq, t) in (1u64..=10).enumerate() {
+            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build();
+            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+        }
+        // Each event links only to its immediate predecessor: runs = n(n+1)/2.
+        assert_eq!(total, 55.0);
+    }
+
+    #[test]
+    fn stats_track_vertices_and_edges() {
+        let (reg, q) = setup("A+");
+        let layout = AggLayout::new(&q.aggregates);
+        let plan = &q.alternatives[0];
+        let mut rt = AltRuntime::<f64>::new(plan, &q.window);
+        let ctx = Ctx {
+            layout: &layout,
+            window: q.window,
+            semantics: Semantics::SkipTillAny,
+            use_range_index: true,
+        };
+        for (seq, t) in (1u64..=4).enumerate() {
+            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build();
+            rt.process(plan, &ctx, &e, seq as u64 + 1, |_, _| {});
+        }
+        assert_eq!(rt.vertices_inserted, 4);
+        assert_eq!(rt.edges_traversed, 1 + 2 + 3);
+        assert_eq!(rt.len(), 4);
+        assert!(rt.bytes() > 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Stream partitioning: `GROUP-BY` attributes + equivalence predicates
+//! (paper §6). Each partition maintains its own GRETA graphs; final
+//! aggregates are reported per **group** (the `GROUP-BY` projection of the
+//! partition key).
+
+use greta_query::CompiledQuery;
+use greta_types::{AttrId, Event, SchemaRegistry, TypeId, Value};
+use std::collections::HashMap;
+
+/// A partition / group key: attribute values in `partition_attrs` order.
+/// `None` marks an attribute the event's type does not carry (sub-key
+/// semantics for negative-pattern types, e.g. `Accident` lacking `vehicle`
+/// in query Q3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PartitionKey(pub Vec<Option<Value>>);
+
+impl PartialOrd for PartitionKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PartitionKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let ord = match (a, b) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(x), Some(y)) => x.total_cmp(y),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl PartitionKey {
+    /// True when `self` (a sub-key) matches `other` on every attribute both
+    /// define.
+    pub fn matches(&self, other: &PartitionKey) -> bool {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// Project onto the first `n` attributes (the `GROUP-BY` prefix).
+    pub fn group_prefix(&self, n: usize) -> PartitionKey {
+        PartitionKey(self.0.iter().take(n).cloned().collect())
+    }
+
+    /// Render as a display string (`sector=Tech, company=IBM`).
+    pub fn display_with(&self, attrs: &[String]) -> String {
+        if self.0.is_empty() {
+            return String::from("()");
+        }
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .zip(attrs.iter())
+            .map(|(v, a)| match v {
+                Some(v) => format!("{a}={v}"),
+                None => format!("{a}=*"),
+            })
+            .collect();
+        parts.join(", ")
+    }
+
+    /// Approximate heap size (memory accounting).
+    pub fn heap_size(&self) -> usize {
+        self.0.len() * std::mem::size_of::<Option<Value>>()
+            + self
+                .0
+                .iter()
+                .flatten()
+                .map(|v| match v {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Pre-resolved partition-attribute lookup: for each event type, the
+/// attribute index of every partition attribute (or `None` if the type
+/// lacks it).
+#[derive(Debug, Clone, Default)]
+pub struct KeyExtractor {
+    per_type: HashMap<TypeId, Vec<Option<AttrId>>>,
+    n_attrs: usize,
+}
+
+impl KeyExtractor {
+    /// Build the extractor for a compiled query: resolves every partition
+    /// attribute on every event type appearing in any graph.
+    pub fn new(query: &CompiledQuery, reg: &SchemaRegistry) -> KeyExtractor {
+        let mut per_type: HashMap<TypeId, Vec<Option<AttrId>>> = HashMap::new();
+        for alt in &query.alternatives {
+            for g in &alt.graphs {
+                for (_, tid) in &g.state_types {
+                    per_type.entry(*tid).or_insert_with(|| {
+                        let schema = reg.schema(*tid);
+                        query
+                            .partition_attrs
+                            .iter()
+                            .map(|a| schema.attr(a))
+                            .collect()
+                    });
+                }
+            }
+        }
+        KeyExtractor {
+            per_type,
+            n_attrs: query.partition_attrs.len(),
+        }
+    }
+
+    /// Extract the (sub-)key of an event.
+    pub fn key_of(&self, e: &Event) -> PartitionKey {
+        match self.per_type.get(&e.type_id) {
+            Some(slots) => PartitionKey(
+                slots
+                    .iter()
+                    .map(|s| s.map(|a| e.attr(a).clone()))
+                    .collect(),
+            ),
+            None => PartitionKey(vec![None; self.n_attrs]),
+        }
+    }
+
+    /// True when the event's type carries **all** partition attributes
+    /// (complete key ⇒ the event belongs to exactly one partition).
+    pub fn has_full_key(&self, ty: TypeId) -> bool {
+        self.per_type
+            .get(&ty)
+            .is_none_or(|slots| slots.iter().all(Option::is_some))
+    }
+
+    /// Number of partition attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_query::CompiledQuery;
+    use greta_types::{EventBuilder, SchemaRegistry};
+
+    fn q3_setup() -> (SchemaRegistry, CompiledQuery) {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Accident", &["segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment", "speed"])
+            .unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident A, Position P+) \
+             WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 300 SLIDE 60",
+            &reg,
+        )
+        .unwrap();
+        (reg, q)
+    }
+
+    #[test]
+    fn full_and_partial_keys() {
+        let (reg, q) = q3_setup();
+        let ex = KeyExtractor::new(&q, &reg);
+        assert_eq!(q.partition_attrs, vec!["segment", "vehicle"]);
+
+        let p = EventBuilder::new(&reg, "Position")
+            .unwrap()
+            .set("vehicle", 7)
+            .unwrap()
+            .set("segment", 3)
+            .unwrap()
+            .build();
+        let key = ex.key_of(&p);
+        assert_eq!(
+            key,
+            PartitionKey(vec![Some(Value::Int(3)), Some(Value::Int(7))])
+        );
+        assert!(ex.has_full_key(p.type_id));
+
+        let a = EventBuilder::new(&reg, "Accident")
+            .unwrap()
+            .set("segment", 3)
+            .unwrap()
+            .build();
+        let akey = ex.key_of(&a);
+        assert_eq!(akey, PartitionKey(vec![Some(Value::Int(3)), None]));
+        assert!(!ex.has_full_key(a.type_id));
+        // The accident's sub-key matches the position's partition.
+        assert!(akey.matches(&key));
+    }
+
+    #[test]
+    fn subkey_matching() {
+        let a = PartitionKey(vec![Some(Value::Int(1)), None]);
+        let b = PartitionKey(vec![Some(Value::Int(1)), Some(Value::Int(2))]);
+        let c = PartitionKey(vec![Some(Value::Int(9)), Some(Value::Int(2))]);
+        assert!(a.matches(&b));
+        assert!(b.matches(&a));
+        assert!(!b.matches(&c));
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn group_prefix_projection() {
+        let k = PartitionKey(vec![
+            Some(Value::Int(1)),
+            Some(Value::Int(2)),
+            Some(Value::Int(3)),
+        ]);
+        assert_eq!(
+            k.group_prefix(1),
+            PartitionKey(vec![Some(Value::Int(1))])
+        );
+        assert_eq!(k.group_prefix(0), PartitionKey(vec![]));
+    }
+
+    #[test]
+    fn display() {
+        let k = PartitionKey(vec![Some(Value::from("Tech")), None]);
+        assert_eq!(
+            k.display_with(&["sector".into(), "company".into()]),
+            "sector=Tech, company=*"
+        );
+        assert_eq!(PartitionKey::default().display_with(&[]), "()");
+    }
+}

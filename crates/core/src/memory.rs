@@ -1,0 +1,51 @@
+//! Memory accounting (the *memory* metric of paper §10.1).
+//!
+//! The paper reports the peak bytes used by each approach's runtime state
+//! (GRETA graph vs. stacks/trends of the two-step baselines). We account
+//! analytically via this trait rather than through an allocator hook so the
+//! comparison measures *data-structure* footprint, independent of allocator
+//! slack — every engine (GRETA and all baselines) implements it.
+
+/// Anything that can report the size of its live runtime state.
+pub trait MemoryFootprint {
+    /// Current bytes of live state.
+    fn memory_bytes(&self) -> usize;
+
+    /// Peak observed bytes (engines update this after every event).
+    fn peak_memory_bytes(&self) -> usize;
+}
+
+/// Helper: running peak tracker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeakTracker {
+    peak: usize,
+}
+
+impl PeakTracker {
+    /// Observe a current value; returns the running peak.
+    pub fn observe(&mut self, current: usize) -> usize {
+        if current > self.peak {
+            self.peak = current;
+        }
+        self.peak
+    }
+
+    /// The peak so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let mut p = PeakTracker::default();
+        p.observe(10);
+        p.observe(50);
+        p.observe(20);
+        assert_eq!(p.peak(), 50);
+    }
+}

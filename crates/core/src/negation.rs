@@ -1,0 +1,313 @@
+//! Negation runtime (paper §5.2).
+//!
+//! Every **negative** GRETA graph produces an [`InvalidationLog`]: one entry
+//! per finished trend `(end_time, start_time)`, where `start_time` is the
+//! *latest* start over all trends finishing at that END event (propagated
+//! through the graph like an aggregate — a later start invalidates strictly
+//! more events, so it dominates).
+//!
+//! The dependent (parent) graph consumes the log per Definition 5: an event
+//! of the *previous* type with time `< start_time` may not connect to an
+//! event of the *following* type with time `> end_time`. Because streams
+//! are in-order and thresholds only compare with strict inequalities, the
+//! sequential engine needs no locking — this is the degenerate (and
+//! correct) instance of the §7 stream-transaction scheduler.
+
+use crate::window::WindowId;
+use greta_query::compile::{GraphId, GraphSpec};
+use greta_query::StateId;
+use greta_types::Time;
+use serde::{Deserialize, Serialize};
+
+/// Append-only log of finished negative trends.
+///
+/// Entries are appended in `end_time` order (END events arrive in-order).
+/// `threshold_before(t)` answers "the largest trend start among trends that
+/// finished strictly before `t`" in `O(log n)` via a prefix-max.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InvalidationLog {
+    /// `(end_time, prefix_max_start)` with strictly increasing `end_time`.
+    entries: Vec<(Time, Time)>,
+    /// End time of the first finished trend (drives Case-3 event dropping).
+    first_end: Option<Time>,
+}
+
+impl InvalidationLog {
+    /// Record a finished negative trend.
+    pub fn push(&mut self, end: Time, start: Time) {
+        if self.first_end.is_none() {
+            self.first_end = Some(end);
+        }
+        let pmax = match self.entries.last() {
+            Some(&(last_end, last_max)) => {
+                debug_assert!(last_end <= end, "END events arrive in-order");
+                if last_end == end {
+                    // merge same-time trends, keeping the dominating start
+                    let m = last_max.max(start);
+                    self.entries.last_mut().unwrap().1 = m;
+                    return;
+                }
+                last_max.max(start)
+            }
+            None => start,
+        };
+        self.entries.push((end, pmax));
+    }
+
+    /// Largest trend-start among trends finished strictly before `t`
+    /// (events with time `<` this threshold are invalid at time `t`).
+    /// `None` when no trend finished before `t`.
+    pub fn threshold_before(&self, t: Time) -> Option<Time> {
+        // Find the last entry with end < t.
+        let idx = self.entries.partition_point(|&(end, _)| end < t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.entries[idx - 1].1)
+        }
+    }
+
+    /// End time of the first finished trend, if any (Case 3: all dependent
+    /// events arriving strictly after this are dropped, Fig. 8(b)).
+    pub fn first_end(&self) -> Option<Time> {
+        self.first_end
+    }
+
+    /// Number of recorded (merged) trend completions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no trend finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_size(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(Time, Time)>()
+    }
+}
+
+/// How a negative child graph constrains its parent (derived from the
+/// previous/following connections of §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DepMode {
+    /// Case 1 `SEQ(Pi, NOT N, Pj)`: invalidation applies to connections
+    /// from `previous`-state events to `following`-state events.
+    Pair {
+        /// `end(Pi)` in the parent template.
+        previous: StateId,
+        /// `start(Pj)` in the parent template.
+        following: StateId,
+    },
+    /// Case 2 `SEQ(Pi, NOT N)`: invalidation applies to **all** parent
+    /// connections and excludes invalid END events from final aggregates at
+    /// window close (Fig. 8(a)).
+    InvalidatePrevious,
+    /// Case 3 `SEQ(NOT N, Pj)`: all parent events arriving strictly after
+    /// the first finished trend are dropped (Fig. 8(b), Example 5).
+    DropFollowing,
+}
+
+impl DepMode {
+    /// Derive the mode from a compiled negative graph spec.
+    pub fn of(spec: &GraphSpec) -> DepMode {
+        match (spec.previous, spec.following) {
+            (Some(previous), Some(following)) => DepMode::Pair {
+                previous,
+                following,
+            },
+            (Some(_), None) => DepMode::InvalidatePrevious,
+            (None, _) => DepMode::DropFollowing,
+        }
+    }
+}
+
+/// A parent graph's view of one negative child.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dependency {
+    /// The child graph producing invalidations.
+    pub child: GraphId,
+    /// How invalidations apply.
+    pub mode: DepMode,
+}
+
+/// Decide whether a candidate predecessor is valid for a connection
+/// `prev_state → next_state` happening at time `now`, given the dependency
+/// list and an accessor for child logs.
+pub fn predecessor_valid<'a>(
+    deps: &[Dependency],
+    logs: impl Fn(GraphId) -> Option<&'a InvalidationLog>,
+    prev_state: StateId,
+    next_state: StateId,
+    pred_time: Time,
+    now: Time,
+) -> bool {
+    for d in deps {
+        let applies = match d.mode {
+            DepMode::Pair {
+                previous,
+                following,
+            } => previous == prev_state && following == next_state,
+            DepMode::InvalidatePrevious => true,
+            DepMode::DropFollowing => false, // handled at insertion
+        };
+        if !applies {
+            continue;
+        }
+        if let Some(log) = logs(d.child) {
+            if let Some(thr) = log.threshold_before(now) {
+                if pred_time < thr {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Decide whether an END vertex still contributes to the final aggregate of
+/// a window closing at `close_time` (Case 2 exclusion).
+pub fn end_event_valid_at_close<'a>(
+    deps: &[Dependency],
+    logs: impl Fn(GraphId) -> Option<&'a InvalidationLog>,
+    vertex_time: Time,
+    close_time: Time,
+) -> bool {
+    for d in deps {
+        if d.mode != DepMode::InvalidatePrevious {
+            continue;
+        }
+        if let Some(log) = logs(d.child) {
+            if let Some(thr) = log.threshold_before(close_time) {
+                if vertex_time < thr {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Decide whether a new event offered to the parent graph at `t` must be
+/// dropped (Case 3).
+pub fn insertion_dropped<'a>(
+    deps: &[Dependency],
+    logs: impl Fn(GraphId) -> Option<&'a InvalidationLog>,
+    t: Time,
+) -> bool {
+    deps.iter().any(|d| {
+        d.mode == DepMode::DropFollowing
+            && logs(d.child)
+                .and_then(InvalidationLog::first_end)
+                .is_some_and(|end| t > end)
+    })
+}
+
+/// Marker for result rows deferred to window close (Case 2 queries).
+pub fn needs_deferred_final(deps: &[Dependency]) -> bool {
+    deps.iter().any(|d| d.mode == DepMode::InvalidatePrevious)
+}
+
+/// Bookkeeping: window ids a deferred-final window scan must cover.
+pub type DeferredWindows = std::collections::BTreeSet<WindowId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_thresholds() {
+        let mut log = InvalidationLog::default();
+        assert_eq!(log.threshold_before(Time(10)), None);
+        log.push(Time(6), Time(5)); // trend (5..6)
+        log.push(Time(9), Time(3)); // trend (3..9) — weaker start
+        assert_eq!(log.threshold_before(Time(6)), None); // strict <
+        assert_eq!(log.threshold_before(Time(7)), Some(Time(5)));
+        assert_eq!(log.threshold_before(Time(10)), Some(Time(5))); // prefix max
+        log.push(Time(12), Time(11));
+        assert_eq!(log.threshold_before(Time(13)), Some(Time(11)));
+        assert_eq!(log.first_end(), Some(Time(6)));
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn log_merges_same_end_time() {
+        let mut log = InvalidationLog::default();
+        log.push(Time(5), Time(2));
+        log.push(Time(5), Time(4));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.threshold_before(Time(6)), Some(Time(4)));
+    }
+
+    #[test]
+    fn dep_mode_derivation() {
+        use greta_query::CompiledQuery;
+        use greta_types::SchemaRegistry;
+        let mut reg = SchemaRegistry::new();
+        for t in ["A", "B", "E"] {
+            reg.register_type(t, &[]).unwrap();
+        }
+        let q = |s: &str| CompiledQuery::parse(s, &reg).unwrap();
+
+        let q1 = q("RETURN COUNT(*) PATTERN SEQ(A+, NOT E, B) WITHIN 10 SLIDE 10");
+        assert!(matches!(
+            DepMode::of(&q1.alternatives[0].graphs[1]),
+            DepMode::Pair { .. }
+        ));
+        let q2 = q("RETURN COUNT(*) PATTERN SEQ(A+, NOT E) WITHIN 10 SLIDE 10");
+        assert_eq!(
+            DepMode::of(&q2.alternatives[0].graphs[1]),
+            DepMode::InvalidatePrevious
+        );
+        let q3 = q("RETURN COUNT(*) PATTERN SEQ(NOT E, A+) WITHIN 10 SLIDE 10");
+        assert_eq!(
+            DepMode::of(&q3.alternatives[0].graphs[1]),
+            DepMode::DropFollowing
+        );
+    }
+
+    #[test]
+    fn predecessor_validity_pair_mode() {
+        let mut log = InvalidationLog::default();
+        log.push(Time(6), Time(5));
+        let deps = vec![Dependency {
+            child: GraphId(1),
+            mode: DepMode::Pair {
+                previous: StateId(0),
+                following: StateId(1),
+            },
+        }];
+        let logs = |g: GraphId| if g == GraphId(1) { Some(&log) } else { None };
+        // Connection A(0)→B(1) at t=7: preds before time 5 invalid.
+        assert!(!predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(4), Time(7)));
+        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(5), Time(7)));
+        // At t=6 (not strictly after end) nothing is invalid.
+        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(4), Time(6)));
+        // Other connections (A→A) unaffected.
+        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(0), Time(4), Time(7)));
+    }
+
+    #[test]
+    fn case2_close_filter_and_case3_drop() {
+        let mut log = InvalidationLog::default();
+        log.push(Time(3), Time(3)); // single-event trend at t=3
+        let deps2 = vec![Dependency {
+            child: GraphId(1),
+            mode: DepMode::InvalidatePrevious,
+        }];
+        let logs = |g: GraphId| if g == GraphId(1) { Some(&log) } else { None };
+        assert!(!end_event_valid_at_close(&deps2, logs, Time(1), Time(10)));
+        assert!(end_event_valid_at_close(&deps2, logs, Time(3), Time(10)));
+        assert!(needs_deferred_final(&deps2));
+
+        let deps3 = vec![Dependency {
+            child: GraphId(1),
+            mode: DepMode::DropFollowing,
+        }];
+        assert!(!insertion_dropped(&deps3, logs, Time(3))); // not strictly after
+        assert!(insertion_dropped(&deps3, logs, Time(4)));
+        assert!(!needs_deferred_final(&deps3));
+    }
+}

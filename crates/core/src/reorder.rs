@@ -1,0 +1,162 @@
+//! Out-of-order arrival adapter.
+//!
+//! The paper assumes in-order streams and points to out-of-order processing
+//! architectures ([17, 18] in §2) for the general case. This module
+//! provides the standard *slack buffer* from that line of work: events are
+//! held for `slack` ticks and released in time-stamp order; anything
+//! arriving later than the already-released watermark is reported as a
+//! [`late event`](ReorderBuffer::push) instead of corrupting the graph.
+
+use greta_types::{Event, Time};
+use std::collections::BTreeMap;
+
+/// Buffering reorderer with a fixed time slack.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer {
+    slack: u64,
+    /// Buffered events keyed by time stamp (stable within a stamp).
+    pending: BTreeMap<Time, Vec<Event>>,
+    /// Highest time stamp already released.
+    released: Option<Time>,
+    /// Count of events dropped for arriving beyond the slack.
+    late: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer that tolerates disorder up to `slack` ticks.
+    pub fn new(slack: u64) -> ReorderBuffer {
+        ReorderBuffer {
+            slack,
+            ..Default::default()
+        }
+    }
+
+    /// Offer an event. Returns the events that became safe to release (in
+    /// time-stamp order), or `Err(event)` when the event arrived later than
+    /// the slack allows (the caller decides whether to drop or divert it).
+    pub fn push(&mut self, e: Event) -> Result<Vec<Event>, Event> {
+        if let Some(r) = self.released {
+            if e.time < r {
+                self.late += 1;
+                return Err(e);
+            }
+        }
+        let t = e.time;
+        self.pending.entry(t).or_default().push(e);
+        // Release everything at least `slack` ticks behind the max seen.
+        let max_seen = *self.pending.keys().next_back().expect("just inserted");
+        let horizon = Time(max_seen.ticks().saturating_sub(self.slack));
+        Ok(self.release_before(horizon))
+    }
+
+    /// Flush all buffered events (stream end).
+    pub fn flush(&mut self) -> Vec<Event> {
+        self.release_before(Time::MAX)
+    }
+
+    fn release_before(&mut self, horizon: Time) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some((&t, _)) = self.pending.iter().next() {
+            if t >= horizon {
+                break;
+            }
+            let batch = self.pending.remove(&t).expect("key exists");
+            self.released = Some(t);
+            out.extend(batch);
+        }
+        out
+    }
+
+    /// Events currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Events rejected as too late so far.
+    pub fn late_events(&self) -> u64 {
+        self.late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::{SchemaRegistry, TypeId};
+
+    fn ev(t: u64) -> Event {
+        Event::new_unchecked(TypeId(0), Time(t), vec![])
+    }
+
+    #[test]
+    fn reorders_within_slack() {
+        let mut buf = ReorderBuffer::new(5);
+        let mut out = Vec::new();
+        for t in [3u64, 1, 2, 9, 7, 12] {
+            out.extend(buf.push(ev(t)).unwrap());
+        }
+        out.extend(buf.flush());
+        let times: Vec<u64> = out.iter().map(|e| e.time.ticks()).collect();
+        assert_eq!(times, vec![1, 2, 3, 7, 9, 12]);
+        assert_eq!(buf.late_events(), 0);
+    }
+
+    #[test]
+    fn late_events_rejected_not_reordered() {
+        let mut buf = ReorderBuffer::new(2);
+        buf.push(ev(10)).unwrap();
+        let released = buf.push(ev(20)).unwrap(); // releases t=10
+        assert_eq!(released.len(), 1);
+        // t=5 is before the released watermark: rejected.
+        let rejected = buf.push(ev(5)).unwrap_err();
+        assert_eq!(rejected.time, Time(5));
+        assert_eq!(buf.late_events(), 1);
+    }
+
+    #[test]
+    fn same_timestamp_preserves_arrival_order() {
+        let mut reg = SchemaRegistry::new();
+        let a = reg.register_type("A", &[]).unwrap();
+        let b = reg.register_type("B", &[]).unwrap();
+        let mut buf = ReorderBuffer::new(0);
+        let e1 = Event::new_unchecked(a, Time(1), vec![]);
+        let e2 = Event::new_unchecked(b, Time(1), vec![]);
+        buf.push(e1.clone()).unwrap();
+        buf.push(e2.clone()).unwrap();
+        let out = buf.flush();
+        assert_eq!(out[0].type_id, a);
+        assert_eq!(out[1].type_id, b);
+    }
+
+    #[test]
+    fn feeds_engine_correctly() {
+        use crate::GretaEngine;
+        use greta_query::CompiledQuery;
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
+            .unwrap();
+        let mut engine = GretaEngine::<u64>::new(q, reg.clone()).unwrap();
+        let mut buf = ReorderBuffer::new(10);
+        let tid = reg.type_id("A").unwrap();
+        for t in [2u64, 1, 4, 3, 5] {
+            for e in buf.push(Event::new_unchecked(tid, Time(t), vec![])).unwrap() {
+                engine.process(&e).unwrap();
+            }
+        }
+        for e in buf.flush() {
+            engine.process(&e).unwrap();
+        }
+        let rows = engine.finish();
+        assert_eq!(rows[0].values[0].to_f64(), 31.0); // 2^5 - 1
+    }
+
+    #[test]
+    fn buffered_count() {
+        let mut buf = ReorderBuffer::new(100);
+        buf.push(ev(1)).unwrap();
+        buf.push(ev(2)).unwrap();
+        assert_eq!(buf.buffered(), 2);
+        buf.flush();
+        assert_eq!(buf.buffered(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Query results: one row per closed window per group (the *Results Hash
+//! Table* of Fig. 11).
+
+use crate::agg::{AggLayout, AggState, TrendNum};
+use crate::grouping::PartitionKey;
+use crate::window::WindowId;
+use greta_query::compile::{AggKind, CompiledAgg};
+use std::fmt;
+
+/// One output aggregate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutValue<N: TrendNum> {
+    /// Exact count/sum in the engine's numeric carrier.
+    Count(N),
+    /// Floating-point value (MIN/MAX/AVG).
+    Float(f64),
+}
+
+impl<N: TrendNum> OutValue<N> {
+    /// Numeric view.
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            OutValue::Count(n) => n.to_f64(),
+            OutValue::Float(f) => *f,
+        }
+    }
+}
+
+impl<N: TrendNum> fmt::Display for OutValue<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutValue::Count(n) => write!(f, "{}", n.display()),
+            OutValue::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// One result row: the aggregates of one group in one closed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult<N: TrendNum> {
+    /// The window.
+    pub window: WindowId,
+    /// The group key (`GROUP-BY` attribute values).
+    pub group: PartitionKey,
+    /// Aggregate values, aligned with the query's `RETURN` aggregates.
+    pub values: Vec<OutValue<N>>,
+}
+
+/// Render a final [`AggState`] into the query's output values.
+pub fn render_aggregates<N: TrendNum>(
+    state: &AggState<N>,
+    aggs: &[CompiledAgg],
+    layout: &AggLayout,
+) -> Vec<OutValue<N>> {
+    aggs.iter()
+        .map(|a| match a.kind {
+            AggKind::CountStar => OutValue::Count(state.count.clone()),
+            AggKind::Count(t) => {
+                let i = layout.count_slot(t).expect("layout covers aggregates");
+                OutValue::Count(state.counts_e[i].clone())
+            }
+            AggKind::Min(t, at) => {
+                let i = layout.min_slot(t, at).expect("layout covers aggregates");
+                OutValue::Float(state.mins[i])
+            }
+            AggKind::Max(t, at) => {
+                let i = layout.max_slot(t, at).expect("layout covers aggregates");
+                OutValue::Float(state.maxs[i])
+            }
+            AggKind::Sum(t, at) => {
+                let i = layout.sum_slot(t, at).expect("layout covers aggregates");
+                OutValue::Count(state.sums[i].clone())
+            }
+            AggKind::Avg(t, at) => {
+                let ci = layout.count_slot(t).expect("layout covers aggregates");
+                let si = layout.sum_slot(t, at).expect("layout covers aggregates");
+                let c = state.counts_e[ci].to_f64();
+                let s = state.sums[si].to_f64();
+                OutValue::Float(if c == 0.0 { f64::NAN } else { s / c })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::{AttrId, Event, Time, TypeId, Value};
+
+    #[test]
+    fn render_all_aggregate_kinds() {
+        let t = TypeId(0);
+        let at = AttrId(0);
+        let aggs = vec![
+            CompiledAgg {
+                label: "COUNT(*)".into(),
+                kind: AggKind::CountStar,
+            },
+            CompiledAgg {
+                label: "COUNT(A)".into(),
+                kind: AggKind::Count(t),
+            },
+            CompiledAgg {
+                label: "MIN".into(),
+                kind: AggKind::Min(t, at),
+            },
+            CompiledAgg {
+                label: "MAX".into(),
+                kind: AggKind::Max(t, at),
+            },
+            CompiledAgg {
+                label: "SUM".into(),
+                kind: AggKind::Sum(t, at),
+            },
+            CompiledAgg {
+                label: "AVG".into(),
+                kind: AggKind::Avg(t, at),
+            },
+        ];
+        let layout = AggLayout::new(&aggs);
+        let mut s = AggState::<u64>::zero(&layout);
+        // Two "trends" of a single event with attr 4 and 6.
+        for v in [4.0, 6.0] {
+            let e = Event::new_unchecked(t, Time(1), vec![Value::Float(v)]);
+            let mut x = AggState::<u64>::zero(&layout);
+            x.apply_own(&e, true, &layout);
+            s.merge(&x);
+        }
+        let vals = render_aggregates(&s, &aggs, &layout);
+        assert_eq!(vals[0].to_f64(), 2.0); // COUNT(*)
+        assert_eq!(vals[1].to_f64(), 2.0); // COUNT(A)
+        assert_eq!(vals[2].to_f64(), 4.0); // MIN
+        assert_eq!(vals[3].to_f64(), 6.0); // MAX
+        assert_eq!(vals[4].to_f64(), 10.0); // SUM
+        assert_eq!(vals[5].to_f64(), 5.0); // AVG
+    }
+
+    #[test]
+    fn avg_of_empty_group_is_nan() {
+        let t = TypeId(0);
+        let at = AttrId(0);
+        let aggs = vec![CompiledAgg {
+            label: "AVG".into(),
+            kind: AggKind::Avg(t, at),
+        }];
+        let layout = AggLayout::new(&aggs);
+        let s = AggState::<u64>::zero(&layout);
+        let vals = render_aggregates(&s, &aggs, &layout);
+        assert!(vals[0].to_f64().is_nan());
+    }
+
+    #[test]
+    fn display_of_values() {
+        assert_eq!(OutValue::<u64>::Count(42).to_string(), "42");
+        assert_eq!(OutValue::<u64>::Float(2.5).to_string(), "2.5");
+    }
+}

@@ -1,0 +1,50 @@
+//! Event-selection semantics (paper §9, Table 1).
+//!
+//! | semantics            | skipped events | # trends    |
+//! |----------------------|----------------|-------------|
+//! | skip-till-any-match  | any            | exponential |
+//! | skip-till-next-match | irrelevant     | polynomial  |
+//! | contiguous           | none           | polynomial  |
+//!
+//! The semantics only changes which previous events count as *adjacent*
+//! (fewer graph edges ⇒ fewer trends); the aggregation calculus is
+//! unchanged (paper §9).
+
+use serde::{Deserialize, Serialize};
+
+/// Which events may be skipped between adjacent trend events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Semantics {
+    /// Detect **all** trends: every compatible previous event is a
+    /// predecessor (the paper's focus; worst-case exponential trend count).
+    #[default]
+    SkipTillAny,
+    /// Skip only events that cannot be matched: per predecessor state, only
+    /// the **latest** compatible event is a predecessor.
+    SkipTillNext,
+    /// Skip nothing: only the immediately preceding event of the partition
+    /// may be a predecessor.
+    Contiguous,
+}
+
+impl Semantics {
+    /// Human-readable name (used by the bench harness output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::SkipTillAny => "skip-till-any-match",
+            Semantics::SkipTillNext => "skip-till-next-match",
+            Semantics::Contiguous => "contiguous",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_skip_till_any() {
+        assert_eq!(Semantics::default(), Semantics::SkipTillAny);
+        assert_eq!(Semantics::SkipTillNext.name(), "skip-till-next-match");
+    }
+}

@@ -1,0 +1,905 @@
+//! Query compilation: AST → [`CompiledQuery`] (the *GRETA configuration* of
+//! Fig. 4).
+//!
+//! Compilation performs, in order: window validation, pattern
+//! simplification + validation (§2), desugaring into disjoint alternatives
+//! (§9), per-alternative location / split (Algorithm 3) / template
+//! construction (Algorithm 1), predicate classification (§6), and name
+//! resolution of aggregates and grouping attributes against the schema
+//! registry.
+
+use crate::ast::{AggFunc, BinOp, Expr, Pattern, QuerySpec, WindowSpec};
+use crate::error::QueryError;
+use crate::pattern::{desugar, simplify, validate};
+use crate::predicate::{
+    linearize_prev, CompiledExpr, EdgePredicate, EventRole, PredicateSet, RangeForm,
+    VertexPredicate,
+};
+use crate::split::{split_pattern, SplitPattern};
+use crate::template::{LPattern, StateId, Template};
+use greta_types::{AttrId, SchemaRegistry, TypeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Id of a GRETA graph within a query plan (0 = positive root; higher ids
+/// are negative sub-patterns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GraphId(pub u16);
+
+/// One GRETA graph to maintain at runtime: a template plus (for negative
+/// sub-patterns) the dependency connections of §5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Graph id within the plan.
+    pub id: GraphId,
+    /// The template (Algorithm 1) of this sub-pattern.
+    pub template: Template,
+    /// Parent graph (None for the positive root).
+    pub parent: Option<GraphId>,
+    /// *Previous* connection: state in the **parent** template whose events
+    /// a finished trend of this graph invalidates (None = Case 3).
+    pub previous: Option<StateId>,
+    /// *Following* connection: state in the parent template whose future
+    /// events invalidated events may no longer connect to (None = Case 2).
+    pub following: Option<StateId>,
+    /// Resolved event type of each state.
+    pub state_types: Vec<(StateId, TypeId)>,
+}
+
+impl GraphSpec {
+    /// Resolved event type of a state.
+    pub fn type_of(&self, s: StateId) -> TypeId {
+        self.state_types
+            .iter()
+            .find(|(id, _)| *id == s)
+            .map(|(_, t)| *t)
+            .expect("state belongs to this graph")
+    }
+
+    /// True for negative sub-pattern graphs.
+    pub fn is_negative(&self) -> bool {
+        self.parent.is_some()
+    }
+}
+
+/// Resolved aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(E)`.
+    Count(TypeId),
+    /// `MIN(E.attr)`.
+    Min(TypeId, AttrId),
+    /// `MAX(E.attr)`.
+    Max(TypeId, AttrId),
+    /// `SUM(E.attr)`.
+    Sum(TypeId, AttrId),
+    /// `AVG(E.attr)` = SUM/COUNT.
+    Avg(TypeId, AttrId),
+}
+
+/// A resolved aggregate with its output label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledAgg {
+    /// Output column label.
+    pub label: String,
+    /// Resolved function.
+    pub kind: AggKind,
+}
+
+/// One desugared alternative: a set of inter-dependent GRETA graphs plus its
+/// predicates. Alternatives have pairwise-disjoint trend sets, so aggregates
+/// combine additively across them (COUNT/SUM add; MIN/MAX fold).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AltPlan {
+    /// Graphs; index 0 is the positive root.
+    pub graphs: Vec<GraphSpec>,
+    /// Compiled predicates.
+    pub predicates: PredicateSet,
+}
+
+impl AltPlan {
+    /// The positive root graph.
+    pub fn root(&self) -> &GraphSpec {
+        &self.graphs[0]
+    }
+
+    /// Children (negative sub-patterns) of a graph.
+    pub fn children_of(&self, g: GraphId) -> impl Iterator<Item = &GraphSpec> {
+        self.graphs.iter().filter(move |s| s.parent == Some(g))
+    }
+}
+
+/// A fully compiled event trend aggregation query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledQuery {
+    /// Disjoint pattern alternatives.
+    pub alternatives: Vec<AltPlan>,
+    /// Resolved aggregates (shared across alternatives).
+    pub aggregates: Vec<CompiledAgg>,
+    /// The window.
+    pub window: WindowSpec,
+    /// `GROUP-BY` attribute names (projection of the partition key that
+    /// identifies an output group).
+    pub group_by: Vec<String>,
+    /// Stream partitioning attributes: `GROUP-BY` + equivalence attributes
+    /// (§6). Events of types lacking some attribute partition on the
+    /// sub-key they do have.
+    pub partition_attrs: Vec<String>,
+}
+
+impl CompiledQuery {
+    /// Compile a parsed query against a schema registry.
+    pub fn compile(spec: &QuerySpec, reg: &SchemaRegistry) -> Result<CompiledQuery, QueryError> {
+        if spec.window.within == 0 || spec.window.slide == 0 {
+            return Err(QueryError::InvalidWindow(
+                "WITHIN and SLIDE durations must be positive".into(),
+            ));
+        }
+        if spec.aggregates.is_empty() {
+            return Err(QueryError::InvalidAggregate(
+                "the RETURN clause needs at least one aggregation function".into(),
+            ));
+        }
+
+        let pattern = simplify(spec.pattern.clone());
+        validate(&pattern)?;
+        let bindings = binding_types(&pattern)?;
+
+        // Resolve aggregates: target is an alias binding or a type name.
+        let mut aggregates = Vec::with_capacity(spec.aggregates.len());
+        for a in &spec.aggregates {
+            aggregates.push(CompiledAgg {
+                label: a.label.clone(),
+                kind: resolve_agg(&a.func, &bindings, reg)?,
+            });
+        }
+
+        // Partition attributes: GROUP-BY first, then equivalence attributes.
+        let mut partition_attrs: Vec<String> = Vec::new();
+        for g in &spec.group_by {
+            push_unique(&mut partition_attrs, g);
+        }
+        if let Some(w) = &spec.where_expr {
+            for conj in w.conjuncts() {
+                if let Expr::Equiv(attrs) = conj {
+                    for ea in attrs {
+                        // Validate qualification.
+                        if let Some(target) = &ea.target {
+                            let ty = bindings.get(target.as_str()).ok_or_else(|| {
+                                QueryError::InvalidPredicate(format!(
+                                    "equivalence attribute `{target}.{}` references unknown alias/type",
+                                    ea.attr
+                                ))
+                            })?;
+                            reg.attr_id(ty, &ea.attr)?;
+                        }
+                        push_unique(&mut partition_attrs, &ea.attr);
+                    }
+                }
+            }
+        }
+        // Each partition attribute must exist on at least one pattern type.
+        for attr in &partition_attrs {
+            let found = bindings
+                .values()
+                .any(|ty| reg.type_id(ty).is_ok_and(|t| reg.schema(t).attr(attr).is_some()));
+            if !found {
+                return Err(QueryError::InvalidPredicate(format!(
+                    "partition attribute `{attr}` exists on no pattern event type"
+                )));
+            }
+        }
+        // RETURN plain attributes must be grouping attributes (Def. 2).
+        for r in &spec.return_attrs {
+            if !spec.group_by.contains(r) {
+                return Err(QueryError::InvalidAggregate(format!(
+                    "RETURN attribute `{r}` is not a GROUP-BY attribute"
+                )));
+            }
+        }
+
+        let mut alternatives = Vec::new();
+        for alt in desugar(&pattern)? {
+            let lp = LPattern::locate(&alt)?;
+            let split = split_pattern(&lp)?;
+            let graphs = flatten_graphs(&split, reg)?;
+            let predicates = compile_predicates(
+                spec.where_expr.as_ref(),
+                &graphs,
+                &partition_attrs,
+                reg,
+            )?;
+            alternatives.push(AltPlan { graphs, predicates });
+        }
+
+        Ok(CompiledQuery {
+            alternatives,
+            aggregates,
+            window: spec.window,
+            group_by: spec.group_by.clone(),
+            partition_attrs,
+        })
+    }
+
+    /// Human-readable plan description (EXPLAIN-style): one block per
+    /// alternative with its graph tree, templates, predicates and window.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "window: WITHIN {} SLIDE {} (k = {} windows/event)",
+            self.window.within,
+            self.window.slide,
+            self.window.windows_per_event()
+        )
+        .unwrap();
+        if !self.group_by.is_empty() {
+            writeln!(out, "group by: {}", self.group_by.join(", ")).unwrap();
+        }
+        if !self.partition_attrs.is_empty() {
+            writeln!(out, "partition by: {}", self.partition_attrs.join(", ")).unwrap();
+        }
+        writeln!(
+            out,
+            "aggregates: {}",
+            self.aggregates
+                .iter()
+                .map(|a| a.label.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+        .unwrap();
+        for (i, alt) in self.alternatives.iter().enumerate() {
+            writeln!(out, "alternative {i}:").unwrap();
+            for g in &alt.graphs {
+                let role = match (&g.parent, &g.previous, &g.following) {
+                    (None, _, _) => "positive root".to_string(),
+                    (Some(p), Some(_), Some(_)) => format!("negative (case 1) under graph {}", p.0),
+                    (Some(p), Some(_), None) => format!("negative (case 2) under graph {}", p.0),
+                    (Some(p), None, _) => format!("negative (case 3) under graph {}", p.0),
+                };
+                let states: Vec<String> = g
+                    .template
+                    .states
+                    .iter()
+                    .map(|s| {
+                        let mut tags = String::new();
+                        if g.template.is_start(s.occ) {
+                            tags.push_str(" START");
+                        }
+                        if g.template.is_end(s.occ) {
+                            tags.push_str(" END");
+                        }
+                        format!("{}{}", s.binding, tags)
+                    })
+                    .collect();
+                writeln!(out, "  graph {} [{}]: states {{{}}}", g.id.0, role, states.join(", "))
+                    .unwrap();
+            }
+            writeln!(
+                out,
+                "  predicates: {} vertex, {} edge ({} range-indexable)",
+                alt.predicates.vertex.len(),
+                alt.predicates.edges.len(),
+                alt.predicates.edges.iter().filter(|e| e.range.is_some()).count()
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// Parse + compile in one step.
+    ///
+    /// ```
+    /// use greta_types::SchemaRegistry;
+    /// use greta_query::CompiledQuery;
+    /// let mut reg = SchemaRegistry::new();
+    /// reg.register_type("Stock", &["price", "company", "sector"]).unwrap();
+    /// let q = CompiledQuery::parse(
+    ///     "RETURN sector, COUNT(*) PATTERN Stock S+ \
+    ///      WHERE [company, sector] AND S.price > NEXT(S).price \
+    ///      GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds",
+    ///     &reg,
+    /// ).unwrap();
+    /// assert_eq!(q.alternatives.len(), 1);
+    /// assert_eq!(q.partition_attrs, vec!["sector", "company"]);
+    /// ```
+    pub fn parse(text: &str, reg: &SchemaRegistry) -> Result<CompiledQuery, QueryError> {
+        let spec = crate::parser::parse_query(text)?;
+        Self::compile(&spec, reg)
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// Map of binding (alias or type name) → type name, over the whole pattern.
+fn binding_types(p: &Pattern) -> Result<HashMap<String, String>, QueryError> {
+    let mut map: HashMap<String, String> = HashMap::new();
+    for (ty, binding) in p.leaves() {
+        if let Some(prev) = map.get(binding) {
+            if prev != ty {
+                return Err(QueryError::InvalidPattern(format!(
+                    "alias `{binding}` is bound to both `{prev}` and `{ty}`"
+                )));
+            }
+        } else {
+            map.insert(binding.to_string(), ty.to_string());
+        }
+        // The bare type name also resolves to itself.
+        map.entry(ty.to_string()).or_insert_with(|| ty.to_string());
+    }
+    Ok(map)
+}
+
+fn resolve_agg(
+    f: &AggFunc,
+    bindings: &HashMap<String, String>,
+    reg: &SchemaRegistry,
+) -> Result<AggKind, QueryError> {
+    let resolve_ty = |target: &str| -> Result<TypeId, QueryError> {
+        let ty_name = bindings.get(target).map(String::as_str).unwrap_or(target);
+        Ok(reg.type_id(ty_name)?)
+    };
+    Ok(match f {
+        AggFunc::CountStar => AggKind::CountStar,
+        AggFunc::Count(t) => AggKind::Count(resolve_ty(t)?),
+        AggFunc::Min(t, a) | AggFunc::Max(t, a) | AggFunc::Sum(t, a) | AggFunc::Avg(t, a) => {
+            let tid = resolve_ty(t)?;
+            let schema = reg.schema(tid);
+            let aid = schema
+                .attr(a)
+                .ok_or_else(|| greta_types::TypeError::UnknownAttr {
+                    ty: schema.name.clone(),
+                    attr: a.clone(),
+                })?;
+            match f {
+                AggFunc::Min(..) => AggKind::Min(tid, aid),
+                AggFunc::Max(..) => AggKind::Max(tid, aid),
+                AggFunc::Sum(..) => AggKind::Sum(tid, aid),
+                AggFunc::Avg(..) => AggKind::Avg(tid, aid),
+                _ => unreachable!(),
+            }
+        }
+    })
+}
+
+/// Flatten the split tree into a graph list (root first, BFS), resolving
+/// state types.
+fn flatten_graphs(
+    split: &SplitPattern,
+    reg: &SchemaRegistry,
+) -> Result<Vec<GraphSpec>, QueryError> {
+    let mut graphs = Vec::new();
+    flatten_into(split, None, None, None, reg, &mut graphs)?;
+    Ok(graphs)
+}
+
+fn flatten_into(
+    split: &SplitPattern,
+    parent: Option<GraphId>,
+    previous: Option<StateId>,
+    following: Option<StateId>,
+    reg: &SchemaRegistry,
+    out: &mut Vec<GraphSpec>,
+) -> Result<(), QueryError> {
+    let template = Template::build(&split.positive)?;
+    let mut state_types = Vec::with_capacity(template.states.len());
+    for s in &template.states {
+        state_types.push((s.occ, reg.type_id(&s.type_name)?));
+    }
+    let id = GraphId(out.len() as u16);
+    out.push(GraphSpec {
+        id,
+        template,
+        parent,
+        previous,
+        following,
+        state_types,
+    });
+    for neg in &split.negatives {
+        flatten_into(&neg.split, Some(id), neg.previous, neg.following, reg, out)?;
+    }
+    Ok(())
+}
+
+/// Where (graph, state) a binding occurs.
+type BindingSites = HashMap<String, Vec<(GraphId, StateId, TypeId)>>;
+
+fn binding_sites(graphs: &[GraphSpec]) -> BindingSites {
+    let mut map: BindingSites = HashMap::new();
+    for g in graphs {
+        for s in &g.template.states {
+            let tid = g.type_of(s.occ);
+            map.entry(s.binding.clone())
+                .or_default()
+                .push((g.id, s.occ, tid));
+            if s.binding != s.type_name {
+                map.entry(s.type_name.clone())
+                    .or_default()
+                    .push((g.id, s.occ, tid));
+            }
+        }
+    }
+    map
+}
+
+fn compile_predicates(
+    where_expr: Option<&Expr>,
+    graphs: &[GraphSpec],
+    partition_attrs: &[String],
+    reg: &SchemaRegistry,
+) -> Result<PredicateSet, QueryError> {
+    let mut set = PredicateSet {
+        partition_attrs: partition_attrs.to_vec(),
+        ..Default::default()
+    };
+    let Some(w) = where_expr else { return Ok(set) };
+    let sites = binding_sites(graphs);
+
+    for conj in w.conjuncts() {
+        match conj {
+            Expr::Equiv(_) => {} // already folded into partition_attrs
+            e if e.uses_next() => compile_edge(e, &sites, reg, &mut set)?,
+            e => compile_vertex(e, &sites, reg, &mut set)?,
+        }
+    }
+    Ok(set)
+}
+
+fn single_target(targets: Vec<&str>, what: &str) -> Result<Option<String>, QueryError> {
+    let mut t: Option<&str> = None;
+    for x in targets {
+        match t {
+            None => t = Some(x),
+            Some(prev) if prev == x => {}
+            Some(prev) => {
+                return Err(QueryError::InvalidPredicate(format!(
+                    "a single predicate may reference one {what} event, found `{prev}` and `{x}`"
+                )))
+            }
+        }
+    }
+    Ok(t.map(str::to_string))
+}
+
+fn compile_vertex(
+    e: &Expr,
+    sites: &BindingSites,
+    reg: &SchemaRegistry,
+    set: &mut PredicateSet,
+) -> Result<(), QueryError> {
+    let target = single_target(e.plain_targets(), "subject")?.ok_or_else(|| {
+        QueryError::InvalidPredicate(format!("predicate references no event attribute: {e:?}"))
+    })?;
+    let Some(states) = sites.get(&target) else {
+        // Target absent from this alternative (dropped by desugaring).
+        return Ok(());
+    };
+    for (_, state, tid) in states {
+        let expr = compile_expr(e, reg, *tid, *tid)?;
+        set.vertex.push(VertexPredicate {
+            state: *state,
+            expr,
+        });
+    }
+    Ok(())
+}
+
+fn compile_edge(
+    e: &Expr,
+    sites: &BindingSites,
+    reg: &SchemaRegistry,
+    set: &mut PredicateSet,
+) -> Result<(), QueryError> {
+    let prev_b = single_target(e.plain_targets(), "previous")?;
+    let next_b = single_target(e.next_targets(), "next")?.expect("uses_next checked");
+    let prev_b = prev_b.ok_or_else(|| {
+        QueryError::InvalidPredicate(
+            "edge predicate must reference an attribute of the previous event".into(),
+        )
+    })?;
+    let (Some(prev_sites), Some(next_sites)) = (sites.get(&prev_b), sites.get(&next_b)) else {
+        return Ok(()); // binding absent from this alternative
+    };
+    for (pg, ps, pt) in prev_sites {
+        for (ng, ns, nt) in next_sites {
+            if pg != ng {
+                continue; // edges never cross graphs
+            }
+            let expr = compile_expr(e, reg, *pt, *nt)?;
+            let range = extract_range(&expr);
+            set.edges.push(EdgePredicate {
+                prev_state: *ps,
+                next_state: *ns,
+                expr,
+                range,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolve an AST expression to a [`CompiledExpr`]: plain `E.attr` reads the
+/// previous event (role `Prev`), `NEXT(E).attr` the next/current event.
+/// For vertex predicates `prev_ty == next_ty` and plain refs become `Prev`,
+/// which the caller rewrites — see below.
+fn compile_expr(
+    e: &Expr,
+    reg: &SchemaRegistry,
+    prev_ty: TypeId,
+    next_ty: TypeId,
+) -> Result<CompiledExpr, QueryError> {
+    let compiled = compile_expr_inner(e, reg, prev_ty, next_ty)?;
+    // Vertex predicates (no NEXT refs): rewrite Prev → Cur so evaluation
+    // reads the single event under test.
+    if !e.uses_next() {
+        Ok(rewrite_prev_to_cur(compiled))
+    } else {
+        Ok(compiled)
+    }
+}
+
+fn rewrite_prev_to_cur(e: CompiledExpr) -> CompiledExpr {
+    match e {
+        CompiledExpr::Attr(EventRole::Prev, a) => CompiledExpr::Attr(EventRole::Cur, a),
+        CompiledExpr::Bin { op, lhs, rhs } => CompiledExpr::Bin {
+            op,
+            lhs: Box::new(rewrite_prev_to_cur(*lhs)),
+            rhs: Box::new(rewrite_prev_to_cur(*rhs)),
+        },
+        other => other,
+    }
+}
+
+fn compile_expr_inner(
+    e: &Expr,
+    reg: &SchemaRegistry,
+    prev_ty: TypeId,
+    next_ty: TypeId,
+) -> Result<CompiledExpr, QueryError> {
+    use greta_types::Value;
+    Ok(match e {
+        Expr::Int(i) => CompiledExpr::Const(Value::Int(*i)),
+        Expr::Float(f) => CompiledExpr::Const(Value::Float(*f)),
+        Expr::Str(s) => CompiledExpr::Const(Value::from(s.as_str())),
+        Expr::Bool(b) => CompiledExpr::Const(Value::Bool(*b)),
+        Expr::Attr { attr, .. } => {
+            let schema = reg.schema(prev_ty);
+            let aid = schema
+                .attr(attr)
+                .ok_or_else(|| greta_types::TypeError::UnknownAttr {
+                    ty: schema.name.clone(),
+                    attr: attr.clone(),
+                })?;
+            CompiledExpr::Attr(EventRole::Prev, aid)
+        }
+        Expr::NextAttr { attr, .. } => {
+            let schema = reg.schema(next_ty);
+            let aid = schema
+                .attr(attr)
+                .ok_or_else(|| greta_types::TypeError::UnknownAttr {
+                    ty: schema.name.clone(),
+                    attr: attr.clone(),
+                })?;
+            CompiledExpr::Attr(EventRole::Cur, aid)
+        }
+        Expr::Bin { op, lhs, rhs } => CompiledExpr::Bin {
+            op: *op,
+            lhs: Box::new(compile_expr_inner(lhs, reg, prev_ty, next_ty)?),
+            rhs: Box::new(compile_expr_inner(rhs, reg, prev_ty, next_ty)?),
+        },
+        Expr::Equiv(_) => {
+            return Err(QueryError::InvalidPredicate(
+                "equivalence predicates may only appear as top-level conjuncts".into(),
+            ))
+        }
+    })
+}
+
+/// Extract a [`RangeForm`] from a comparison that is linear in one prev
+/// attribute on one side and next-only on the other.
+fn extract_range(e: &CompiledExpr) -> Option<RangeForm> {
+    let CompiledExpr::Bin {
+        op: BinOp::Cmp(op),
+        lhs,
+        rhs,
+    } = e
+    else {
+        return None;
+    };
+    let lhs_prev = lhs.uses_role(EventRole::Prev);
+    let rhs_prev = rhs.uses_role(EventRole::Prev);
+    let (prev_side, next_side, op) = match (lhs_prev, rhs_prev) {
+        (true, false) if !lhs.uses_role(EventRole::Cur) => (lhs, rhs, *op),
+        (false, true) if !rhs.uses_role(EventRole::Cur) => (rhs, lhs, op.flip()),
+        _ => return None,
+    };
+    let (prev_attr, scale, shift) = linearize_prev(prev_side)?;
+    if scale == 0.0 {
+        return None;
+    }
+    Some(RangeForm {
+        prev_attr,
+        op,
+        bound_expr: (**next_side).clone(),
+        scale,
+        shift,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use greta_types::SchemaRegistry;
+
+    fn stock_registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Stock", &["price", "volume", "company", "sector"])
+            .unwrap();
+        reg
+    }
+
+    fn abc_registry() -> SchemaRegistry {
+        let mut reg = SchemaRegistry::new();
+        for t in ["A", "B", "C", "D", "E"] {
+            reg.register_type(t, &["attr"]).unwrap();
+        }
+        reg
+    }
+
+    #[test]
+    fn compile_q1() {
+        let reg = stock_registry();
+        let q = CompiledQuery::parse(
+            "RETURN sector, COUNT(*) PATTERN Stock S+ \
+             WHERE [company, sector] AND S.price > NEXT(S).price \
+             GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds",
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(q.alternatives.len(), 1);
+        let alt = &q.alternatives[0];
+        assert_eq!(alt.graphs.len(), 1);
+        assert_eq!(alt.graphs[0].template.states.len(), 1);
+        assert_eq!(q.partition_attrs, vec!["sector", "company"]);
+        assert_eq!(q.group_by, vec!["sector"]);
+        // One edge predicate S→S with a range form (prev.price > next.price).
+        assert_eq!(alt.predicates.edges.len(), 1);
+        let ep = &alt.predicates.edges[0];
+        let rf = ep.range.as_ref().unwrap();
+        assert_eq!(rf.op, CmpOp::Gt);
+        assert_eq!(rf.scale, 1.0);
+    }
+
+    #[test]
+    fn compile_q1_variation_with_factor() {
+        let reg = stock_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN Stock S+ \
+             WHERE S.price * 1.05 < NEXT(S).price \
+             WITHIN 600 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        let rf = q.alternatives[0].predicates.edges[0]
+            .range
+            .as_ref()
+            .unwrap();
+        assert_eq!(rf.op, CmpOp::Lt);
+        assert!((rf.scale - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compile_nested_negation_graph_tree() {
+        let reg = abc_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ \
+             WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let alt = &q.alternatives[0];
+        assert_eq!(alt.graphs.len(), 3);
+        let root = &alt.graphs[0];
+        assert!(root.parent.is_none());
+        let cd = &alt.graphs[1];
+        assert_eq!(cd.parent, Some(GraphId(0)));
+        assert!(cd.previous.is_some() && cd.following.is_some());
+        let e = &alt.graphs[2];
+        assert_eq!(e.parent, Some(GraphId(1)));
+        assert_eq!(alt.children_of(GraphId(0)).count(), 1);
+        assert_eq!(alt.children_of(GraphId(1)).count(), 1);
+    }
+
+    #[test]
+    fn compile_star_produces_alternatives() {
+        let reg = abc_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A*, B) WITHIN 10 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(q.alternatives.len(), 2);
+        // Second alternative is just B; its graphs have one state and the
+        // A-predicates (none here) are dropped.
+        assert_eq!(q.alternatives[1].graphs[0].template.states.len(), 1);
+    }
+
+    #[test]
+    fn aggregates_resolve_via_alias_or_type() {
+        let reg = stock_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(S), MIN(S.price), AVG(Stock.volume) \
+             PATTERN Stock S+ WITHIN 10 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        let tid = reg.type_id("Stock").unwrap();
+        assert_eq!(q.aggregates[0].kind, AggKind::Count(tid));
+        assert!(matches!(q.aggregates[1].kind, AggKind::Min(t, _) if t == tid));
+        assert!(matches!(q.aggregates[2].kind, AggKind::Avg(t, a) if t == tid && a.0 == 1));
+    }
+
+    #[test]
+    fn rejects_bad_windows_and_aggregates() {
+        let reg = stock_registry();
+        assert!(matches!(
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN Stock S+ WITHIN 0 SLIDE 10", &reg),
+            Err(QueryError::InvalidWindow(_))
+        ));
+        assert!(matches!(
+            CompiledQuery::parse("RETURN sector PATTERN Stock S+ WITHIN 10 SLIDE 10", &reg),
+            Err(QueryError::InvalidAggregate(_))
+        ));
+        // RETURN attr not grouped
+        assert!(matches!(
+            CompiledQuery::parse(
+                "RETURN company, COUNT(*) PATTERN Stock S+ GROUP-BY sector WITHIN 10 SLIDE 10",
+                &reg
+            ),
+            Err(QueryError::InvalidAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let reg = stock_registry();
+        assert!(CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN Bond B+ WITHIN 10 SLIDE 10",
+            &reg
+        )
+        .is_err());
+        assert!(CompiledQuery::parse(
+            "RETURN MIN(S.nope) PATTERN Stock S+ WITHIN 10 SLIDE 10",
+            &reg
+        )
+        .is_err());
+        assert!(CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN Stock S+ WHERE [nope] WITHIN 10 SLIDE 10",
+            &reg
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_conflicting_alias() {
+        let reg = abc_registry();
+        let err = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A X, B X) WITHIN 10 SLIDE 10",
+            &reg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidPattern(_)));
+    }
+
+    #[test]
+    fn edge_predicates_never_cross_graphs() {
+        // Predicate on the negative type E compiles into the E graph only;
+        // the A-predicate stays in the root graph.
+        let reg = abc_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A+, NOT SEQ(C, D), B) \
+             WHERE A.attr < NEXT(A).attr AND C.attr < NEXT(D).attr \
+             WITHIN 10 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        let alt = &q.alternatives[0];
+        // A→A edge pred in root; C→D edge pred in the negative graph.
+        let root_states: Vec<StateId> =
+            alt.graphs[0].template.states.iter().map(|s| s.occ).collect();
+        let neg_states: Vec<StateId> =
+            alt.graphs[1].template.states.iter().map(|s| s.occ).collect();
+        assert_eq!(alt.predicates.edges.len(), 2);
+        for e in &alt.predicates.edges {
+            let in_root =
+                root_states.contains(&e.prev_state) && root_states.contains(&e.next_state);
+            let in_neg = neg_states.contains(&e.prev_state) && neg_states.contains(&e.next_state);
+            assert!(in_root || in_neg);
+        }
+    }
+
+    #[test]
+    fn vertex_predicate_attached_to_state() {
+        let reg = stock_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN Stock S+ WHERE S.volume > 100 WITHIN 10 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        let alt = &q.alternatives[0];
+        assert_eq!(alt.predicates.vertex.len(), 1);
+        assert!(alt.predicates.edges.is_empty());
+    }
+
+    #[test]
+    fn describe_summarizes_the_plan() {
+        let reg = abc_registry();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN (SEQ(A+, NOT SEQ(C, NOT E, D), B))+ \
+             WHERE A.attr < NEXT(A).attr WITHIN 100 SLIDE 10",
+            &reg,
+        )
+        .unwrap();
+        let d = q.describe();
+        assert!(d.contains("positive root"), "{d}");
+        assert!(d.contains("negative (case 1)"), "{d}");
+        assert!(d.contains("k = 10"), "{d}");
+        assert!(d.contains("1 range-indexable"), "{d}");
+        assert!(d.contains("A START"), "{d}");
+        assert!(d.contains("B END"), "{d}");
+    }
+
+    #[test]
+    fn query_q2_compiles_end_to_end() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Start", &["job", "mapper"]).unwrap();
+        reg.register_type("Measurement", &["job", "mapper", "cpu", "load"])
+            .unwrap();
+        reg.register_type("End", &["job", "mapper"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN mapper, SUM(M.cpu) \
+             PATTERN SEQ(Start S, Measurement M+, End E) \
+             WHERE [job, mapper] AND M.load < NEXT(M).load \
+             GROUP-BY mapper WITHIN 1 minute SLIDE 30 seconds",
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(q.partition_attrs, vec!["mapper", "job"]);
+        let alt = &q.alternatives[0];
+        assert_eq!(alt.graphs[0].template.states.len(), 3);
+        assert_eq!(alt.predicates.edges.len(), 1); // M→M only
+    }
+
+    #[test]
+    fn query_q3_compiles_end_to_end() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Accident", &["segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment", "speed"])
+            .unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN segment, COUNT(*), AVG(P.speed) \
+             PATTERN SEQ(NOT Accident A, Position P+) \
+             WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed \
+             GROUP-BY segment WITHIN 5 minutes SLIDE 1 minute",
+            &reg,
+        )
+        .unwrap();
+        let alt = &q.alternatives[0];
+        assert_eq!(alt.graphs.len(), 2);
+        let neg = &alt.graphs[1];
+        assert_eq!(neg.previous, None); // Case 3: leading negation
+        assert!(neg.following.is_some());
+        assert_eq!(q.partition_attrs, vec!["segment", "vehicle"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors for query parsing, validation and compilation.
+
+use greta_types::TypeError;
+use std::fmt;
+
+/// Any error raised while turning query text into a [`crate::CompiledQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error with byte position.
+    Lex {
+        /// Byte offset in the query text.
+        pos: usize,
+        /// Description of the unexpected input.
+        msg: String,
+    },
+    /// Parse error.
+    Parse {
+        /// Byte offset in the query text.
+        pos: usize,
+        /// What the parser expected / found.
+        msg: String,
+    },
+    /// Pattern violates the well-formedness rules of paper §2.
+    InvalidPattern(String),
+    /// A predicate is malformed or references unknown names.
+    InvalidPredicate(String),
+    /// Window specification invalid (zero durations, slide > within, …).
+    InvalidWindow(String),
+    /// Aggregate specification invalid.
+    InvalidAggregate(String),
+    /// Name resolution against the schema registry failed.
+    Type(TypeError),
+    /// Feature intentionally out of scope, with pointer to the paper section.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            QueryError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            QueryError::InvalidPattern(m) => write!(f, "invalid pattern: {m}"),
+            QueryError::InvalidPredicate(m) => write!(f, "invalid predicate: {m}"),
+            QueryError::InvalidWindow(m) => write!(f, "invalid window: {m}"),
+            QueryError::InvalidAggregate(m) => write!(f, "invalid aggregate: {m}"),
+            QueryError::Type(e) => write!(f, "type error: {e}"),
+            QueryError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<TypeError> for QueryError {
+    fn from(e: TypeError) -> Self {
+        QueryError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = QueryError::Parse {
+            pos: 17,
+            msg: "expected PATTERN".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("PATTERN"));
+    }
+
+    #[test]
+    fn type_error_wraps() {
+        let e: QueryError = TypeError::UnknownType("X".into()).into();
+        assert!(e.to_string().contains('X'));
+    }
+}

@@ -1,0 +1,256 @@
+//! Hand-written lexer for the query language of paper Fig. 2.
+
+use crate::error::QueryError;
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased; see [`KEYWORDS`]).
+    Keyword(&'static str),
+    /// Identifier (type names, aliases, attributes, time units).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words, matched case-insensitively.
+pub const KEYWORDS: &[&str] = &[
+    "RETURN", "PATTERN", "WHERE", "GROUP-BY", "WITHIN", "SLIDE", "SEQ", "NOT", "AND", "OR",
+    "NEXT", "COUNT", "MIN", "MAX", "SUM", "AVG", "TRUE", "FALSE",
+];
+
+const SYMBOLS: &[&str] = &[
+    "<=", ">=", "!=", "(", ")", "[", "]", ",", ".", "+", "-", "*", "/", "%", "=", "<", ">", "?",
+];
+
+/// Tokenize the full input.
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Identifiers / keywords (GROUP-BY contains a hyphen, handled below).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let mut word = input[start..i].to_string();
+            // GROUP-BY: ident "GROUP" + '-' + "BY"
+            if word.eq_ignore_ascii_case("group")
+                && bytes.get(i) == Some(&b'-')
+                && input[i + 1..].to_ascii_uppercase().starts_with("BY")
+            {
+                i += 3;
+                word = "GROUP-BY".to_string();
+            }
+            let upper = word.to_ascii_uppercase();
+            if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == upper) {
+                toks.push(Token {
+                    kind: TokenKind::Keyword(kw),
+                    pos: start,
+                });
+            } else {
+                toks.push(Token {
+                    kind: TokenKind::Ident(word),
+                    pos: start,
+                });
+            }
+            continue;
+        }
+        // Numbers: integer or float (digits, optional fraction).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &input[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| QueryError::Lex {
+                    pos: start,
+                    msg: format!("bad float literal `{text}`"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| QueryError::Lex {
+                    pos: start,
+                    msg: format!("bad integer literal `{text}`"),
+                })?)
+            };
+            toks.push(Token { kind, pos: start });
+            continue;
+        }
+        // String literal: '...'
+        if c == '\'' {
+            let start = i;
+            i += 1;
+            let str_start = i;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(QueryError::Lex {
+                    pos: start,
+                    msg: "unterminated string literal".into(),
+                });
+            }
+            toks.push(Token {
+                kind: TokenKind::Str(input[str_start..i].to_string()),
+                pos: start,
+            });
+            i += 1;
+            continue;
+        }
+        // Symbols, longest match first.
+        let rest = &input[i..];
+        match SYMBOLS.iter().find(|&&s| rest.starts_with(s)) {
+            Some(&sym) => {
+                toks.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    pos: i,
+                });
+                i += sym.len();
+            }
+            None => {
+                return Err(QueryError::Lex {
+                    pos: i,
+                    msg: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("return PATTERN Where"),
+            vec![
+                TokenKind::Keyword("RETURN"),
+                TokenKind::Keyword("PATTERN"),
+                TokenKind::Keyword("WHERE"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_is_one_keyword() {
+        assert_eq!(
+            kinds("GROUP-BY sector"),
+            vec![
+                TokenKind::Keyword("GROUP-BY"),
+                TokenKind::Ident("sector".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("10 1.05"),
+            vec![TokenKind::Int(10), TokenKind::Float(1.05), TokenKind::Eof]
+        );
+        // `10.minutes` must not lex 10. as a float
+        assert_eq!(
+            kinds("10.x"),
+            vec![
+                TokenKind::Int(10),
+                TokenKind::Sym("."),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn symbols_longest_match() {
+        assert_eq!(
+            kinds("< <= >= != ="),
+            vec![
+                TokenKind::Sym("<"),
+                TokenKind::Sym("<="),
+                TokenKind::Sym(">="),
+                TokenKind::Sym("!="),
+                TokenKind::Sym("="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds("'IBM'"),
+            vec![TokenKind::Str("IBM".into()), TokenKind::Eof]
+        );
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn full_query_q1_lexes() {
+        let q = "RETURN sector, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company, sector] AND S.price > NEXT(S).price \
+                 GROUP-BY sector WITHIN 10 minutes SLIDE 10 seconds";
+        let toks = lex(q).unwrap();
+        assert!(toks.len() > 20);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn error_position() {
+        let err = lex("RETURN ~").unwrap_err();
+        match err {
+            QueryError::Lex { pos, .. } => assert_eq!(pos, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # greta-query
+//!
+//! The compile-time half of GRETA (the *GRETA Query Analyzer* of Fig. 4).
+//!
+//! Pipeline:
+//!
+//! ```text
+//!  query text ──lexer/parser──▶ QuerySpec (AST, Fig. 2 grammar)
+//!      │                            │ normalize (desugar *, ?; §9)
+//!      ▼                            ▼
+//!  builder API ───────────▶ located pattern (unique StateIds per type occurrence)
+//!                                   │ split (Algorithm 3, §5.1)
+//!                                   ▼
+//!                        positive + negative sub-patterns
+//!                                   │ template (Algorithm 1, §4.1)
+//!                                   ▼
+//!                     CompiledQuery { GraphSpec*, predicates, windows, … }
+//! ```
+//!
+//! The runtime half lives in `greta-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pattern;
+pub mod predicate;
+pub mod split;
+pub mod template;
+
+pub use ast::{AggFunc, AggSpec, BinOp, CmpOp, Expr, Pattern, QuerySpec, WindowSpec};
+pub use compile::{CompiledQuery, GraphId, GraphSpec};
+pub use error::QueryError;
+pub use parser::parse_query;
+pub use predicate::{CompiledExpr, EdgePredicate, EventRole, PredicateSet, VertexPredicate};
+pub use split::{split_pattern, SplitPattern};
+pub use template::{StateId, Template, TransKind};

@@ -1,0 +1,69 @@
+//! Errors raised by the data-model layer.
+
+use std::fmt;
+
+/// Schema/typing errors (unknown types, unknown attributes, arity mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// The named event type is not registered.
+    UnknownType(String),
+    /// The named attribute does not exist on the given event type.
+    UnknownAttr {
+        /// Event type name.
+        ty: String,
+        /// Attribute name that failed to resolve.
+        attr: String,
+    },
+    /// An event was built with the wrong number of attribute values.
+    ArityMismatch {
+        /// Event type name.
+        ty: String,
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// An event type name was registered twice with different schemas.
+    DuplicateType(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownType(t) => write!(f, "unknown event type `{t}`"),
+            TypeError::UnknownAttr { ty, attr } => {
+                write!(f, "event type `{ty}` has no attribute `{attr}`")
+            }
+            TypeError::ArityMismatch { ty, expected, got } => write!(
+                f,
+                "event of type `{ty}` built with {got} attribute values, schema declares {expected}"
+            ),
+            TypeError::DuplicateType(t) => {
+                write!(f, "event type `{t}` registered twice with different schemas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = TypeError::UnknownAttr {
+            ty: "Stock".into(),
+            attr: "pricee".into(),
+        };
+        assert!(e.to_string().contains("Stock"));
+        assert!(e.to_string().contains("pricee"));
+        let e = TypeError::ArityMismatch {
+            ty: "Stock".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Event types and schemas (paper §2: "an event belongs to a particular
+//! event type E ... described by a schema which specifies the set of event
+//! attributes").
+//!
+//! Type and attribute names are interned into dense ids ([`TypeId`],
+//! [`AttrId`]) at registration time so the hot path (graph construction,
+//! predicate evaluation) never touches strings.
+
+use crate::error::TypeError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense id of a registered event type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TypeId(pub u16);
+
+/// Index of an attribute within its event type's schema.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AttrId(pub u16);
+
+/// Schema of one event type: its name and ordered attribute names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Event type name as written in queries (e.g. `Stock`).
+    pub name: String,
+    /// Attribute names, in storage order.
+    pub attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from a type name and attribute names.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> Self {
+        Schema {
+            name: name.into(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Look up an attribute index by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u16))
+    }
+}
+
+/// Registry interning event types for a stream / query session.
+///
+/// Registration is idempotent: re-registering an identical schema returns
+/// the existing id; re-registering the same name with a *different* schema
+/// is an error ([`TypeError::DuplicateType`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    schemas: Vec<Schema>,
+    #[serde(skip)]
+    by_name: HashMap<String, TypeId>,
+}
+
+impl SchemaRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a schema, returning its dense id.
+    pub fn register(&mut self, schema: Schema) -> Result<TypeId, TypeError> {
+        if let Some(&id) = self.by_name.get(&schema.name) {
+            if self.schemas[id.0 as usize] == schema {
+                return Ok(id);
+            }
+            return Err(TypeError::DuplicateType(schema.name));
+        }
+        let id = TypeId(self.schemas.len() as u16);
+        self.by_name.insert(schema.name.clone(), id);
+        self.schemas.push(schema);
+        Ok(id)
+    }
+
+    /// Convenience: register `name` with the given attribute names.
+    pub fn register_type(&mut self, name: &str, attrs: &[&str]) -> Result<TypeId, TypeError> {
+        self.register(Schema::new(name, attrs))
+    }
+
+    /// Resolve a type name to its id.
+    pub fn type_id(&self, name: &str) -> Result<TypeId, TypeError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TypeError::UnknownType(name.to_string()))
+    }
+
+    /// Schema of a registered type.
+    pub fn schema(&self, id: TypeId) -> &Schema {
+        &self.schemas[id.0 as usize]
+    }
+
+    /// Resolve `type.attr` by names.
+    pub fn attr_id(&self, ty: &str, attr: &str) -> Result<(TypeId, AttrId), TypeError> {
+        let tid = self.type_id(ty)?;
+        let schema = self.schema(tid);
+        let aid = schema.attr(attr).ok_or_else(|| TypeError::UnknownAttr {
+            ty: ty.to_string(),
+            attr: attr.to_string(),
+        })?;
+        Ok((tid, aid))
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterate over `(TypeId, &Schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &Schema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TypeId(i as u16), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = SchemaRegistry::new();
+        let stock = reg
+            .register_type("Stock", &["price", "volume", "company", "sector"])
+            .unwrap();
+        assert_eq!(reg.type_id("Stock").unwrap(), stock);
+        assert_eq!(reg.schema(stock).name, "Stock");
+        let (tid, aid) = reg.attr_id("Stock", "volume").unwrap();
+        assert_eq!(tid, stock);
+        assert_eq!(aid, AttrId(1));
+    }
+
+    #[test]
+    fn idempotent_registration() {
+        let mut reg = SchemaRegistry::new();
+        let a = reg.register_type("A", &["x"]).unwrap();
+        let b = reg.register_type("A", &["x"]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_registration_rejected() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &["x"]).unwrap();
+        let err = reg.register_type("A", &["y"]).unwrap_err();
+        assert_eq!(err, TypeError::DuplicateType("A".into()));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &["x"]).unwrap();
+        assert!(matches!(reg.type_id("B"), Err(TypeError::UnknownType(_))));
+        assert!(matches!(
+            reg.attr_id("A", "z"),
+            Err(TypeError::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_ids_in_registration_order() {
+        let mut reg = SchemaRegistry::new();
+        assert_eq!(reg.register_type("A", &[]).unwrap(), TypeId(0));
+        assert_eq!(reg.register_type("B", &[]).unwrap(), TypeId(1));
+        assert_eq!(reg.register_type("C", &[]).unwrap(), TypeId(2));
+        let names: Vec<_> = reg.iter().map(|(_, s)| s.name.clone()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

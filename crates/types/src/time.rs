@@ -1,0 +1,97 @@
+//! Application time (paper §2).
+//!
+//! The paper models time as a linearly ordered set of non-negative rational
+//! time points. We represent time as unsigned integer *ticks*; generators
+//! choose the tick granularity (seconds in the paper's data sets). Integer
+//! ticks keep ordering exact and make window arithmetic (`WITHIN`/`SLIDE`)
+//! overflow-free and total.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A discrete application time stamp (tick count since stream start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The smallest representable time stamp.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time stamp.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration in ticks.
+    #[inline]
+    pub fn saturating_add(self, d: u64) -> Time {
+        Time(self.0.saturating_add(d))
+    }
+
+    /// Saturating subtraction of a duration in ticks.
+    #[inline]
+    pub fn saturating_sub(self, d: u64) -> Time {
+        Time(self.0.saturating_sub(d))
+    }
+}
+
+impl From<u64> for Time {
+    #[inline]
+    fn from(t: u64) -> Self {
+        Time(t)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: u64) -> Time {
+        Time(self.0 + d)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, other: Time) -> u64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_matches_ticks() {
+        assert!(Time(1) < Time(2));
+        assert!(Time(2) == Time(2));
+        assert!(Time(3) > Time(2));
+        assert_eq!(Time::ZERO, Time(0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Time(5) + 3, Time(8));
+        assert_eq!(Time(5) - Time(3), 2);
+        assert_eq!(Time::MAX.saturating_add(1), Time::MAX);
+        assert_eq!(Time(1).saturating_sub(5), Time::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,204 @@
+//! Attribute values carried by events.
+//!
+//! Queries compare attributes with arithmetic and relational operators
+//! (paper Fig. 2), so values expose total numeric coercion ([`Value::as_f64`])
+//! plus exact equality for partitioning (equivalence predicates and
+//! `GROUP-BY` hash on [`Value`] directly).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically typed attribute value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (ids, volumes, positions).
+    Int(i64),
+    /// 64-bit float (prices, speeds, loads). NaN is normalized away by
+    /// constructors in this crate; comparisons treat NaN as smallest.
+    Float(f64),
+    /// Interned string (company names, sectors).
+    Str(Arc<str>),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Coerce to `f64` for numeric comparison/arithmetic.
+    /// Strings coerce to NaN→0.0 only through [`Value::as_f64_opt`] failing;
+    /// use that method when failure must be observable.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.as_f64_opt().unwrap_or(f64::NAN)
+    }
+
+    /// Numeric view of the value, `None` for strings.
+    #[inline]
+    pub fn as_f64_opt(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view, `None` for non-integers.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, `None` for non-strings.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total order used by predicate evaluation: numerics compare by value
+    /// (Int/Float/Bool interoperate), strings compare lexicographically,
+    /// numerics sort before strings.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.as_f64_opt(), other.as_f64_opt()) {
+            (Some(a), Some(b)) => {
+                // Normalize -0.0 so it equals 0.0 (consistent with `Hash`).
+                let a = if a == 0.0 { 0.0 } else { a };
+                let b = if b == 0.0 { 0.0 } else { b };
+                a.total_cmp(&b)
+            }
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => self.as_str().unwrap_or("").cmp(other.as_str().unwrap_or("")),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `eq`: 2i64 == 2.0f64, so hash numerics via bits of
+        // the canonical f64.
+        match self.as_f64_opt() {
+            Some(f) => {
+                state.write_u8(0);
+                // Normalize -0.0 to 0.0 so equal values hash equally.
+                let f = if f == 0.0 { 0.0 } else { f };
+                state.write_u64(f.to_bits());
+            }
+            None => {
+                state.write_u8(1);
+                self.as_str().unwrap_or("").hash(state);
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            Value::from("abc").total_cmp(&Value::Int(999)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::from("a").total_cmp(&Value::from("b")),
+            Ordering::Less
+        );
+        assert_eq!(Value::from("x"), Value::from("x"));
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Bool(true).as_f64(), 1.0);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Float(7.0).as_i64(), None);
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert!(Value::from("s").as_f64().is_nan());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::from("IBM").to_string(), "IBM");
+    }
+}

@@ -1,0 +1,217 @@
+//! Hadoop cluster monitoring stream (paper §10.1, Table 2):
+//!
+//! | attribute          | distribution        | min–max |
+//! |--------------------|---------------------|---------|
+//! | mapper id, job id  | uniform             | 0–10    |
+//! | CPU, memory        | uniform             | 0–1k    |
+//! | load               | Poisson (λ = 100)   | 0–10k   |
+//!
+//! The stream interleaves `Start` / `Measurement` / `End` job lifecycle
+//! events per (job, mapper) pair — the workload of query Q2. The number of
+//! distinct mapper ids is the *trend group* knob swept in Fig. 17.
+
+use crate::rng::{poisson, seeded};
+use crate::Timestamps;
+use greta_types::{Event, SchemaRegistry, TypeError, TypeId, Value};
+use rand::Rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Number of distinct mapper ids (groups; Table 2 default: 0–10).
+    pub mappers: u32,
+    /// Number of distinct job ids (Table 2: 0–10).
+    pub jobs: u32,
+    /// Fraction of lifecycle events (`Start`/`End`) vs measurements.
+    pub lifecycle_rate: f64,
+    /// Poisson λ for the load attribute (Table 2: 100).
+    pub load_lambda: f64,
+    /// Time-stamp policy.
+    pub timestamps: Timestamps,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            events: 10_000,
+            mappers: 10,
+            jobs: 10,
+            lifecycle_rate: 0.05,
+            load_lambda: 100.0,
+            timestamps: Timestamps::PerEvent,
+            seed: 0xc1_05_7e_12,
+        }
+    }
+}
+
+/// The cluster measurement generator.
+#[derive(Debug, Clone)]
+pub struct ClusterGen {
+    /// Configuration used.
+    pub config: ClusterConfig,
+    /// `Start` type id.
+    pub start: TypeId,
+    /// `Measurement` type id.
+    pub measurement: TypeId,
+    /// `End` type id.
+    pub end: TypeId,
+}
+
+impl ClusterGen {
+    /// Register the three schemas.
+    pub fn new(config: ClusterConfig, reg: &mut SchemaRegistry) -> Result<ClusterGen, TypeError> {
+        let start = reg.register_type("Start", &["job", "mapper"])?;
+        let measurement =
+            reg.register_type("Measurement", &["job", "mapper", "cpu", "memory", "load"])?;
+        let end = reg.register_type("End", &["job", "mapper"])?;
+        Ok(ClusterGen {
+            config,
+            start,
+            measurement,
+            end,
+        })
+    }
+
+    /// Generate the stream. Each (job, mapper) pair cycles through
+    /// Start → Measurement* → End so Q2's `SEQ(Start, Measurement+, End)`
+    /// has matches in every group.
+    pub fn generate(&self) -> Vec<Event> {
+        let c = &self.config;
+        let mut rng = seeded(c.seed);
+        let mappers = c.mappers.max(1);
+        let jobs = c.jobs.max(1);
+        // Lifecycle phase per (job, mapper): false = needs Start next.
+        let mut running = vec![false; (mappers * jobs) as usize];
+        let mut out = Vec::with_capacity(c.events);
+        for i in 0..c.events {
+            let mapper = rng.gen_range(0..mappers) as i64;
+            let job = rng.gen_range(0..jobs) as i64;
+            let slot = (job as u32 * mappers + mapper as u32) as usize;
+            let t = c.timestamps.time_of(i as u64);
+            let lifecycle = rng.gen_bool(c.lifecycle_rate.clamp(0.0, 1.0));
+            if !running[slot] {
+                // Must start the job before measurements can match.
+                running[slot] = true;
+                out.push(Event::new_unchecked(
+                    self.start,
+                    t,
+                    vec![Value::Int(job), Value::Int(mapper)],
+                ));
+            } else if lifecycle {
+                running[slot] = false;
+                out.push(Event::new_unchecked(
+                    self.end,
+                    t,
+                    vec![Value::Int(job), Value::Int(mapper)],
+                ));
+            } else {
+                out.push(Event::new_unchecked(
+                    self.measurement,
+                    t,
+                    vec![
+                        Value::Int(job),
+                        Value::Int(mapper),
+                        Value::Int(rng.gen_range(0..=1000)),
+                        Value::Int(rng.gen_range(0..=1000)),
+                        Value::Int(poisson(&mut rng, c.load_lambda).min(10_000) as i64),
+                    ],
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::stream::check_in_order;
+
+    fn gen(events: usize, mappers: u32) -> (SchemaRegistry, ClusterGen, Vec<Event>) {
+        let mut reg = SchemaRegistry::new();
+        let g = ClusterGen::new(
+            ClusterConfig {
+                events,
+                mappers,
+                ..Default::default()
+            },
+            &mut reg,
+        )
+        .unwrap();
+        let evs = g.generate();
+        (reg, g, evs)
+    }
+
+    #[test]
+    fn table_2_attribute_ranges() {
+        let (reg, g, evs) = gen(5000, 10);
+        assert!(check_in_order(&evs));
+        let schema = reg.schema(g.measurement).clone();
+        let job = schema.attr("job").unwrap();
+        let mapper = schema.attr("mapper").unwrap();
+        let cpu = schema.attr("cpu").unwrap();
+        let mem = schema.attr("memory").unwrap();
+        let load = schema.attr("load").unwrap();
+        for e in evs.iter().filter(|e| e.type_id == g.measurement) {
+            assert!((0..10).contains(&e.attr(job).as_i64().unwrap()));
+            assert!((0..10).contains(&e.attr(mapper).as_i64().unwrap()));
+            assert!((0..=1000).contains(&e.attr(cpu).as_i64().unwrap()));
+            assert!((0..=1000).contains(&e.attr(mem).as_i64().unwrap()));
+            assert!((0..=10_000).contains(&e.attr(load).as_i64().unwrap()));
+        }
+    }
+
+    #[test]
+    fn load_is_poisson_100() {
+        let (reg, g, evs) = gen(8000, 10);
+        let load = reg.schema(g.measurement).attr("load").unwrap();
+        let loads: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.type_id == g.measurement)
+            .map(|e| e.attr(load).as_f64())
+            .collect();
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean={mean}");
+        // Poisson(100) variance ≈ 100.
+        let var =
+            loads.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / loads.len() as f64;
+        assert!((var - 100.0).abs() < 25.0, "var={var}");
+    }
+
+    #[test]
+    fn lifecycle_is_well_formed_per_group() {
+        // Between a Start and the next Start of the same (job, mapper)
+        // there is exactly one End.
+        let (_, g, evs) = gen(3000, 4);
+        use std::collections::HashMap;
+        let mut state: HashMap<(i64, i64), bool> = HashMap::new();
+        for e in &evs {
+            let key = (e.attrs[0].as_i64().unwrap(), e.attrs[1].as_i64().unwrap());
+            let running = state.entry(key).or_insert(false);
+            if e.type_id == g.start {
+                assert!(!*running, "Start while running {key:?}");
+                *running = true;
+            } else if e.type_id == g.end {
+                assert!(*running, "End while stopped {key:?}");
+                *running = false;
+            } else {
+                assert!(*running, "Measurement while stopped {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_count_controls_groups() {
+        let (_, g, evs) = gen(2000, 3);
+        let mappers: std::collections::HashSet<i64> = evs
+            .iter()
+            .map(|e| e.attrs[1].as_i64().unwrap())
+            .collect();
+        assert!(mappers.len() <= 3);
+        let _ = g;
+    }
+}

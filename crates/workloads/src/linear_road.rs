@@ -1,0 +1,182 @@
+//! Linear-Road-like traffic stream (paper §10.1 uses the Linear Road
+//! benchmark simulator \[7\]; we generate the same event shape).
+//!
+//! Position reports carry `(vehicle, segment, position, speed)`; speeds
+//! follow per-vehicle random walks whose step distribution controls the
+//! selectivity of the `P.speed > NEXT(P).speed` edge predicate of query Q3
+//! (swept in Fig. 16). An optional accident process emits `Accident`
+//! events per segment (the negative sub-pattern of Q3).
+
+use crate::{rng::seeded, Timestamps};
+use greta_types::{Event, SchemaRegistry, TypeError, TypeId, Value};
+use rand::Rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct LinearRoadConfig {
+    /// Number of position reports to generate.
+    pub events: usize,
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Number of road segments.
+    pub segments: usize,
+    /// Probability that a step decreases the speed (selectivity knob for
+    /// the Q3 edge predicate; 0.5 = symmetric walk).
+    pub slowdown_bias: f64,
+    /// Probability, per position report, of an accident event being
+    /// injected (0 disables the negative sub-pattern workload).
+    pub accident_rate: f64,
+    /// Time-stamp policy.
+    pub timestamps: Timestamps,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinearRoadConfig {
+    fn default() -> Self {
+        LinearRoadConfig {
+            events: 10_000,
+            vehicles: 50,
+            segments: 10,
+            slowdown_bias: 0.5,
+            accident_rate: 0.0,
+            timestamps: Timestamps::PerEvent,
+            seed: 0x11_4e_a0_0d,
+        }
+    }
+}
+
+/// The Linear-Road-like generator.
+#[derive(Debug, Clone)]
+pub struct LinearRoadGen {
+    /// Configuration used.
+    pub config: LinearRoadConfig,
+    /// `Position` type id.
+    pub position: TypeId,
+    /// `Accident` type id.
+    pub accident: TypeId,
+}
+
+impl LinearRoadGen {
+    /// Register the `Position` and `Accident` schemas.
+    pub fn new(
+        config: LinearRoadConfig,
+        reg: &mut SchemaRegistry,
+    ) -> Result<LinearRoadGen, TypeError> {
+        let position = reg.register_type("Position", &["vehicle", "segment", "position", "speed"])?;
+        let accident = reg.register_type("Accident", &["segment"])?;
+        Ok(LinearRoadGen {
+            config,
+            position,
+            accident,
+        })
+    }
+
+    /// Generate the stream.
+    pub fn generate(&self) -> Vec<Event> {
+        let c = &self.config;
+        let mut rng = seeded(c.seed);
+        let nv = c.vehicles.max(1);
+        let mut speeds: Vec<f64> = (0..nv).map(|_| rng.gen_range(40.0..80.0)).collect();
+        let mut positions: Vec<i64> = vec![0; nv];
+        let vehicle_segment: Vec<usize> = (0..nv).map(|v| v % c.segments.max(1)).collect();
+        let mut out = Vec::with_capacity(c.events);
+        let mut i = 0u64;
+        for _ in 0..c.events {
+            let v = rng.gen_range(0..nv);
+            let dir = if rng.gen_bool(c.slowdown_bias.clamp(0.0, 1.0)) {
+                -1.0
+            } else {
+                1.0
+            };
+            speeds[v] = (speeds[v] + dir * rng.gen_range(0.1..3.0)).clamp(1.0, 120.0);
+            positions[v] += speeds[v] as i64;
+            let t = c.timestamps.time_of(i);
+            i += 1;
+            out.push(Event::new_unchecked(
+                self.position,
+                t,
+                vec![
+                    Value::Int(v as i64),
+                    Value::Int(vehicle_segment[v] as i64),
+                    Value::Int(positions[v]),
+                    Value::Float(speeds[v]),
+                ],
+            ));
+            if c.accident_rate > 0.0 && rng.gen_bool(c.accident_rate.clamp(0.0, 1.0)) {
+                let seg = rng.gen_range(0..c.segments.max(1));
+                let t = c.timestamps.time_of(i);
+                i += 1;
+                out.push(Event::new_unchecked(
+                    self.accident,
+                    t,
+                    vec![Value::Int(seg as i64)],
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::stream::check_in_order;
+
+    #[test]
+    fn generates_in_order_with_accidents() {
+        let mut reg = SchemaRegistry::new();
+        let g = LinearRoadGen::new(
+            LinearRoadConfig {
+                events: 5000,
+                accident_rate: 0.01,
+                ..Default::default()
+            },
+            &mut reg,
+        )
+        .unwrap();
+        let evs = g.generate();
+        assert!(check_in_order(&evs));
+        let n_acc = evs.iter().filter(|e| e.type_id == g.accident).count();
+        assert!(n_acc > 10 && n_acc < 200, "n_acc={n_acc}");
+    }
+
+    #[test]
+    fn slowdown_bias_controls_predicate_selectivity() {
+        let mut reg = SchemaRegistry::new();
+        let count_downs = |bias: f64| {
+            let mut reg2 = SchemaRegistry::new();
+            let g = LinearRoadGen::new(
+                LinearRoadConfig {
+                    events: 4000,
+                    vehicles: 1,
+                    slowdown_bias: bias,
+                    seed: 9,
+                    ..Default::default()
+                },
+                &mut reg2,
+            )
+            .unwrap();
+            let evs = g.generate();
+            let speed = reg2.schema(g.position).attr("speed").unwrap();
+            evs.windows(2)
+                .filter(|w| w[0].attr(speed).as_f64() > w[1].attr(speed).as_f64())
+                .count()
+        };
+        let _ = &mut reg;
+        assert!(count_downs(0.9) > count_downs(0.1));
+    }
+
+    #[test]
+    fn speeds_stay_in_bounds() {
+        let mut reg = SchemaRegistry::new();
+        let g = LinearRoadGen::new(LinearRoadConfig::default(), &mut reg).unwrap();
+        let speed = reg.schema(g.position).attr("speed").unwrap();
+        for e in g.generate() {
+            if e.type_id == g.position {
+                let s = e.attr(speed).as_f64();
+                assert!((1.0..=120.0).contains(&s));
+            }
+        }
+    }
+}

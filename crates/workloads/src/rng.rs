@@ -1,0 +1,63 @@
+//! Seeded random sampling helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Poisson(λ) sampler (Knuth's product-of-uniforms algorithm, adequate for
+/// the λ = 100 load distribution of paper Table 2).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: Table 2 bounds load at 10k.
+        if k >= 10_000 {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = seeded(7);
+        let n = 3000;
+        let sum: u64 = (0..n).map(|_| poisson(&mut rng, 100.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| poisson(&mut r, 100.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = seeded(42);
+            (0..10).map(|_| poisson(&mut r, 100.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_small_lambda() {
+        let mut rng = seeded(1);
+        let sum: u64 = (0..5000).map(|_| poisson(&mut rng, 2.0)).sum();
+        let mean = sum as f64 / 5000.0;
+        assert!((mean - 2.0).abs() < 0.2, "mean={mean}");
+    }
+}

@@ -1,0 +1,229 @@
+//! NYSE-like stock transaction generator (paper §10.1, "Stock Real Data
+//! Set": 225k transaction records of 10 companies, replicated 10×).
+//!
+//! Each event carries volume, price, type (sell/buy), company, sector and a
+//! transaction id. Prices follow per-company random walks; the step
+//! distribution controls the selectivity of the `S.price ⟨op⟩
+//! NEXT(S).price` edge predicates of query Q1 and its variations.
+
+use crate::{rng::seeded, Timestamps};
+use greta_types::{Event, SchemaRegistry, TypeError, TypeId, Value};
+use rand::Rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Number of companies (paper: 10).
+    pub companies: usize,
+    /// Number of sectors (companies are assigned round-robin).
+    pub sectors: usize,
+    /// Random-walk step: price moves by a uniform step in
+    /// `[-down_step, up_step]`; a larger `down_step` makes down-trends (and
+    /// the Q1 predicate) more selective or less, as configured.
+    pub down_step: f64,
+    /// Upward step bound.
+    pub up_step: f64,
+    /// Initial price per company.
+    pub base_price: f64,
+    /// Probability, per transaction, of emitting a `Halt` event for the
+    /// same company (the negative sub-pattern workload of Fig. 15;
+    /// 0 disables halts).
+    pub halt_rate: f64,
+    /// Time-stamp policy.
+    pub timestamps: Timestamps,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            events: 10_000,
+            companies: 10,
+            sectors: 3,
+            down_step: 1.0,
+            up_step: 1.0,
+            base_price: 100.0,
+            halt_rate: 0.0,
+            timestamps: Timestamps::PerEvent,
+            seed: 0x57_0c_c0_de,
+        }
+    }
+}
+
+/// The stock stream generator.
+///
+/// ```
+/// use greta_types::SchemaRegistry;
+/// use greta_workloads::{StockConfig, StockGen};
+/// let mut reg = SchemaRegistry::new();
+/// let gen = StockGen::new(StockConfig { events: 100, ..Default::default() }, &mut reg).unwrap();
+/// let stream = gen.generate();
+/// assert_eq!(stream.len(), 100);
+/// assert!(greta_types::stream::check_in_order(&stream));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StockGen {
+    /// Configuration used.
+    pub config: StockConfig,
+    /// Registered `Stock` type id.
+    pub stock: TypeId,
+    /// Registered `Halt` type id.
+    pub halt: TypeId,
+}
+
+impl StockGen {
+    /// Register the `Stock` schema and build the generator.
+    pub fn new(config: StockConfig, reg: &mut SchemaRegistry) -> Result<StockGen, TypeError> {
+        let stock = reg.register_type(
+            "Stock",
+            &["price", "volume", "company", "sector", "kind", "txn"],
+        )?;
+        let halt = reg.register_type("Halt", &["company", "sector"])?;
+        Ok(StockGen { config, stock, halt })
+    }
+
+    /// Generate the stream (in-order, deterministic per seed).
+    pub fn generate(&self) -> Vec<Event> {
+        let c = &self.config;
+        let mut rng = seeded(c.seed);
+        let mut prices: Vec<f64> = vec![c.base_price; c.companies.max(1)];
+        let mut out = Vec::with_capacity(c.events);
+        let mut i = 0u64;
+        for txn in 0..c.events {
+            let company = rng.gen_range(0..c.companies.max(1));
+            let step = rng.gen_range(-c.down_step..=c.up_step);
+            prices[company] = (prices[company] + step).max(1.0);
+            let sector = company % c.sectors.max(1);
+            out.push(Event::new_unchecked(
+                self.stock,
+                c.timestamps.time_of(i),
+                vec![
+                    Value::Float(prices[company]),
+                    Value::Int(rng.gen_range(1..=1000)),
+                    Value::Int(company as i64),
+                    Value::Int(sector as i64),
+                    Value::Int(if rng.gen_bool(0.5) { 1 } else { 0 }),
+                    Value::Int(txn as i64),
+                ],
+            ));
+            i += 1;
+            if c.halt_rate > 0.0 && rng.gen_bool(c.halt_rate.clamp(0.0, 1.0)) {
+                out.push(Event::new_unchecked(
+                    self.halt,
+                    c.timestamps.time_of(i),
+                    vec![Value::Int(company as i64), Value::Int(sector as i64)],
+                ));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Replicate a stream `n` times back to back (the paper replicates the
+    /// 225k-record NYSE set 10×), shifting time stamps so order holds.
+    pub fn replicate(events: &[Event], n: usize) -> Vec<Event> {
+        let Some(last) = events.last() else {
+            return Vec::new();
+        };
+        let span = last.time.ticks() + 1;
+        let mut out = Vec::with_capacity(events.len() * n);
+        for rep in 0..n as u64 {
+            for e in events {
+                let mut e = e.clone();
+                e.time = greta_types::Time(e.time.ticks() + rep * span);
+                out.push(e);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::stream::check_in_order;
+
+    #[test]
+    fn generates_in_order_deterministic() {
+        let mut reg = SchemaRegistry::new();
+        let g = StockGen::new(StockConfig::default(), &mut reg).unwrap();
+        let a = g.generate();
+        let b = g.generate();
+        assert_eq!(a.len(), 10_000);
+        assert_eq!(a, b);
+        assert!(check_in_order(&a));
+    }
+
+    #[test]
+    fn attribute_ranges() {
+        let mut reg = SchemaRegistry::new();
+        let g = StockGen::new(
+            StockConfig {
+                events: 2000,
+                ..Default::default()
+            },
+            &mut reg,
+        )
+        .unwrap();
+        let schema = reg.schema(g.stock).clone();
+        let company = schema.attr("company").unwrap();
+        let sector = schema.attr("sector").unwrap();
+        let price = schema.attr("price").unwrap();
+        for e in g.generate() {
+            let c = e.attr(company).as_i64().unwrap();
+            assert!((0..10).contains(&c));
+            let s = e.attr(sector).as_i64().unwrap();
+            assert_eq!(s, c % 3);
+            assert!(e.attr(price).as_f64() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn replication_preserves_order() {
+        let mut reg = SchemaRegistry::new();
+        let g = StockGen::new(
+            StockConfig {
+                events: 100,
+                ..Default::default()
+            },
+            &mut reg,
+        )
+        .unwrap();
+        let base = g.generate();
+        let rep = StockGen::replicate(&base, 10);
+        assert_eq!(rep.len(), 1000);
+        assert!(check_in_order(&rep));
+        assert!(StockGen::replicate(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn down_step_bias_controls_direction() {
+        let mut reg = SchemaRegistry::new();
+        let g = StockGen::new(
+            StockConfig {
+                events: 5000,
+                companies: 1,
+                down_step: 2.0,
+                up_step: 0.5,
+                // High base so the walk never hits the price floor at 1.0
+                // (flat steps at the floor are neither up nor down).
+                base_price: 10_000.0,
+                ..Default::default()
+            },
+            &mut reg,
+        )
+        .unwrap();
+        let evs = g.generate();
+        let price = reg.schema(g.stock).attr("price").unwrap();
+        let downs = evs
+            .windows(2)
+            .filter(|w| w[0].attr(price).as_f64() > w[1].attr(price).as_f64())
+            .count();
+        // Heavily down-biased walk: most steps go down (floor at 1.0 makes
+        // some steps flat).
+        assert!(downs * 2 > evs.len(), "downs={downs}");
+    }
+}

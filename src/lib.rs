@@ -1,0 +1,14 @@
+//! # greta — umbrella crate
+//!
+//! Re-exports the full GRETA system (VLDB 2017: *Graph-based Real-time Event
+//! Trend Aggregation*): the data model, the query compiler, the GRETA runtime,
+//! the two-step baselines and the workload generators.
+//!
+//! Start with [`greta_core::GretaEngine`] or the quickstart example.
+
+pub use greta_baselines as baselines;
+pub use greta_bignum as bignum;
+pub use greta_core as core;
+pub use greta_query as query;
+pub use greta_types as types;
+pub use greta_workloads as workloads;

@@ -1,0 +1,111 @@
+//! Event-selection semantics (experiment E6, Table 1): the same pattern
+//! under skip-till-any-match, skip-till-next-match and contiguous
+//! semantics must produce exponential / polynomial / polynomial trend
+//! counts with `any ≥ next ≥ contiguous`-style dominance on count volume.
+
+use greta::core::{EngineConfig, GretaEngine, Semantics};
+use greta::query::CompiledQuery;
+use greta::types::{Event, EventBuilder, SchemaRegistry, Time};
+
+fn registry() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("A", &["attr"]).unwrap();
+    reg.register_type("B", &["attr"]).unwrap();
+    reg
+}
+
+fn ev(reg: &SchemaRegistry, ty: &str, t: u64, attr: f64) -> Event {
+    EventBuilder::new(reg, ty)
+        .unwrap()
+        .at(Time(t))
+        .set("attr", attr)
+        .unwrap()
+        .build()
+}
+
+fn count_with(sem: Semantics, query_text: &str, evs: &[Event], reg: &SchemaRegistry) -> f64 {
+    let q = CompiledQuery::parse(query_text, reg).unwrap();
+    let mut engine = GretaEngine::<u64>::with_config(
+        q,
+        reg.clone(),
+        EngineConfig {
+            semantics: sem,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let rows = engine.run(evs).unwrap();
+    rows.iter().map(|r| r.values[0].to_f64()).sum()
+}
+
+#[test]
+fn table_1_trend_count_growth() {
+    // n identical a's under A+:
+    //   skip-till-any:  2^n − 1 subsets (exponential)
+    //   skip-till-next: n(n+1)/2 runs via latest-predecessor chaining
+    //   contiguous:     n(n+1)/2 contiguous runs
+    let reg = registry();
+    let n = 10u64;
+    let evs: Vec<Event> = (1..=n).map(|t| ev(&reg, "A", t, 0.0)).collect();
+    let q = "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000";
+    assert_eq!(count_with(Semantics::SkipTillAny, q, &evs, &reg), 1023.0);
+    assert_eq!(count_with(Semantics::SkipTillNext, q, &evs, &reg), 55.0);
+    assert_eq!(count_with(Semantics::Contiguous, q, &evs, &reg), 55.0);
+}
+
+#[test]
+fn contiguous_skips_nothing() {
+    // a1 b2 a3: under contiguous semantics, (a1, a3) is not a trend of A+
+    // because b2 sits between them.
+    let reg = registry();
+    let evs = vec![ev(&reg, "A", 1, 0.0), ev(&reg, "B", 2, 0.0), ev(&reg, "A", 3, 0.0)];
+    let q = "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000";
+    assert_eq!(count_with(Semantics::Contiguous, q, &evs, &reg), 2.0); // {a1},{a3}
+    assert_eq!(count_with(Semantics::SkipTillAny, q, &evs, &reg), 3.0); // + (a1,a3)
+}
+
+#[test]
+fn skip_till_next_skips_only_irrelevant() {
+    // a1 b2 a3: b2 is irrelevant to A+, so skip-till-next still links a1→a3.
+    let reg = registry();
+    let evs = vec![ev(&reg, "A", 1, 0.0), ev(&reg, "B", 2, 0.0), ev(&reg, "A", 3, 0.0)];
+    let q = "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000";
+    assert_eq!(count_with(Semantics::SkipTillNext, q, &evs, &reg), 3.0);
+}
+
+#[test]
+fn skip_till_next_respects_predicates() {
+    // Decreasing-attr trend over 10, 12, 8: under skip-till-next, 8 links
+    // to the *latest* compatible event (12 fails the predicate? prev=12 >
+    // next=8 holds! prev must satisfy attr > next). Both 10 and 12 are
+    // compatible; only the latest (12) links.
+    let reg = registry();
+    let evs = vec![ev(&reg, "A", 1, 10.0), ev(&reg, "A", 2, 12.0), ev(&reg, "A", 3, 8.0)];
+    let q = "RETURN COUNT(*) PATTERN A S+ WHERE S.attr > NEXT(S).attr WITHIN 1000 SLIDE 1000";
+    // any: {10},{12},{8},(10,8),(12,8) = 5; next: {10},{12},{8},(12,8) = 4.
+    assert_eq!(count_with(Semantics::SkipTillAny, q, &evs, &reg), 5.0);
+    assert_eq!(count_with(Semantics::SkipTillNext, q, &evs, &reg), 4.0);
+}
+
+#[test]
+fn semantics_ordering_on_random_stream() {
+    // Volume dominance: any ≥ next and any ≥ contiguous on every stream.
+    let reg = registry();
+    let evs: Vec<Event> = (0..24u64)
+        .map(|t| {
+            let ty = if t % 5 == 3 { "B" } else { "A" };
+            ev(&reg, ty, t, ((t * 17) % 11) as f64)
+        })
+        .collect();
+    for q in [
+        "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000",
+        "RETURN COUNT(*) PATTERN A S+ WHERE S.attr > NEXT(S).attr WITHIN 1000 SLIDE 1000",
+        "RETURN COUNT(*) PATTERN (SEQ(A+, B))+ WITHIN 1000 SLIDE 1000",
+    ] {
+        let any = count_with(Semantics::SkipTillAny, q, &evs, &reg);
+        let next = count_with(Semantics::SkipTillNext, q, &evs, &reg);
+        let cont = count_with(Semantics::Contiguous, q, &evs, &reg);
+        assert!(any >= next, "{q}: any {any} < next {next}");
+        assert!(any >= cont, "{q}: any {any} < contiguous {cont}");
+    }
+}
