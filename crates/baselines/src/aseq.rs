@@ -319,9 +319,8 @@ mod tests {
             peak_small = peak_small.max(engine.memory_bytes());
         }
         engine.finish();
-        let q2 =
-            CompiledQuery::parse("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 50 SLIDE 50", &reg)
-                .unwrap();
+        let q2 = CompiledQuery::parse("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 50 SLIDE 50", &reg)
+            .unwrap();
         let mut engine2 = AseqEngine::new(q2, &reg).unwrap();
         let mut peak_large = 0;
         for t in 0..10_000u64 {
@@ -348,8 +347,11 @@ mod tests {
             &events,
             &reg,
         );
-        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
         let mut aseq = AseqEngine::new(q, &reg).unwrap();
         let rows = aseq.run(&events);
         assert_eq!(rows[0].values[0].to_f64(), 1.0); // only (a1, b2)
@@ -380,7 +382,11 @@ mod tests {
             Some(AseqUnsupported::EdgePredicates)
         );
         assert_eq!(
-            AseqEngine::new(q("RETURN COUNT(*) PATTERN SEQ(A?, B) WITHIN 1 SLIDE 1"), &reg).err(),
+            AseqEngine::new(
+                q("RETURN COUNT(*) PATTERN SEQ(A?, B) WITHIN 1 SLIDE 1"),
+                &reg
+            )
+            .err(),
             Some(AseqUnsupported::Alternatives)
         );
     }

@@ -205,8 +205,7 @@ fn build_window_trends(
                         if pv.time >= e.time || pv.time.ticks() + within <= e.time.ticks() {
                             continue;
                         }
-                        if !predecessor_valid(&deps[gi], log_of, p_state, state, pv.time, e.time)
-                        {
+                        if !predecessor_valid(&deps[gi], log_of, p_state, state, pv.time, e.time) {
                             continue;
                         }
                         if !plan

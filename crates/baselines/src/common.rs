@@ -43,8 +43,7 @@ impl PartitionedStream {
                 root_types.insert(*t);
             }
         }
-        let is_partition_owner =
-            |t: TypeId| root_types.contains(&t) && extractor.has_full_key(t);
+        let is_partition_owner = |t: TypeId| root_types.contains(&t) && extractor.has_full_key(t);
 
         // Pass 1: discover partition keys.
         let mut keys: Vec<PartitionKey> = Vec::new();
@@ -60,8 +59,11 @@ impl PartitionedStream {
         // Pass 2: route.
         let mut parts: Vec<(PartitionKey, Vec<Event>)> =
             keys.iter().map(|k| (k.clone(), Vec::new())).collect();
-        let index: HashMap<PartitionKey, usize> =
-            keys.iter().enumerate().map(|(i, k)| (k.clone(), i)).collect();
+        let index: HashMap<PartitionKey, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i))
+            .collect();
         for e in events {
             let k = extractor.key_of(e);
             if is_partition_owner(e.type_id) {
@@ -693,8 +695,7 @@ mod tests {
         let g = MatchGraph::build(&q.alternatives[0], &evs, 100);
         let mut count = 0u64;
         let mut budget = u64::MAX;
-        let ok =
-            enumerate_length_stratified(&g, 0, &q.window, &mut budget, &mut |_| count += 1);
+        let ok = enumerate_length_stratified(&g, 0, &q.window, &mut budget, &mut |_| count += 1);
         assert!(ok);
         assert_eq!(count, 11);
     }
@@ -703,7 +704,8 @@ mod tests {
     fn partitioning_broadcasts_subkey_events() {
         let mut reg = SchemaRegistry::new();
         reg.register_type("Accident", &["segment"]).unwrap();
-        reg.register_type("Position", &["vehicle", "segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment"])
+            .unwrap();
         let q = CompiledQuery::parse(
             "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
              WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 100 SLIDE 100",
@@ -735,7 +737,10 @@ mod tests {
         let with_acc = parts
             .partitions
             .iter()
-            .filter(|(_, evs)| evs.iter().any(|e| e.type_id == reg.type_id("Accident").unwrap()))
+            .filter(|(_, evs)| {
+                evs.iter()
+                    .any(|e| e.type_id == reg.type_id("Accident").unwrap())
+            })
             .count();
         assert_eq!(with_acc, 2);
     }

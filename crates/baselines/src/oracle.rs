@@ -27,8 +27,8 @@ mod tests {
     fn oracle_counts_subsets_for_flat_kleene() {
         let mut reg = SchemaRegistry::new();
         reg.register_type("A", &["x"]).unwrap();
-        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
         let evs: Vec<_> = (1..=5u64)
             .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build())
             .collect();
@@ -40,15 +40,16 @@ mod tests {
     fn oracle_handles_windows() {
         let mut reg = SchemaRegistry::new();
         reg.register_type("A", &["x"]).unwrap();
-        let q =
-            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5", &reg).unwrap();
+        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5", &reg).unwrap();
         let evs: Vec<_> = [1u64, 3, 8]
             .iter()
             .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(*t)).build())
             .collect();
         let rows = oracle_run(&q, &reg, &evs);
-        let mut by_window: Vec<(u64, f64)> =
-            rows.iter().map(|r| (r.window, r.values[0].to_f64())).collect();
+        let mut by_window: Vec<(u64, f64)> = rows
+            .iter()
+            .map(|r| (r.window, r.values[0].to_f64()))
+            .collect();
         by_window.sort_by_key(|x| x.0);
         assert_eq!(by_window, vec![(0, 7.0), (1, 1.0)]);
     }

@@ -1,0 +1,77 @@
+//! Scaling baseline for the push-based executor: events/second as a
+//! function of shard count on the stock workload (query Q1, grouped by
+//! sector). Future PRs compare against these numbers before touching the
+//! routing or channel layers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_core::{ExecutorConfig, GretaEngine, StreamExecutor};
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use greta_workloads::{StockConfig, StockGen};
+
+const EVENTS: usize = 2000;
+
+fn setup() -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = StockGen::new(
+        StockConfig {
+            events: EVENTS,
+            companies: 20,
+            sectors: 8,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .expect("schema");
+    let events = gen.generate();
+    let query = CompiledQuery::parse(
+        "RETURN sector, COUNT(*) PATTERN Stock S+ \
+         WHERE [company, sector] AND S.price > NEXT(S).price \
+         GROUP-BY sector WITHIN 500 SLIDE 125",
+        &reg,
+    )
+    .expect("Q1 compiles");
+    (reg, query, events)
+}
+
+fn bench_executor_shards(c: &mut Criterion) {
+    let (reg, query, events) = setup();
+    let mut g = c.benchmark_group("executor_throughput");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("push_poll_finish", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut exec = StreamExecutor::<f64>::new(
+                        query.clone(),
+                        reg.clone(),
+                        ExecutorConfig {
+                            shards,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("executor");
+                    let mut n = 0usize;
+                    for e in &events {
+                        exec.push(e.clone()).expect("in-order");
+                        n += exec.poll_results().len();
+                    }
+                    n + exec.finish().expect("finish").len()
+                })
+            },
+        );
+    }
+    // Inline single-shard engine as the zero-thread baseline.
+    g.bench_function("inline_engine_baseline", |b| {
+        b.iter(|| {
+            let mut engine = GretaEngine::<f64>::new(query.clone(), reg.clone()).expect("engine");
+            engine.run(&events).expect("run").len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor_shards);
+criterion_main!(benches);

@@ -14,17 +14,22 @@ fn bench_insert_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_graph_insert");
     g.sample_size(10);
     for n in [200u64, 400, 800] {
-        let query =
-            CompiledQuery::parse(&format!("RETURN COUNT(*) PATTERN A+ WITHIN {n} SLIDE {n}"), &reg)
-                .unwrap();
+        let query = CompiledQuery::parse(
+            &format!("RETURN COUNT(*) PATTERN A+ WITHIN {n} SLIDE {n}"),
+            &reg,
+        )
+        .unwrap();
         let events: Vec<_> = (0..n)
             .map(|t| EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build())
             .collect();
         g.bench_with_input(BenchmarkId::new("dense_kleene", n), &n, |b, _| {
             b.iter(|| {
-                let mut e =
-                    GretaEngine::<f64>::with_config(query.clone(), reg.clone(), EngineConfig::default())
-                        .unwrap();
+                let mut e = GretaEngine::<f64>::with_config(
+                    query.clone(),
+                    reg.clone(),
+                    EngineConfig::default(),
+                )
+                .unwrap();
                 for ev in &events {
                     e.process(ev).unwrap();
                 }
@@ -66,5 +71,10 @@ fn bench_bignum(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert_throughput, bench_compile, bench_bignum);
+criterion_group!(
+    benches,
+    bench_insert_throughput,
+    bench_compile,
+    bench_bignum
+);
 criterion_main!(benches);

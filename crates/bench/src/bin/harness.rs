@@ -88,7 +88,10 @@ fn main() {
         ];
     }
     let scale = Scale::by_name(&scale_name);
-    eprintln!("# GRETA experiment harness — scale `{scale_name}`, budget {} trends", scale.budget);
+    eprintln!(
+        "# GRETA experiment harness — scale `{scale_name}`, budget {} trends",
+        scale.budget
+    );
 
     let mut rows: Vec<Row> = Vec::new();
     for exp in &experiments {
@@ -126,7 +129,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("serialize");
+        let json = greta_bench::rows_to_json(&rows);
         std::fs::write(&path, json).expect("write json");
         eprintln!("wrote {path}");
     }

@@ -13,10 +13,9 @@ use greta_types::{Event, SchemaRegistry};
 use greta_workloads::{
     ClusterConfig, ClusterGen, LinearRoadConfig, LinearRoadGen, StockConfig, StockGen,
 };
-use serde::Serialize;
 
 /// One table row: an engine measured at one sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Experiment id (`fig14`, …).
     pub figure: String,
@@ -25,7 +24,6 @@ pub struct Row {
     /// Swept parameter value.
     pub x: f64,
     /// The measurements.
-    #[serde(flatten)]
     pub metrics: Metrics,
 }
 
@@ -49,7 +47,13 @@ fn all_engines(
     events: &[Event],
     budget: u64,
 ) {
-    push(rows, figure, x_name, x, run_greta(query, reg, events, EngineConfig::default()));
+    push(
+        rows,
+        figure,
+        x_name,
+        x,
+        run_greta(query, reg, events, EngineConfig::default()),
+    );
     for which in [TwoStep::Sase, TwoStep::Cet, TwoStep::Flink] {
         push(
             rows,
@@ -91,7 +95,16 @@ pub fn fig14(sizes: &[usize], budget: u64) -> Vec<Row> {
         .expect("schema");
         let events = gen.generate();
         let query = q1(&reg, n);
-        all_engines(&mut rows, "fig14", "events/window", n as f64, &query, &reg, &events, budget);
+        all_engines(
+            &mut rows,
+            "fig14",
+            "events/window",
+            n as f64,
+            &query,
+            &reg,
+            &events,
+            budget,
+        );
     }
     rows
 }
@@ -121,7 +134,16 @@ pub fn fig15(sizes: &[usize], budget: u64) -> Vec<Row> {
             &reg,
         )
         .expect("Q1-neg compiles");
-        all_engines(&mut rows, "fig15", "events/window", n as f64, &query, &reg, &events, budget);
+        all_engines(
+            &mut rows,
+            "fig15",
+            "events/window",
+            n as f64,
+            &query,
+            &reg,
+            &events,
+            budget,
+        );
     }
     rows
 }
@@ -152,7 +174,16 @@ pub fn fig16(n: usize, biases: &[f64], budget: u64) -> Vec<Row> {
             &reg,
         )
         .expect("Q3-positive compiles");
-        all_engines(&mut rows, "fig16", "selectivity", bias, &query, &reg, &events, budget);
+        all_engines(
+            &mut rows,
+            "fig16",
+            "selectivity",
+            bias,
+            &query,
+            &reg,
+            &events,
+            budget,
+        );
     }
     rows
 }
@@ -184,7 +215,9 @@ pub fn fig17(n: usize, groups: &[u32], budget: u64) -> Vec<Row> {
             &reg,
         )
         .expect("Q2 compiles");
-        all_engines(&mut rows, "fig17", "groups", g as f64, &query, &reg, &events, budget);
+        all_engines(
+            &mut rows, "fig17", "groups", g as f64, &query, &reg, &events, budget,
+        );
         push(
             &mut rows,
             "fig17",
@@ -379,6 +412,43 @@ pub fn render_table(rows: &[Row]) -> String {
     out
 }
 
+/// Render rows as a pretty-printed JSON array with flattened metrics
+/// (what `--json` dumps for EXPERIMENTS.md; no external JSON dependency).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    use greta_workloads::io::json::str_lit;
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".into()
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"figure\": {}, \"x_name\": {}, \"x\": {}, \"engine\": {}, \
+             \"total_ms\": {}, \"latency_ms\": {}, \"throughput\": {}, \
+             \"memory_bytes\": {}, \"completed\": {}, \"checksum\": {}, \"rows\": {}}}",
+            str_lit(&r.figure),
+            str_lit(&r.x_name),
+            num(r.x),
+            str_lit(&r.metrics.engine),
+            num(r.metrics.total_ms),
+            num(r.metrics.latency_ms),
+            num(r.metrics.throughput),
+            r.metrics.memory_bytes,
+            r.metrics.completed,
+            num(r.metrics.checksum),
+            r.metrics.rows,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 fn human_bytes(b: usize) -> String {
     if b >= 1 << 30 {
         format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
@@ -405,7 +475,13 @@ mod tests {
             assert!(r.metrics.completed, "{} DNF", r.metrics.engine);
             let rel = (r.metrics.checksum - greta.metrics.checksum).abs()
                 / greta.metrics.checksum.abs().max(1.0);
-            assert!(rel < 1e-9, "{} checksum {} vs {}", r.metrics.engine, r.metrics.checksum, greta.metrics.checksum);
+            assert!(
+                rel < 1e-9,
+                "{} checksum {} vs {}",
+                r.metrics.engine,
+                r.metrics.checksum,
+                greta.metrics.checksum
+            );
         }
     }
 
@@ -429,7 +505,10 @@ mod tests {
         let r17 = fig17(150, &[3], 2_000_000);
         assert_eq!(r17.len(), 5); // + GRETA-par4
         let greta = &r17[0];
-        let par = r17.iter().find(|r| r.metrics.engine.starts_with("GRETA-par")).unwrap();
+        let par = r17
+            .iter()
+            .find(|r| r.metrics.engine.starts_with("GRETA-par"))
+            .unwrap();
         let rel = (par.metrics.checksum - greta.metrics.checksum).abs()
             / greta.metrics.checksum.abs().max(1.0);
         assert!(rel < 1e-9);
@@ -438,8 +517,14 @@ mod tests {
     #[test]
     fn ablations_agree() {
         let rows = ablations(300);
-        let tree = rows.iter().find(|r| r.metrics.engine.contains("tree")).unwrap();
-        let scan = rows.iter().find(|r| r.metrics.engine.contains("scan")).unwrap();
+        let tree = rows
+            .iter()
+            .find(|r| r.metrics.engine.contains("tree"))
+            .unwrap();
+        let scan = rows
+            .iter()
+            .find(|r| r.metrics.engine.contains("scan"))
+            .unwrap();
         assert_eq!(tree.metrics.checksum, scan.metrics.checksum);
         let table = render_table(&rows);
         assert!(table.contains("ablation-index"));

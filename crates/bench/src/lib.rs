@@ -22,5 +22,7 @@
 pub mod experiments;
 pub mod metrics;
 
-pub use experiments::{ablations, complexity, fig14, fig15, fig16, fig17, render_table, Row};
+pub use experiments::{
+    ablations, complexity, fig14, fig15, fig16, fig17, render_table, rows_to_json, Row,
+};
 pub use metrics::{run_greta, run_greta_parallel, run_two_step_engine, Metrics, TwoStep};

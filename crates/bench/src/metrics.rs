@@ -12,11 +12,10 @@ use greta_baselines::{CetEngine, FlinkEngine, SaseEngine, TwoStepRun};
 use greta_core::{EngineConfig, GretaEngine, MemoryFootprint};
 use greta_query::CompiledQuery;
 use greta_types::{Event, SchemaRegistry};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One engine run's measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Engine name (`GRETA`, `SASE`, `CET`, `FLINK`, …).
     pub engine: String,

@@ -67,7 +67,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut b = BigUint { limbs: vec![lo, hi] };
+        let mut b = BigUint {
+            limbs: vec![lo, hi],
+        };
         b.normalize();
         b
     }
@@ -330,7 +332,10 @@ mod tests {
     fn full_multiplication() {
         let a = BigUint::from_u128(u128::MAX);
         let b = BigUint::from_u64(3);
-        assert_eq!(a.mul_ref(&b).to_string(), "1020847100762815390390123822295304634365");
+        assert_eq!(
+            a.mul_ref(&b).to_string(),
+            "1020847100762815390390123822295304634365"
+        );
         assert!(BigUint::zero().mul_ref(&a).is_zero());
     }
 

@@ -105,8 +105,7 @@ pub fn intersection_query(
     let mut transitions = Vec::new();
     for (fa, ga, _) in &ta.transitions {
         for (fb, gb, _) in &tb.transitions {
-            if let (Some(&from), Some(&to)) = (pair_id.get(&(*fa, *fb)), pair_id.get(&(*ga, *gb)))
-            {
+            if let (Some(&from), Some(&to)) = (pair_id.get(&(*fa, *fb)), pair_id.get(&(*ga, *gb))) {
                 transitions.push((from, to, TransKind::Seq));
             }
         }
@@ -205,7 +204,11 @@ mod tests {
 
     fn count(q: &CompiledQuery, reg: &SchemaRegistry, evs: &[Event]) -> f64 {
         let mut e = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
-        e.run(evs).unwrap().iter().map(|r| r.values[0].to_f64()).sum()
+        e.run(evs)
+            .unwrap()
+            .iter()
+            .map(|r| r.values[0].to_f64())
+            .sum()
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
             &reg,
         )
         .unwrap();
-        let evs = stream(&reg, &[("A", 1), ("A", 2), ("B", 3), ("B", 4), ("A", 5), ("B", 6)]);
+        let evs = stream(
+            &reg,
+            &[("A", 1), ("A", 2), ("B", 3), ("B", 4), ("A", 5), ("B", 6)],
+        );
         assert_eq!(count(&qij, &reg, &evs), count(&q_ab, &reg, &evs));
         // And the §9 disjunction formula is internally consistent.
         let (ci, cj, cij) = (
@@ -244,8 +250,8 @@ mod tests {
     #[test]
     fn identical_patterns_intersect_to_themselves() {
         let reg = reg_ab();
-        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
         let qij = intersection_query(&q, &q).unwrap().expect("non-empty");
         let evs = stream(&reg, &[("A", 1), ("A", 2), ("A", 3)]);
         assert_eq!(count(&qij, &reg, &evs), 7.0);
@@ -254,10 +260,10 @@ mod tests {
     #[test]
     fn type_disjoint_patterns_have_empty_intersection() {
         let reg = reg_ab();
-        let qa = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
-        let qb = CompiledQuery::parse("RETURN COUNT(*) PATTERN B+ WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
+        let qa =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
+        let qb =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN B+ WITHIN 100 SLIDE 100", &reg).unwrap();
         assert!(intersection_query(&qa, &qb).unwrap().is_none());
     }
 

@@ -19,15 +19,15 @@
 
 use crate::agg::{AggLayout, AggState, TrendNum};
 use crate::graph::{AltRuntime, Ctx};
-use crate::grouping::{KeyExtractor, PartitionKey};
+use crate::grouping::{PartitionKey, StreamRouting};
 use crate::memory::{MemoryFootprint, PeakTracker};
 use crate::results::{render_aggregates, WindowResult};
 use crate::semantics::Semantics;
 use crate::window::{window_close_time, windows_of, WindowId};
 use crate::EngineError;
 use greta_query::CompiledQuery;
-use greta_types::{Event, SchemaRegistry, Time, TypeId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use greta_types::{Event, SchemaRegistry, Time};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -75,13 +75,13 @@ pub struct GretaEngine<N: TrendNum = f64> {
     registry: SchemaRegistry,
     layout: AggLayout,
     config: EngineConfig,
-    extractor: KeyExtractor,
+    /// Shared event classification (root vs broadcast types, key
+    /// extraction) — the same view the executor shards by.
+    routing: StreamRouting,
     partitions: HashMap<PartitionKey, Partition<N>>,
     /// Events of types that lack the full partition key (broadcast types),
     /// kept one window deep for replay into new partitions.
     replay: VecDeque<Event>,
-    broadcast_types: HashSet<TypeId>,
-    root_types: HashSet<TypeId>,
     /// Incremental per-(window, group) final aggregates.
     results: BTreeMap<WindowId, HashMap<PartitionKey, AggState<N>>>,
     /// Windows touched by any event (deferred-final scans).
@@ -109,43 +109,10 @@ impl<N: TrendNum> GretaEngine<N> {
         registry: SchemaRegistry,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
-        let extractor = KeyExtractor::new(&query, &registry);
-        let mut root_types = HashSet::new();
-        let mut all_types = HashSet::new();
-        for alt in &query.alternatives {
-            for (_, tid) in &alt.graphs[0].state_types {
-                root_types.insert(*tid);
-            }
-            for g in &alt.graphs {
-                for (_, tid) in &g.state_types {
-                    all_types.insert(*tid);
-                }
-            }
-        }
+        let routing = StreamRouting::new(&query, &registry);
         // Root-graph event types must carry the full partition key: the
         // partition of a positive event must be unambiguous.
-        for tid in &root_types {
-            if !extractor.has_full_key(*tid) {
-                let schema = registry.schema(*tid);
-                let missing = query
-                    .partition_attrs
-                    .iter()
-                    .find(|a| schema.attr(a).is_none())
-                    .cloned()
-                    .unwrap_or_default();
-                return Err(EngineError::PartitionAttr {
-                    attr: missing,
-                    ty: schema.name.clone(),
-                });
-            }
-        }
-        // Broadcast types: appear only outside the root graph OR lack the
-        // full key.
-        let broadcast_types: HashSet<TypeId> = all_types
-            .iter()
-            .copied()
-            .filter(|t| !root_types.contains(t) || !extractor.has_full_key(*t))
-            .collect();
+        routing.validate(&query, &registry)?;
 
         let layout = AggLayout::new(&query.aggregates);
         Ok(GretaEngine {
@@ -154,11 +121,9 @@ impl<N: TrendNum> GretaEngine<N> {
             registry,
             layout,
             config,
-            extractor,
+            routing,
             partitions: HashMap::new(),
             replay: VecDeque::new(),
-            broadcast_types,
-            root_types,
             results: BTreeMap::new(),
             touched: BTreeSet::new(),
             emitted: Vec::new(),
@@ -203,11 +168,11 @@ impl<N: TrendNum> GretaEngine<N> {
         self.close_due(e.time);
         self.stats.events += 1;
 
-        let is_root_type = self.root_types.contains(&e.type_id);
-        let is_broadcast = self.broadcast_types.contains(&e.type_id);
-        let key = self.extractor.key_of(e);
+        let is_root_type = self.routing.is_root(e.type_id);
+        let is_broadcast = self.routing.is_broadcast(e.type_id);
+        let key = self.routing.extractor().key_of(e);
 
-        if is_root_type && !is_broadcast {
+        if is_root_type {
             self.ensure_partition(&key);
             self.deliver(&key.clone(), e);
         } else if is_broadcast {
@@ -257,13 +222,13 @@ impl<N: TrendNum> GretaEngine<N> {
                 .map(|alt| AltRuntime::new(alt, &self.query.window))
                 .collect(),
         };
-        self.deferred_final = self.deferred_final
-            || part.alts.iter().any(AltRuntime::needs_deferred_final);
+        self.deferred_final =
+            self.deferred_final || part.alts.iter().any(AltRuntime::needs_deferred_final);
         // Replay buffered broadcast events that match this partition.
         let replayable: Vec<Event> = self
             .replay
             .iter()
-            .filter(|old| self.extractor.key_of(old).matches(key))
+            .filter(|old| self.routing.extractor().key_of(old).matches(key))
             .cloned()
             .collect();
         let ctx = Ctx {
@@ -383,6 +348,21 @@ impl<N: TrendNum> GretaEngine<N> {
         self.emitted.extend(rows);
     }
 
+    /// Advance event time to `t` without an event: closes (and emits) every
+    /// window whose end is ≤ `t`. Used by the
+    /// [`StreamExecutor`](crate::executor::StreamExecutor) to propagate
+    /// watermarks to shards that received no recent events. Later events
+    /// with a time before `t` are rejected as out-of-order, exactly as if
+    /// an event at `t` had been processed. Stale watermarks are ignored.
+    pub fn advance_watermark(&mut self, t: Time) {
+        if self.saw_event && t < self.watermark {
+            return;
+        }
+        self.saw_event = true;
+        self.watermark = t;
+        self.close_due(t);
+    }
+
     /// Drain results of windows closed so far.
     pub fn poll_results(&mut self) -> Vec<WindowResult<N>> {
         std::mem::take(&mut self.emitted)
@@ -395,11 +375,13 @@ impl<N: TrendNum> GretaEngine<N> {
     }
 
     /// Convenience: process a whole in-order batch and return all results.
+    ///
+    /// Compatibility wrapper over the executor's inline single-shard driver
+    /// (`executor::drive_batch`); equivalent to a
+    /// [`StreamExecutor`](crate::executor::StreamExecutor) with one shard,
+    /// zero slack, and no worker threads.
     pub fn run(&mut self, events: &[Event]) -> Result<Vec<WindowResult<N>>, EngineError> {
-        for e in events {
-            self.process(e)?;
-        }
-        Ok(self.finish())
+        crate::executor::drive_batch(self, events)
     }
 }
 
@@ -502,10 +484,16 @@ mod tests {
         let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 5", &r).unwrap();
         let mut eng = GretaEngine::<u64>::new(q, r.clone()).unwrap();
         let rows = eng
-            .run(&[ev(&r, "A", 1, 0.0, 0), ev(&r, "A", 3, 0.0, 0), ev(&r, "A", 8, 0.0, 0)])
+            .run(&[
+                ev(&r, "A", 1, 0.0, 0),
+                ev(&r, "A", 3, 0.0, 0),
+                ev(&r, "A", 8, 0.0, 0),
+            ])
             .unwrap();
-        let mut by_window: Vec<(WindowId, f64)> =
-            rows.iter().map(|r| (r.window, r.values[0].to_f64())).collect();
+        let mut by_window: Vec<(WindowId, f64)> = rows
+            .iter()
+            .map(|r| (r.window, r.values[0].to_f64()))
+            .collect();
         by_window.sort_by_key(|a| a.0);
         assert_eq!(by_window, vec![(0, 7.0), (1, 1.0)]);
     }
@@ -523,7 +511,7 @@ mod tests {
         let rows = eng.poll_results();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].values[0].to_f64(), 1023.0); // 2^10 - 1
-        // Old pane purged: memory bounded.
+                                                        // Old pane purged: memory bounded.
         assert!(eng.memory_bytes() < eng.peak_memory_bytes());
         let final_rows = eng.finish();
         assert_eq!(final_rows.len(), 1); // window of t=25
@@ -573,7 +561,8 @@ mod tests {
         // partitions.
         let mut r = SchemaRegistry::new();
         r.register_type("Accident", &["segment"]).unwrap();
-        r.register_type("Position", &["vehicle", "segment"]).unwrap();
+        r.register_type("Position", &["vehicle", "segment"])
+            .unwrap();
         let q = CompiledQuery::parse(
             "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
              WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 100 SLIDE 100",

@@ -24,6 +24,18 @@ pub enum EngineError {
     Type(TypeError),
     /// Configuration problem (e.g. parallelism of zero).
     Config(String),
+    /// An event arrived later than the executor's reorder slack allows and
+    /// the late-event policy is [`LatePolicy::Error`](crate::executor::LatePolicy::Error).
+    Late {
+        /// Configured slack in ticks.
+        slack: u64,
+        /// Watermark already released to the shards.
+        watermark: u64,
+        /// Offending event time.
+        got: u64,
+    },
+    /// A shard worker terminated abnormally.
+    Worker(String),
 }
 
 impl fmt::Display for EngineError {
@@ -40,6 +52,16 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Type(e) => write!(f, "{e}"),
             EngineError::Config(m) => write!(f, "configuration error: {m}"),
+            EngineError::Late {
+                slack,
+                watermark,
+                got,
+            } => write!(
+                f,
+                "late event: time {got} behind released watermark {watermark} \
+                 (reorder slack {slack}) under LatePolicy::Error"
+            ),
+            EngineError::Worker(m) => write!(f, "shard worker failed: {m}"),
         }
     }
 }

@@ -1,0 +1,776 @@
+//! Push-based, sharded stream execution (paper §7 / §10.4 turned into a
+//! long-lived serving layer).
+//!
+//! [`StreamExecutor`] unifies what used to be three disconnected entry
+//! points — batch [`GretaEngine::run`], fire-and-collect
+//! [`run_parallel`](crate::parallel::run_parallel), and the unwired
+//! [`ReorderBuffer`] — into one pipeline:
+//!
+//! ```text
+//!                 ┌────────────┐    hash(group key)   ┌─────────────┐
+//!  push(event) ─▶ │ ReorderBuf │ ──▶ shard router ──▶ │ shard 0..N  │──┐
+//!                 │ (slack,    │     (broadcast for   │ GretaEngine │  │ bounded
+//!                 │  late      │      negative-       └─────────────┘  │ results
+//!                 │  policy)   │      pattern types)  ┌─────────────┐  │ channel
+//!                 └────────────┘ ──── watermarks ───▶ │ shard N-1   │──┤
+//!                                                     └─────────────┘  ▼
+//!                                              poll_results() / finish()
+//! ```
+//!
+//! * **Ingestion**: events may arrive out of order up to a configurable
+//!   `slack`; later than that, the [`LatePolicy`] decides — drop (count),
+//!   divert (keep for the caller), or error.
+//! * **Sharding** (§7): each `GROUP-BY` group is owned by exactly one shard
+//!   worker, so per-shard results are disjoint and concatenate without
+//!   merging. Events of broadcast types (negative-pattern / sub-key types)
+//!   are delivered to every shard, which keeps its own copy of the (tiny)
+//!   negative graphs — the same trade the paper's parallel evaluation
+//!   makes. Routing is deterministic: the same stream shards identically
+//!   on every run, and results are independent of the shard count.
+//! * **Watermarks**: whenever the released watermark crosses a window-close
+//!   boundary, it is broadcast so shards that received no recent events
+//!   still close their windows — results stream out incrementally instead
+//!   of materializing at the end.
+//! * **Emission**: closed-window results flow through a bounded channel;
+//!   [`StreamExecutor::poll_results`] drains it without blocking,
+//!   [`StreamExecutor::finish`] flushes the pipeline and joins the workers.
+//!
+//! The legacy entry points are thin wrappers: `GretaEngine::run` drives the
+//! inline single-shard path ([`drive_batch`]), `run_parallel` builds an
+//! executor, feeds it, and sorts the combined output.
+
+use crate::agg::TrendNum;
+use crate::engine::{EngineConfig, EngineStats, GretaEngine};
+use crate::grouping::StreamRouting;
+use crate::reorder::ReorderBuffer;
+use crate::results::WindowResult;
+use crate::EngineError;
+use crate::MemoryFootprint;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use greta_query::CompiledQuery;
+use greta_types::{Event, SchemaRegistry, Time};
+use std::thread::JoinHandle;
+
+/// What to do with an event that arrives later than the reorder slack
+/// allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Silently drop the event (counted in [`ExecutorStats::late_dropped`]).
+    #[default]
+    Drop,
+    /// Keep the event for the caller ([`StreamExecutor::take_diverted`]) —
+    /// e.g. to route into a correction stream.
+    Divert,
+    /// Fail the `push` with [`EngineError::Late`].
+    Error,
+}
+
+/// Tuning knobs for [`StreamExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Shard workers. Clamped to 1 for queries without `GROUP-BY` (nothing
+    /// to partition by — the paper's scaling model). Must be ≥ 1.
+    pub shards: usize,
+    /// Reorder slack in ticks: events may arrive up to this much behind the
+    /// maximum time stamp seen and still be processed in order.
+    pub slack: u64,
+    /// Policy for events later than `slack`.
+    pub late_policy: LatePolicy,
+    /// Per-shard input queue capacity (events; backpressure beyond it).
+    pub channel_capacity: usize,
+    /// Result channel capacity (rows; callers that never poll get
+    /// backpressure once this many rows are waiting).
+    pub result_capacity: usize,
+    /// Configuration for the per-shard engines.
+    pub engine: EngineConfig,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            slack: 0,
+            late_policy: LatePolicy::Drop,
+            channel_capacity: 4096,
+            result_capacity: 1 << 16,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Executor counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecutorStats {
+    /// Events offered to [`StreamExecutor::push`].
+    pub pushed: u64,
+    /// Events released (in order) to the shards.
+    pub released: u64,
+    /// Late events dropped under [`LatePolicy::Drop`].
+    pub late_dropped: u64,
+    /// Late events kept under [`LatePolicy::Divert`].
+    pub late_diverted: u64,
+    /// Events delivered to every shard (broadcast types).
+    pub broadcasts: u64,
+    /// Watermark messages broadcast to the shards.
+    pub watermarks: u64,
+    /// Aggregated per-shard engine counters (populated by `finish`).
+    pub engine: EngineStats,
+    /// Summed per-shard peak memory in bytes (populated by `finish`).
+    pub peak_memory_bytes: usize,
+}
+
+enum Msg {
+    Event(Event),
+    Watermark(Time),
+}
+
+struct WorkerReport {
+    stats: EngineStats,
+    peak_bytes: usize,
+}
+
+/// The push-based, sharded GRETA runtime. See the [module docs](self).
+///
+/// Results are emitted as windows close. Rows drained by one
+/// [`poll_results`](Self::poll_results) call arrive in per-shard order but
+/// may interleave across shards; [`finish`](Self::finish) returns its
+/// remainder sorted by `(window, group)`. Sorting the concatenation of all
+/// drains yields byte-identical output for any shard count.
+pub struct StreamExecutor<N: TrendNum = f64> {
+    shards: usize,
+    routing: StreamRouting,
+    reorder: ReorderBuffer,
+    late_policy: LatePolicy,
+    senders: Vec<Sender<Msg>>,
+    results_rx: Receiver<WindowResult<N>>,
+    workers: Vec<JoinHandle<Result<WorkerReport, EngineError>>>,
+    diverted: Vec<Event>,
+    /// Rows drained off the result channel while a shard queue was full;
+    /// returned by the next `poll_results`/`finish`.
+    pending: Vec<WindowResult<N>>,
+    stats: ExecutorStats,
+    /// Window-close boundary index already broadcast (⌊(wm−within)/slide⌋).
+    last_close_idx: Option<u64>,
+    window_within: u64,
+    window_slide: u64,
+    finished: bool,
+}
+
+impl<N: TrendNum> StreamExecutor<N> {
+    /// Spawn the shard workers for `query` under `config`.
+    pub fn new(
+        query: CompiledQuery,
+        registry: SchemaRegistry,
+        config: ExecutorConfig,
+    ) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::Config("shards must be ≥ 1".into()));
+        }
+        let routing = StreamRouting::new(&query, &registry);
+        routing.validate(&query, &registry)?;
+        let shards = if query.group_by.is_empty() {
+            1
+        } else {
+            config.shards
+        };
+        let (results_tx, results_rx) = channel::bounded(config.result_capacity.max(1));
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = channel::bounded::<Msg>(config.channel_capacity.max(1));
+            senders.push(tx);
+            let query = query.clone();
+            let registry = registry.clone();
+            let engine_config = config.engine;
+            let results_tx = results_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("greta-shard-{shard}"))
+                    .spawn(move || worker_loop::<N>(query, registry, engine_config, rx, results_tx))
+                    .map_err(|e| EngineError::Worker(e.to_string()))?,
+            );
+        }
+        drop(results_tx); // workers hold the only senders now
+        Ok(StreamExecutor {
+            shards,
+            routing,
+            reorder: ReorderBuffer::new(config.slack),
+            late_policy: config.late_policy,
+            senders,
+            results_rx,
+            workers,
+            diverted: Vec::new(),
+            pending: Vec::new(),
+            stats: ExecutorStats::default(),
+            last_close_idx: None,
+            window_within: query.window.within,
+            window_slide: query.window.slide,
+            finished: false,
+        })
+    }
+
+    /// Number of shard workers actually running.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Offer one event. Events may arrive out of order within the
+    /// configured slack; beyond it the [`LatePolicy`] applies. When a
+    /// shard's input queue is full, the call drains ready results into an
+    /// internal buffer while it waits (so a caller that never polls cannot
+    /// deadlock the pipeline) and returns once the event is queued.
+    pub fn push(&mut self, e: Event) -> Result<(), EngineError> {
+        if self.finished {
+            return Err(EngineError::Config(
+                "push after finish() on StreamExecutor".into(),
+            ));
+        }
+        self.stats.pushed += 1;
+        match self.reorder.push(e) {
+            Ok(released) => self.route_all(released),
+            Err(late) => {
+                match self.late_policy {
+                    LatePolicy::Drop => self.stats.late_dropped += 1,
+                    LatePolicy::Divert => {
+                        self.stats.late_diverted += 1;
+                        self.diverted.push(late);
+                    }
+                    LatePolicy::Error => {
+                        return Err(EngineError::Late {
+                            slack: self.reorder.slack(),
+                            watermark: self.reorder.watermark().map(Time::ticks).unwrap_or(0),
+                            got: late.time.ticks(),
+                        })
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain every result row emitted so far, without blocking. Windows are
+    /// emitted as the watermark passes their end, so results stream while
+    /// events are still being pushed.
+    pub fn poll_results(&mut self) -> Vec<WindowResult<N>> {
+        let mut out = std::mem::take(&mut self.pending);
+        while let Ok(row) = self.results_rx.try_recv() {
+            out.push(row);
+        }
+        out
+    }
+
+    /// End of stream: flush the reorder buffer, close all remaining
+    /// windows, join the workers, and return the remaining rows sorted by
+    /// `(window, group)`. Also finalizes [`stats`](Self::stats). Idempotent.
+    pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
+        if self.finished {
+            return Ok(Vec::new());
+        }
+        self.finished = true;
+        let tail = self.reorder.flush();
+        let route_result = self.route_all(tail);
+        // Close the input channels regardless, so workers always terminate.
+        self.senders.clear();
+        // Drain concurrently with the workers' final flush: recv() ends
+        // when every worker has dropped its result sender.
+        let mut rows = std::mem::take(&mut self.pending);
+        while let Ok(row) = self.results_rx.recv() {
+            rows.push(row);
+        }
+        let mut first_err = route_result.err();
+        for w in self.workers.drain(..) {
+            match w.join() {
+                Ok(Ok(report)) => {
+                    let s = &mut self.stats.engine;
+                    s.events += report.stats.events;
+                    s.vertices += report.stats.vertices;
+                    s.edges += report.stats.edges;
+                    s.results += report.stats.results;
+                    self.stats.peak_memory_bytes += report.peak_bytes;
+                }
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or(Some(EngineError::Worker("shard worker panicked".into())))
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+        Ok(rows)
+    }
+
+    /// Executor counters. Engine aggregates and peak memory are only
+    /// populated once [`finish`](Self::finish) has run.
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats
+    }
+
+    /// Take the events diverted under [`LatePolicy::Divert`] so far.
+    pub fn take_diverted(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.diverted)
+    }
+
+    fn route_all(&mut self, released: Vec<Event>) -> Result<(), EngineError> {
+        for e in released {
+            self.stats.released += 1;
+            let wm = e.time;
+            match self.routing.shard_of(&e, self.shards) {
+                None => {
+                    self.stats.broadcasts += 1;
+                    for i in 0..self.senders.len() {
+                        let msg = Msg::Event(e.clone());
+                        self.send(i, msg)?;
+                    }
+                }
+                Some(shard) => self.send(shard, Msg::Event(e))?,
+            }
+            self.broadcast_watermark(wm)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `wm` iff it crossed a window-close boundary since the last
+    /// broadcast — watermarks only matter when they close windows, so this
+    /// keeps watermark traffic at one message per shard per closed window.
+    fn broadcast_watermark(&mut self, wm: Time) -> Result<(), EngineError> {
+        let t = wm.ticks();
+        if t < self.window_within {
+            return Ok(());
+        }
+        let close_idx = (t - self.window_within) / self.window_slide.max(1);
+        if self.last_close_idx == Some(close_idx) {
+            return Ok(());
+        }
+        self.last_close_idx = Some(close_idx);
+        self.stats.watermarks += 1;
+        for i in 0..self.senders.len() {
+            self.send(i, Msg::Watermark(wm))?;
+        }
+        Ok(())
+    }
+
+    /// Deliver `msg` to a shard without ever blocking this thread for good:
+    /// while the shard's input queue is full, drain the result channel into
+    /// the pending buffer (the pushing thread is the only result consumer,
+    /// so parking in a blocking `send` while workers wait to emit rows
+    /// would deadlock the pipeline).
+    fn send(&mut self, shard: usize, msg: Msg) -> Result<(), EngineError> {
+        let mut msg = msg;
+        loop {
+            match self.senders[shard].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(back)) => {
+                    msg = back;
+                    let mut drained = false;
+                    while let Ok(row) = self.results_rx.try_recv() {
+                        self.pending.push(row);
+                        drained = true;
+                    }
+                    if !drained {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(self.reap_after_failure()),
+            }
+        }
+    }
+
+    /// A worker vanished: close all inputs, drain results while the
+    /// surviving workers flush (joining a worker that is blocked sending
+    /// rows would hang), and surface the first real worker error.
+    fn reap_after_failure(&mut self) -> EngineError {
+        self.senders.clear();
+        self.finished = true;
+        let mut err = EngineError::Worker("shard input channel closed".into());
+        let mut found = false;
+        for w in self.workers.drain(..) {
+            while !w.is_finished() {
+                while let Ok(row) = self.results_rx.try_recv() {
+                    self.pending.push(row);
+                }
+                std::thread::yield_now();
+            }
+            match w.join() {
+                Ok(Err(e)) if !found => {
+                    err = e;
+                    found = true;
+                }
+                Ok(_) => {}
+                Err(_) if !found => {
+                    err = EngineError::Worker("shard worker panicked".into());
+                }
+                Err(_) => {}
+            }
+        }
+        err
+    }
+}
+
+impl<N: TrendNum> Drop for StreamExecutor<N> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // Close inputs, discard pending results, reap the workers.
+        self.senders.clear();
+        while self.results_rx.try_recv().is_ok() {}
+        for w in self.workers.drain(..) {
+            // Workers may be blocked sending results; keep draining while
+            // they flush so the join cannot deadlock.
+            while !w.is_finished() {
+                let _ = self.results_rx.try_recv();
+                std::thread::yield_now();
+            }
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop<N: TrendNum>(
+    query: CompiledQuery,
+    registry: SchemaRegistry,
+    config: EngineConfig,
+    rx: Receiver<Msg>,
+    results_tx: Sender<WindowResult<N>>,
+) -> Result<WorkerReport, EngineError> {
+    let mut engine = GretaEngine::<N>::with_config(query, registry, config)?;
+    let report = |engine: &GretaEngine<N>| WorkerReport {
+        stats: engine.stats(),
+        peak_bytes: engine.peak_memory_bytes().max(engine.memory_bytes()),
+    };
+    for msg in rx.iter() {
+        match msg {
+            Msg::Event(e) => engine.process(&e)?,
+            Msg::Watermark(t) => engine.advance_watermark(t),
+        }
+        for row in engine.poll_results() {
+            if results_tx.send(row).is_err() {
+                // Executor dropped without finish(): stop quietly.
+                return Ok(report(&engine));
+            }
+        }
+    }
+    for row in engine.finish() {
+        if results_tx.send(row).is_err() {
+            break;
+        }
+    }
+    Ok(report(&engine))
+}
+
+/// Inline batch driver: the single-shard, zero-thread execution path that
+/// [`GretaEngine::run`] wraps. Processing an in-order batch through an
+/// engine and draining incrementally is exactly what one shard worker does.
+pub(crate) fn drive_batch<N: TrendNum>(
+    engine: &mut GretaEngine<N>,
+    events: &[Event],
+) -> Result<Vec<WindowResult<N>>, EngineError> {
+    let mut out = Vec::new();
+    for e in events {
+        engine.process(e)?;
+        out.extend(engine.poll_results());
+    }
+    out.extend(engine.finish());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::EventBuilder;
+
+    fn grouped_setup() -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("M", &["grp", "load"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+             GROUP-BY grp WITHIN 100 SLIDE 50",
+            &reg,
+        )
+        .unwrap();
+        let events: Vec<Event> = (0..240u64)
+            .map(|t| {
+                EventBuilder::new(&reg, "M")
+                    .unwrap()
+                    .at(Time(t))
+                    .set("grp", (t % 7) as i64)
+                    .unwrap()
+                    .set("load", ((t * 31) % 17) as f64)
+                    .unwrap()
+                    .build()
+            })
+            .collect();
+        (reg, q, events)
+    }
+
+    fn sorted<N: TrendNum>(mut rows: Vec<WindowResult<N>>) -> Vec<WindowResult<N>> {
+        rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+        rows
+    }
+
+    #[test]
+    fn sharded_executor_matches_sequential_engine() {
+        let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        for shards in [1, 2, 4] {
+            let mut exec = StreamExecutor::<u64>::new(
+                q.clone(),
+                reg.clone(),
+                ExecutorConfig {
+                    shards,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut rows = Vec::new();
+            for e in &events {
+                exec.push(e.clone()).unwrap();
+                rows.extend(exec.poll_results());
+            }
+            rows.extend(exec.finish().unwrap());
+            assert_eq!(sorted(rows), expect, "shards={shards}");
+            let stats = exec.stats();
+            assert_eq!(stats.pushed, events.len() as u64);
+            assert_eq!(stats.engine.events, events.len() as u64);
+        }
+    }
+
+    #[test]
+    fn results_stream_incrementally_not_only_at_finish() {
+        let (reg, q, events) = grouped_setup();
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut streamed = 0usize;
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            streamed += exec.poll_results().len();
+        }
+        // Workers flush asynchronously; give the last close a moment.
+        for _ in 0..100 {
+            streamed += exec.poll_results().len();
+            if streamed > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(streamed > 0, "no rows before finish()");
+        exec.finish().unwrap();
+    }
+
+    #[test]
+    fn late_policies() {
+        let mk = |policy| {
+            let mut reg = SchemaRegistry::new();
+            reg.register_type("A", &[]).unwrap();
+            let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
+                .unwrap();
+            let tid = reg.type_id("A").unwrap();
+            let exec = StreamExecutor::<u64>::new(
+                q,
+                reg,
+                ExecutorConfig {
+                    shards: 1,
+                    slack: 2,
+                    late_policy: policy,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            (exec, tid)
+        };
+        let ev = |tid, t| Event::new_unchecked(tid, Time(t), vec![]);
+
+        // Drop: the late event vanishes but is counted.
+        let (mut exec, tid) = mk(LatePolicy::Drop);
+        for t in [10u64, 20, 5] {
+            exec.push(ev(tid, t)).unwrap();
+        }
+        let rows = exec.finish().unwrap();
+        assert_eq!(exec.stats().late_dropped, 1);
+        assert_eq!(rows[0].values[0].to_f64(), 3.0); // {10},{20},{10,20}
+
+        // Divert: the late event is handed back.
+        let (mut exec, tid) = mk(LatePolicy::Divert);
+        for t in [10u64, 20, 5] {
+            exec.push(ev(tid, t)).unwrap();
+        }
+        exec.finish().unwrap();
+        let diverted = exec.take_diverted();
+        assert_eq!(exec.stats().late_diverted, 1);
+        assert_eq!(diverted.len(), 1);
+        assert_eq!(diverted[0].time, Time(5));
+
+        // Error: push fails loudly.
+        let (mut exec, tid) = mk(LatePolicy::Error);
+        exec.push(ev(tid, 10)).unwrap();
+        exec.push(ev(tid, 20)).unwrap();
+        let err = exec.push(ev(tid, 5)).unwrap_err();
+        assert!(matches!(err, EngineError::Late { got: 5, .. }), "{err}");
+        exec.finish().unwrap();
+    }
+
+    #[test]
+    fn slack_reorders_disordered_input() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
+        let tid = reg.type_id("A").unwrap();
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 1,
+                slack: 5,
+                late_policy: LatePolicy::Error,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for t in [2u64, 1, 4, 3, 5] {
+            exec.push(Event::new_unchecked(tid, Time(t), vec![]))
+                .unwrap();
+        }
+        let rows = exec.finish().unwrap();
+        assert_eq!(rows[0].values[0].to_f64(), 31.0); // 2^5 - 1
+        assert_eq!(exec.stats().released, 5);
+    }
+
+    #[test]
+    fn ungrouped_query_clamps_to_one_shard() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", &reg).unwrap();
+        let exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exec.shards(), 1);
+    }
+
+    #[test]
+    fn zero_shards_rejected_and_push_after_finish_errors() {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 10 SLIDE 10", &reg).unwrap();
+        assert!(StreamExecutor::<u64>::new(
+            q.clone(),
+            reg.clone(),
+            ExecutorConfig {
+                shards: 0,
+                ..Default::default()
+            },
+        )
+        .is_err());
+        let tid = reg.type_id("A").unwrap();
+        let mut exec = StreamExecutor::<u64>::new(q, reg, ExecutorConfig::default()).unwrap();
+        exec.finish().unwrap();
+        assert!(exec.finish().unwrap().is_empty()); // idempotent
+        assert!(exec
+            .push(Event::new_unchecked(tid, Time(1), vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn poll_free_caller_with_tiny_channels_cannot_deadlock() {
+        // Regression: with a full result channel and full shard queues, a
+        // caller that never polls used to park forever in push()/finish().
+        // The sender now drains results into an internal buffer instead.
+        let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 2,
+                channel_capacity: 2,
+                result_capacity: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap(); // no poll_results() on purpose
+        }
+        let rows = exec.finish().unwrap();
+        assert_eq!(sorted(rows), expect);
+    }
+
+    #[test]
+    fn broadcast_types_reach_all_shards() {
+        // Q3-style leading negation with a sub-key type, 3 shards.
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Accident", &["segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment"])
+            .unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
+             WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 100 SLIDE 100",
+            &reg,
+        )
+        .unwrap();
+        let pos = |t: u64, v: i64, s: i64| {
+            EventBuilder::new(&reg, "Position")
+                .unwrap()
+                .at(Time(t))
+                .set("vehicle", v)
+                .unwrap()
+                .set("segment", s)
+                .unwrap()
+                .build()
+        };
+        let acc = |t: u64, s: i64| {
+            EventBuilder::new(&reg, "Accident")
+                .unwrap()
+                .at(Time(t))
+                .set("segment", s)
+                .unwrap()
+                .build()
+        };
+        let events = vec![
+            pos(1, 1, 1),
+            pos(1, 2, 2),
+            acc(2, 1),
+            pos(3, 1, 1),
+            pos(3, 2, 2),
+        ];
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+        }
+        let rows = exec.finish().unwrap();
+        assert_eq!(sorted(rows), expect);
+        assert_eq!(exec.stats().broadcasts, 1);
+    }
+}

@@ -22,8 +22,8 @@
 
 use crate::agg::{AggLayout, AggState, TrendNum};
 use crate::negation::{
-    end_event_valid_at_close, insertion_dropped, needs_deferred_final, predecessor_valid,
-    DepMode, Dependency, InvalidationLog,
+    end_event_valid_at_close, insertion_dropped, needs_deferred_final, predecessor_valid, DepMode,
+    Dependency, InvalidationLog,
 };
 use crate::semantics::Semantics;
 use crate::storage::{GraphStorage, Vertex, VertexId};
@@ -158,9 +158,8 @@ impl<N: TrendNum> AltRuntime<N> {
         // finished trend of a DropFollowing child (Fig. 8(b)).
         {
             let deps = &self.graphs[gi].deps;
-            let logs = |g: greta_query::compile::GraphId| {
-                self.graphs.get(g.0 as usize).map(|gr| &gr.log)
-            };
+            let logs =
+                |g: greta_query::compile::GraphId| self.graphs.get(g.0 as usize).map(|gr| &gr.log);
             if insertion_dropped(deps, logs, e.time) {
                 return;
             }
@@ -206,7 +205,9 @@ impl<N: TrendNum> AltRuntime<N> {
                 };
                 let logs = |g: greta_query::compile::GraphId| {
                     let idx = g.0 as usize;
-                    idx.checked_sub(gi + 1).and_then(|i| logs_src.get(i)).map(|gr| &gr.log)
+                    idx.checked_sub(gi + 1)
+                        .and_then(|i| logs_src.get(i))
+                        .map(|gr| &gr.log)
                 };
 
                 let mut best: Option<(u64, VertexId)> = None; // skip-till-next
@@ -393,7 +394,15 @@ mod tests {
         // (SEQ(A+, B))+ over {a1, b2, a3, a4, b7, a8, b9} = 43 trends (§4.2).
         let count = run_count(
             "(SEQ(A+, B))+",
-            &[("A", 1), ("B", 2), ("A", 3), ("A", 4), ("B", 7), ("A", 8), ("B", 9)],
+            &[
+                ("A", 1),
+                ("B", 2),
+                ("A", 3),
+                ("A", 4),
+                ("B", 7),
+                ("A", 8),
+                ("B", 9),
+            ],
         );
         assert_eq!(count, 43.0);
     }
@@ -417,7 +426,10 @@ mod tests {
     #[test]
     fn seq_without_loop() {
         // SEQ(A+, B) over a1 a2 b3: trends (a1 b3), (a2 b3), (a1 a2 b3) = 3.
-        assert_eq!(run_count("SEQ(A+, B)", &[("A", 1), ("A", 2), ("B", 3)]), 3.0);
+        assert_eq!(
+            run_count("SEQ(A+, B)", &[("A", 1), ("A", 2), ("B", 3)]),
+            3.0
+        );
         // Irrelevant B first is skipped (no predecessor), Fig. 6(b).
         assert_eq!(
             run_count("SEQ(A+, B)", &[("B", 0), ("A", 1), ("A", 2), ("B", 3)]),

@@ -3,9 +3,12 @@
 //! aggregates are reported per **group** (the `GROUP-BY` projection of the
 //! partition key).
 
+use crate::EngineError;
 use greta_query::CompiledQuery;
 use greta_types::{AttrId, Event, SchemaRegistry, TypeId, Value};
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// A partition / group key: attribute values in `partition_attrs` order.
 /// `None` marks an attribute the event's type does not carry (sub-key
@@ -125,12 +128,9 @@ impl KeyExtractor {
     /// Extract the (sub-)key of an event.
     pub fn key_of(&self, e: &Event) -> PartitionKey {
         match self.per_type.get(&e.type_id) {
-            Some(slots) => PartitionKey(
-                slots
-                    .iter()
-                    .map(|s| s.map(|a| e.attr(a).clone()))
-                    .collect(),
-            ),
+            Some(slots) => {
+                PartitionKey(slots.iter().map(|s| s.map(|a| e.attr(a).clone())).collect())
+            }
             None => PartitionKey(vec![None; self.n_attrs]),
         }
     }
@@ -146,6 +146,116 @@ impl KeyExtractor {
     /// Number of partition attributes.
     pub fn n_attrs(&self) -> usize {
         self.n_attrs
+    }
+}
+
+/// Unified routing view of a compiled query, shared by [`GretaEngine`]
+/// (partition creation/broadcast), [`run_parallel`] and the
+/// [`StreamExecutor`] so all layers classify events identically:
+///
+/// * **root types** appear in the root (positive) graph and carry the full
+///   partition key — each such event belongs to exactly one partition and,
+///   under sharding, exactly one shard;
+/// * **broadcast types** appear only outside the root graph *or* carry a
+///   sub-key (negative-pattern types such as `Accident` in Q3) — they must
+///   be delivered to every matching partition, hence to every shard.
+///
+/// [`GretaEngine`]: crate::GretaEngine
+/// [`run_parallel`]: crate::parallel::run_parallel
+/// [`StreamExecutor`]: crate::executor::StreamExecutor
+#[derive(Debug, Clone)]
+pub struct StreamRouting {
+    extractor: KeyExtractor,
+    root_types: HashSet<TypeId>,
+    broadcast_types: HashSet<TypeId>,
+    n_group: usize,
+}
+
+impl StreamRouting {
+    /// Classify every event type of `query`.
+    pub fn new(query: &CompiledQuery, registry: &SchemaRegistry) -> StreamRouting {
+        let extractor = KeyExtractor::new(query, registry);
+        let mut root_types = HashSet::new();
+        let mut all_types = HashSet::new();
+        for alt in &query.alternatives {
+            for (_, tid) in &alt.graphs[0].state_types {
+                root_types.insert(*tid);
+            }
+            for g in &alt.graphs {
+                for (_, tid) in &g.state_types {
+                    all_types.insert(*tid);
+                }
+            }
+        }
+        let broadcast_types: HashSet<TypeId> = all_types
+            .into_iter()
+            .filter(|t| !root_types.contains(t) || !extractor.has_full_key(*t))
+            .collect();
+        StreamRouting {
+            extractor,
+            root_types,
+            broadcast_types,
+            n_group: query.group_by.len(),
+        }
+    }
+
+    /// Check the §6 partitioning precondition: every root-graph event type
+    /// must carry the full partition key (its partition must be
+    /// unambiguous).
+    pub fn validate(
+        &self,
+        query: &CompiledQuery,
+        registry: &SchemaRegistry,
+    ) -> Result<(), EngineError> {
+        for tid in &self.root_types {
+            if !self.extractor.has_full_key(*tid) {
+                let schema = registry.schema(*tid);
+                let missing = query
+                    .partition_attrs
+                    .iter()
+                    .find(|a| schema.attr(a).is_none())
+                    .cloned()
+                    .unwrap_or_default();
+                return Err(EngineError::PartitionAttr {
+                    attr: missing,
+                    ty: schema.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The partition-key extractor.
+    pub fn extractor(&self) -> &KeyExtractor {
+        &self.extractor
+    }
+
+    /// True for root-graph types carrying the full key.
+    pub fn is_root(&self, ty: TypeId) -> bool {
+        self.root_types.contains(&ty) && !self.broadcast_types.contains(&ty)
+    }
+
+    /// True for types that must reach every shard.
+    pub fn is_broadcast(&self, ty: TypeId) -> bool {
+        self.broadcast_types.contains(&ty)
+    }
+
+    /// The event's `GROUP-BY` projection of the partition key.
+    pub fn group_key(&self, e: &Event) -> PartitionKey {
+        self.extractor.key_of(e).group_prefix(self.n_group)
+    }
+
+    /// Shard owning the event's group, or `None` when the event must be
+    /// broadcast. Deterministic for a given key and shard count, so the
+    /// same stream always shards identically.
+    pub fn shard_of(&self, e: &Event, shards: usize) -> Option<usize> {
+        if self.is_broadcast(e.type_id) {
+            return None;
+        }
+        let key = self.group_key(e);
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        Some((h.finish() % shards.max(1) as u64) as usize)
     }
 }
 
@@ -219,10 +329,7 @@ mod tests {
             Some(Value::Int(2)),
             Some(Value::Int(3)),
         ]);
-        assert_eq!(
-            k.group_prefix(1),
-            PartitionKey(vec![Some(Value::Int(1))])
-        );
+        assert_eq!(k.group_prefix(1), PartitionKey(vec![Some(Value::Int(1))]));
         assert_eq!(k.group_prefix(0), PartitionKey(vec![]));
     }
 
@@ -234,5 +341,38 @@ mod tests {
             "sector=Tech, company=*"
         );
         assert_eq!(PartitionKey::default().display_with(&[]), "()");
+    }
+
+    #[test]
+    fn routing_classifies_and_shards_deterministically() {
+        let (reg, q) = q3_setup();
+        let routing = StreamRouting::new(&q, &reg);
+        routing.validate(&q, &reg).unwrap();
+        let acc_id = reg.type_id("Accident").unwrap();
+        let pos_id = reg.type_id("Position").unwrap();
+        assert!(routing.is_broadcast(acc_id));
+        assert!(!routing.is_root(acc_id));
+        assert!(routing.is_root(pos_id));
+        let p = EventBuilder::new(&reg, "Position")
+            .unwrap()
+            .set("vehicle", 7)
+            .unwrap()
+            .set("segment", 3)
+            .unwrap()
+            .build();
+        let a = EventBuilder::new(&reg, "Accident")
+            .unwrap()
+            .set("segment", 3)
+            .unwrap()
+            .build();
+        assert_eq!(routing.shard_of(&a, 4), None); // broadcast
+        let s = routing.shard_of(&p, 4).unwrap();
+        assert!(s < 4);
+        // Deterministic: same event, same shard, every time.
+        for _ in 0..10 {
+            assert_eq!(routing.shard_of(&p, 4), Some(s));
+        }
+        // GROUP-BY projection keeps only the leading `segment`.
+        assert_eq!(routing.group_key(&p).0.len(), 1);
     }
 }

@@ -34,6 +34,7 @@ pub mod agg;
 pub mod compose;
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod graph;
 pub mod grouping;
 pub mod memory;
@@ -48,7 +49,8 @@ pub mod window;
 pub use agg::{AggLayout, AggState, TrendNum};
 pub use engine::{EngineConfig, EngineStats, GretaEngine};
 pub use error::EngineError;
-pub use grouping::PartitionKey;
+pub use executor::{ExecutorConfig, ExecutorStats, LatePolicy, StreamExecutor};
+pub use grouping::{PartitionKey, StreamRouting};
 pub use memory::MemoryFootprint;
 pub use reorder::ReorderBuffer;
 pub use results::{OutValue, WindowResult};

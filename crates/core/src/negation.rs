@@ -17,14 +17,13 @@ use crate::window::WindowId;
 use greta_query::compile::{GraphId, GraphSpec};
 use greta_query::StateId;
 use greta_types::Time;
-use serde::{Deserialize, Serialize};
 
 /// Append-only log of finished negative trends.
 ///
 /// Entries are appended in `end_time` order (END events arrive in-order).
 /// `threshold_before(t)` answers "the largest trend start among trends that
 /// finished strictly before `t`" in `O(log n)` via a prefix-max.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InvalidationLog {
     /// `(end_time, prefix_max_start)` with strictly increasing `end_time`.
     entries: Vec<(Time, Time)>,
@@ -91,7 +90,7 @@ impl InvalidationLog {
 
 /// How a negative child graph constrains its parent (derived from the
 /// previous/following connections of §5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DepMode {
     /// Case 1 `SEQ(Pi, NOT N, Pj)`: invalidation applies to connections
     /// from `previous`-state events to `following`-state events.
@@ -125,7 +124,7 @@ impl DepMode {
 }
 
 /// A parent graph's view of one negative child.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dependency {
     /// The child graph producing invalidations.
     pub child: GraphId,
@@ -281,12 +280,40 @@ mod tests {
         }];
         let logs = |g: GraphId| if g == GraphId(1) { Some(&log) } else { None };
         // Connection A(0)→B(1) at t=7: preds before time 5 invalid.
-        assert!(!predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(4), Time(7)));
-        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(5), Time(7)));
+        assert!(!predecessor_valid(
+            &deps,
+            logs,
+            StateId(0),
+            StateId(1),
+            Time(4),
+            Time(7)
+        ));
+        assert!(predecessor_valid(
+            &deps,
+            logs,
+            StateId(0),
+            StateId(1),
+            Time(5),
+            Time(7)
+        ));
         // At t=6 (not strictly after end) nothing is invalid.
-        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(1), Time(4), Time(6)));
+        assert!(predecessor_valid(
+            &deps,
+            logs,
+            StateId(0),
+            StateId(1),
+            Time(4),
+            Time(6)
+        ));
         // Other connections (A→A) unaffected.
-        assert!(predecessor_valid(&deps, logs, StateId(0), StateId(0), Time(4), Time(7)));
+        assert!(predecessor_valid(
+            &deps,
+            logs,
+            StateId(0),
+            StateId(0),
+            Time(4),
+            Time(7)
+        ));
     }
 
     #[test]

@@ -1,29 +1,26 @@
-//! Parallel per-group execution (paper §7: "the grouping clause partitions
-//! the stream into sub-streams that are processed in parallel independently
-//! from each other", evaluated in §10.4).
+//! Parallel per-group batch execution (paper §7: "the grouping clause
+//! partitions the stream into sub-streams that are processed in parallel
+//! independently from each other", evaluated in §10.4).
 //!
-//! Events are routed to worker threads by the hash of their **group key**
-//! (the `GROUP-BY` projection of the partition key), so every group is
-//! wholly owned by one worker and result rows concatenate without merging.
-//! Events of broadcast types (types outside the root graph or lacking the
-//! full key — i.e. negative-pattern types) are delivered to all workers;
-//! each worker maintains its own copies of the negative graphs it needs,
-//! trading duplicated (tiny) negative state for lock-free execution.
+//! Since the [`StreamExecutor`](crate::executor::StreamExecutor) landed,
+//! this module is a **compatibility wrapper**: [`run_parallel`] builds an
+//! executor with `threads` shards, feeds it the batch (polling as it goes,
+//! so bounded channels never back up), and returns the combined rows
+//! sorted by `(window, group)`. Routing — group-hash sharding with
+//! broadcast for negative-pattern types — lives in
+//! [`StreamRouting`](crate::grouping::StreamRouting), shared with the
+//! sequential engine.
 
 use crate::agg::TrendNum;
-use crate::engine::{EngineConfig, GretaEngine};
-use crate::grouping::KeyExtractor;
+use crate::engine::EngineConfig;
+use crate::executor::{ExecutorConfig, LatePolicy, StreamExecutor};
 use crate::results::WindowResult;
 use crate::EngineError;
-use crossbeam::channel;
 use greta_query::CompiledQuery;
-use greta_types::{Event, SchemaRegistry, TypeId};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
+use greta_types::{Event, SchemaRegistry};
 
-/// Run a query over an in-order batch with `threads` workers, returning all
-/// window results sorted by `(window, group)`.
+/// Run a query over an in-order batch with `threads` shard workers,
+/// returning all window results sorted by `(window, group)`.
 ///
 /// Falls back to a single worker when the query has no `GROUP-BY` clause
 /// (there is nothing to partition by — matching the paper's scaling model).
@@ -37,76 +34,31 @@ pub fn run_parallel<N: TrendNum>(
     if threads == 0 {
         return Err(EngineError::Config("threads must be ≥ 1".into()));
     }
-    let shards = if query.group_by.is_empty() { 1 } else { threads };
-    let extractor = KeyExtractor::new(query, registry);
-    let n_group = query.group_by.len();
-
-    // Broadcast types: outside the root graph or lacking the full key.
-    let mut root_types: HashSet<TypeId> = HashSet::new();
-    let mut all_types: HashSet<TypeId> = HashSet::new();
-    for alt in &query.alternatives {
-        for (_, t) in &alt.graphs[0].state_types {
-            root_types.insert(*t);
-        }
-        for g in &alt.graphs {
-            for (_, t) in &g.state_types {
-                all_types.insert(*t);
-            }
-        }
+    let mut exec = StreamExecutor::<N>::new(
+        query.clone(),
+        registry.clone(),
+        ExecutorConfig {
+            shards: threads,
+            slack: 0,
+            late_policy: LatePolicy::Error,
+            engine: config,
+            ..Default::default()
+        },
+    )?;
+    let mut rows = Vec::new();
+    for e in events {
+        exec.push(e.clone())?;
+        rows.extend(exec.poll_results());
     }
-    let broadcast: HashSet<TypeId> = all_types
-        .into_iter()
-        .filter(|t| !root_types.contains(t) || !extractor.has_full_key(*t))
-        .collect();
-
-    let mut rows: Vec<WindowResult<N>> = Vec::new();
-    std::thread::scope(|scope| -> Result<(), EngineError> {
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = channel::bounded::<Event>(4096);
-            senders.push(tx);
-            let query = query.clone();
-            let registry = registry.clone();
-            handles.push(scope.spawn(move || -> Result<Vec<WindowResult<N>>, EngineError> {
-                let mut engine = GretaEngine::<N>::with_config(query, registry, config)?;
-                for e in rx {
-                    engine.process(&e)?;
-                }
-                Ok(engine.finish())
-            }));
-        }
-        for e in events {
-            if broadcast.contains(&e.type_id) {
-                for tx in &senders {
-                    tx.send(e.clone()).expect("worker alive");
-                }
-            } else {
-                let key = extractor.key_of(e).group_prefix(n_group);
-                let mut h = DefaultHasher::new();
-                key.hash(&mut h);
-                let shard = (h.finish() % shards as u64) as usize;
-                senders[shard].send(e.clone()).expect("worker alive");
-            }
-        }
-        drop(senders);
-        for h in handles {
-            rows.extend(h.join().expect("worker panicked")?);
-        }
-        Ok(())
-    })?;
-
-    rows.sort_by(|a, b| {
-        a.window
-            .cmp(&b.window)
-            .then_with(|| a.group.cmp(&b.group))
-    });
+    rows.extend(exec.finish()?);
+    rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
     Ok(rows)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::GretaEngine;
     use greta_types::{EventBuilder, Time};
 
     fn setup() -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
@@ -139,11 +91,7 @@ mod tests {
         let (reg, q, events) = setup();
         let mut seq = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
         let mut expect = seq.run(&events).unwrap();
-        expect.sort_by(|a, b| {
-            a.window
-                .cmp(&b.window)
-                .then_with(|| a.group.cmp(&b.group))
-        });
+        expect.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
         for threads in [1, 2, 4] {
             let got =
                 run_parallel::<u64>(&q, &reg, EngineConfig::default(), &events, threads).unwrap();
@@ -155,7 +103,8 @@ mod tests {
     fn parallel_with_negation_broadcast() {
         let mut reg = SchemaRegistry::new();
         reg.register_type("Accident", &["segment"]).unwrap();
-        reg.register_type("Position", &["vehicle", "segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment"])
+            .unwrap();
         let q = CompiledQuery::parse(
             "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
              WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 100 SLIDE 100",
@@ -180,7 +129,13 @@ mod tests {
                 .unwrap()
                 .build()
         };
-        let events = vec![pos(1, 1, 1), pos(1, 2, 2), acc(2, 1), pos(3, 1, 1), pos(3, 2, 2)];
+        let events = vec![
+            pos(1, 1, 1),
+            pos(1, 2, 2),
+            acc(2, 1),
+            pos(3, 1, 1),
+            pos(3, 2, 2),
+        ];
         let mut seq_engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
         let mut expect = seq_engine.run(&events).unwrap();
         expect.sort_by(|a, b| a.group.cmp(&b.group));

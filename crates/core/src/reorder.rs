@@ -67,6 +67,17 @@ impl ReorderBuffer {
         out
     }
 
+    /// Highest time stamp released so far (the buffer's output watermark):
+    /// any event pushed with a smaller stamp is late.
+    pub fn watermark(&self) -> Option<Time> {
+        self.released
+    }
+
+    /// The configured slack in ticks.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
     /// Events currently buffered.
     pub fn buffered(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
@@ -133,13 +144,16 @@ mod tests {
         use greta_query::CompiledQuery;
         let mut reg = SchemaRegistry::new();
         reg.register_type("A", &[]).unwrap();
-        let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg)
-            .unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
         let mut engine = GretaEngine::<u64>::new(q, reg.clone()).unwrap();
         let mut buf = ReorderBuffer::new(10);
         let tid = reg.type_id("A").unwrap();
         for t in [2u64, 1, 4, 3, 5] {
-            for e in buf.push(Event::new_unchecked(tid, Time(t), vec![])).unwrap() {
+            for e in buf
+                .push(Event::new_unchecked(tid, Time(t), vec![]))
+                .unwrap()
+            {
                 engine.process(&e).unwrap();
             }
         }

@@ -10,10 +10,8 @@
 //! (fewer graph edges ⇒ fewer trends); the aggregation calculus is
 //! unchanged (paper §9).
 
-use serde::{Deserialize, Serialize};
-
 /// Which events may be skipped between adjacent trend events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Semantics {
     /// Detect **all** trends: every compatible previous event is a
     /// predecessor (the paper's focus; worst-case exponential trend count).

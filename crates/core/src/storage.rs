@@ -168,7 +168,10 @@ impl StateTree {
     fn visit(&self, range: Option<(CmpOp, f64)>, f: &mut impl FnMut(VertexId)) {
         use Bound::*;
         type Key = (OrdF64, u64);
-        let full = ((OrdF64(f64::NEG_INFINITY), 0), (OrdF64(f64::INFINITY), u64::MAX));
+        let full = (
+            (OrdF64(f64::NEG_INFINITY), 0),
+            (OrdF64(f64::INFINITY), u64::MAX),
+        );
         let (lo, hi): (Bound<Key>, Bound<Key>) = match range {
             None => (Included(full.0), Included(full.1)),
             Some((op, b)) => match op {
@@ -185,7 +188,6 @@ impl StateTree {
             f(*id);
         }
     }
-
 }
 
 /// One time pane: state-indexed vertex trees (Fig. 11).
@@ -377,7 +379,9 @@ impl<N: TrendNum> GraphStorage<N> {
     /// Approximate bytes of live state (vertices + index entries).
     pub fn bytes(&self) -> usize {
         let entries: usize = self.panes.iter().map(|p| p.entries).sum();
-        self.store.bytes() + entries * TREE_ENTRY_BYTES + std::mem::size_of::<Pane>() * self.panes.len()
+        self.store.bytes()
+            + entries * TREE_ENTRY_BYTES
+            + std::mem::size_of::<Pane>() * self.panes.len()
     }
 
     /// Pane iterator (tests / diagnostics).
@@ -500,10 +504,7 @@ mod tests {
     fn vertex_agg_lookup() {
         let layout = AggLayout::default();
         let mut v = vertex(1, 0.0, 0, 1);
-        v.aggs = vec![
-            (2, AggState::zero(&layout)),
-            (5, AggState::zero(&layout)),
-        ];
+        v.aggs = vec![(2, AggState::zero(&layout)), (5, AggState::zero(&layout))];
         assert!(v.agg(2).is_some());
         assert!(v.agg(5).is_some());
         assert!(v.agg(3).is_none());

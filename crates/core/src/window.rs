@@ -91,7 +91,10 @@ mod tests {
         // 0 and 3 (W1, W2 in the figure); event at t=9 in windows 0,3,6,9.
         let w = wspec(10, 3);
         assert_eq!(windows_of(Time(4), &w).collect::<Vec<_>>(), vec![0, 1]);
-        assert_eq!(windows_of(Time(9), &w).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            windows_of(Time(9), &w).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         // k = ceil(10/3) = 4 windows at most
         assert!(windows_of(Time(100), &w).count() <= 4);
     }

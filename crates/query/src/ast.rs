@@ -1,10 +1,9 @@
 //! Abstract syntax for event trend aggregation queries (paper Fig. 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kleene pattern (paper Definition 1, plus the §9 sugar `*`, `?`, `∨`, `∧`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// An event type, optionally with a query-local alias
     /// (`PATTERN Stock S+` binds alias `S`).
@@ -169,7 +168,7 @@ impl fmt::Display for Pattern {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -230,7 +229,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// Binary operators of the predicate grammar (paper Fig. 2, production `O`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -251,7 +250,7 @@ pub enum BinOp {
 }
 
 /// Predicate / arithmetic expression (paper Fig. 2, production `θ`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Integer literal.
     Int(i64),
@@ -292,7 +291,7 @@ pub enum Expr {
 
 /// One attribute inside an equivalence predicate, optionally qualified
 /// (`[P.vehicle, segment]` in query Q3).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EquivAttr {
     /// Alias/type qualifier, if any.
     pub target: Option<String>,
@@ -383,7 +382,7 @@ impl Expr {
 }
 
 /// Aggregation function (paper Def. 2 / Fig. 2 production `A`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     /// `COUNT(*)` — number of trends per group.
     CountStar,
@@ -413,7 +412,7 @@ impl fmt::Display for AggFunc {
 }
 
 /// One aggregate in the `RETURN` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
     /// The function.
     pub func: AggFunc,
@@ -430,7 +429,7 @@ impl AggSpec {
 }
 
 /// `WITHIN`/`SLIDE` window (durations in ticks; parser converts time units).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WindowSpec {
     /// Window length in ticks.
     pub within: u64,
@@ -451,7 +450,7 @@ impl WindowSpec {
 }
 
 /// A complete event trend aggregation query (paper Definition 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Plain attributes in the `RETURN` clause (must be grouping attributes).
     pub return_attrs: Vec<String>,
@@ -532,10 +531,7 @@ mod tests {
         ]);
         assert!(!p.is_positive());
         assert!(p.has_kleene());
-        assert_eq!(
-            p.leaves(),
-            vec![("A", "A"), ("C", "C"), ("B", "B")]
-        );
+        assert_eq!(p.leaves(), vec![("A", "A"), ("C", "C"), ("B", "B")]);
     }
 
     #[test]

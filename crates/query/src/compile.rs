@@ -18,19 +18,16 @@ use crate::predicate::{
 use crate::split::{split_pattern, SplitPattern};
 use crate::template::{LPattern, StateId, Template};
 use greta_types::{AttrId, SchemaRegistry, TypeId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Id of a GRETA graph within a query plan (0 = positive root; higher ids
 /// are negative sub-patterns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GraphId(pub u16);
 
 /// One GRETA graph to maintain at runtime: a template plus (for negative
 /// sub-patterns) the dependency connections of §5.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphSpec {
     /// Graph id within the plan.
     pub id: GraphId,
@@ -65,7 +62,7 @@ impl GraphSpec {
 }
 
 /// Resolved aggregation function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggKind {
     /// `COUNT(*)`.
     CountStar,
@@ -82,7 +79,7 @@ pub enum AggKind {
 }
 
 /// A resolved aggregate with its output label.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledAgg {
     /// Output column label.
     pub label: String,
@@ -93,7 +90,7 @@ pub struct CompiledAgg {
 /// One desugared alternative: a set of inter-dependent GRETA graphs plus its
 /// predicates. Alternatives have pairwise-disjoint trend sets, so aggregates
 /// combine additively across them (COUNT/SUM add; MIN/MAX fold).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AltPlan {
     /// Graphs; index 0 is the positive root.
     pub graphs: Vec<GraphSpec>,
@@ -114,7 +111,7 @@ impl AltPlan {
 }
 
 /// A fully compiled event trend aggregation query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledQuery {
     /// Disjoint pattern alternatives.
     pub alternatives: Vec<AltPlan>,
@@ -184,9 +181,10 @@ impl CompiledQuery {
         }
         // Each partition attribute must exist on at least one pattern type.
         for attr in &partition_attrs {
-            let found = bindings
-                .values()
-                .any(|ty| reg.type_id(ty).is_ok_and(|t| reg.schema(t).attr(attr).is_some()));
+            let found = bindings.values().any(|ty| {
+                reg.type_id(ty)
+                    .is_ok_and(|t| reg.schema(t).attr(attr).is_some())
+            });
             if !found {
                 return Err(QueryError::InvalidPredicate(format!(
                     "partition attribute `{attr}` exists on no pattern event type"
@@ -207,12 +205,8 @@ impl CompiledQuery {
             let lp = LPattern::locate(&alt)?;
             let split = split_pattern(&lp)?;
             let graphs = flatten_graphs(&split, reg)?;
-            let predicates = compile_predicates(
-                spec.where_expr.as_ref(),
-                &graphs,
-                &partition_attrs,
-                reg,
-            )?;
+            let predicates =
+                compile_predicates(spec.where_expr.as_ref(), &graphs, &partition_attrs, reg)?;
             alternatives.push(AltPlan { graphs, predicates });
         }
 
@@ -278,15 +272,25 @@ impl CompiledQuery {
                         format!("{}{}", s.binding, tags)
                     })
                     .collect();
-                writeln!(out, "  graph {} [{}]: states {{{}}}", g.id.0, role, states.join(", "))
-                    .unwrap();
+                writeln!(
+                    out,
+                    "  graph {} [{}]: states {{{}}}",
+                    g.id.0,
+                    role,
+                    states.join(", ")
+                )
+                .unwrap();
             }
             writeln!(
                 out,
                 "  predicates: {} vertex, {} edge ({} range-indexable)",
                 alt.predicates.vertex.len(),
                 alt.predicates.edges.len(),
-                alt.predicates.edges.iter().filter(|e| e.range.is_some()).count()
+                alt.predicates
+                    .edges
+                    .iter()
+                    .filter(|e| e.range.is_some())
+                    .count()
             )
             .unwrap();
         }
@@ -774,11 +778,10 @@ mod tests {
     #[test]
     fn rejects_unknown_names() {
         let reg = stock_registry();
-        assert!(CompiledQuery::parse(
-            "RETURN COUNT(*) PATTERN Bond B+ WITHIN 10 SLIDE 10",
-            &reg
-        )
-        .is_err());
+        assert!(
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN Bond B+ WITHIN 10 SLIDE 10", &reg)
+                .is_err()
+        );
         assert!(CompiledQuery::parse(
             "RETURN MIN(S.nope) PATTERN Stock S+ WITHIN 10 SLIDE 10",
             &reg
@@ -816,10 +819,18 @@ mod tests {
         .unwrap();
         let alt = &q.alternatives[0];
         // A→A edge pred in root; C→D edge pred in the negative graph.
-        let root_states: Vec<StateId> =
-            alt.graphs[0].template.states.iter().map(|s| s.occ).collect();
-        let neg_states: Vec<StateId> =
-            alt.graphs[1].template.states.iter().map(|s| s.occ).collect();
+        let root_states: Vec<StateId> = alt.graphs[0]
+            .template
+            .states
+            .iter()
+            .map(|s| s.occ)
+            .collect();
+        let neg_states: Vec<StateId> = alt.graphs[1]
+            .template
+            .states
+            .iter()
+            .map(|s| s.occ)
+            .collect();
         assert_eq!(alt.predicates.edges.len(), 2);
         for e in &alt.predicates.edges {
             let in_root =

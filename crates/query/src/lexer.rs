@@ -32,8 +32,8 @@ pub enum TokenKind {
 
 /// Reserved words, matched case-insensitively.
 pub const KEYWORDS: &[&str] = &[
-    "RETURN", "PATTERN", "WHERE", "GROUP-BY", "WITHIN", "SLIDE", "SEQ", "NOT", "AND", "OR",
-    "NEXT", "COUNT", "MIN", "MAX", "SUM", "AVG", "TRUE", "FALSE",
+    "RETURN", "PATTERN", "WHERE", "GROUP-BY", "WITHIN", "SLIDE", "SEQ", "NOT", "AND", "OR", "NEXT",
+    "COUNT", "MIN", "MAX", "SUM", "AVG", "TRUE", "FALSE",
 ];
 
 const SYMBOLS: &[&str] = &[
@@ -89,10 +89,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
                 i += 1;
             }
             let mut is_float = false;
-            if i + 1 < bytes.len()
-                && bytes[i] == b'.'
-                && (bytes[i + 1] as char).is_ascii_digit()
-            {
+            if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
                 is_float = true;
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {

@@ -479,10 +479,7 @@ mod tests {
              GROUP-BY mapper WITHIN 1 minute SLIDE 30 seconds",
         )
         .unwrap();
-        assert_eq!(
-            q.aggregates[0].func,
-            AggFunc::Sum("M".into(), "cpu".into())
-        );
+        assert_eq!(q.aggregates[0].func, AggFunc::Sum("M".into(), "cpu".into()));
         assert_eq!(
             q.pattern,
             Pattern::seq(vec![
@@ -595,10 +592,7 @@ mod tests {
         assert!(parse_query("PATTERN A WITHIN 1 SLIDE 1").is_err());
         assert!(parse_pattern("SEQ(A,)").is_err());
         assert!(parse_expr("a.x <").is_err());
-        assert!(parse_query(
-            "RETURN COUNT(*) PATTERN A WITHIN 1 SLIDE 1 trailing"
-        )
-        .is_err());
+        assert!(parse_query("RETURN COUNT(*) PATTERN A WITHIN 1 SLIDE 1 trailing").is_err());
     }
 
     mod props {

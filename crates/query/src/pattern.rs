@@ -341,10 +341,7 @@ mod tests {
     fn desugar_optional() {
         let alts = desugar(&parse_pattern("SEQ(A?, B, C?)").unwrap()).unwrap();
         let strs: Vec<String> = alts.iter().map(|p| p.to_string()).collect();
-        assert_eq!(
-            strs,
-            vec!["SEQ(A, B, C)", "SEQ(A, B)", "SEQ(B, C)", "B"]
-        );
+        assert_eq!(strs, vec!["SEQ(A, B, C)", "SEQ(A, B)", "SEQ(B, C)", "B"]);
     }
 
     #[test]

@@ -12,12 +12,11 @@
 
 use crate::ast::{BinOp, CmpOp};
 use greta_types::{AttrId, Event, Value};
-use serde::{Deserialize, Serialize};
 
 use crate::template::StateId;
 
 /// Which event an attribute reference reads in a compiled expression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventRole {
     /// The earlier of the two adjacent events (edge predicates only).
     Prev,
@@ -27,7 +26,7 @@ pub enum EventRole {
 }
 
 /// Expression with attribute references resolved to `(role, AttrId)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompiledExpr {
     /// Literal.
     Const(Value),
@@ -96,7 +95,7 @@ fn truthy(v: &Value) -> bool {
 }
 
 /// A local filter on events of one template state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexPredicate {
     /// State whose events are filtered.
     pub state: StateId,
@@ -110,7 +109,7 @@ pub struct VertexPredicate {
 /// The runtime computes `bound = (eval(bound_expr) − shift) / scale` and
 /// issues `prev.attr ⟨op'⟩ bound` as a Vertex-Tree range query, where
 /// `op'` is `op` flipped when `scale < 0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RangeForm {
     /// Attribute of the previous event indexed by the Vertex Tree.
     pub prev_attr: AttrId,
@@ -129,13 +128,17 @@ impl RangeForm {
     pub fn bound(&self, next: &Event) -> (CmpOp, f64) {
         let raw = self.bound_expr.eval(None, next).as_f64();
         let bound = (raw - self.shift) / self.scale;
-        let op = if self.scale < 0.0 { self.op.flip() } else { self.op };
+        let op = if self.scale < 0.0 {
+            self.op.flip()
+        } else {
+            self.op
+        };
         (op, bound)
     }
 }
 
 /// A compiled edge predicate between two template states.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgePredicate {
     /// State of the earlier event.
     pub prev_state: StateId,
@@ -148,7 +151,7 @@ pub struct EdgePredicate {
 }
 
 /// All compiled predicates of one query alternative.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PredicateSet {
     /// Partition attribute names (`GROUP-BY` + equivalence predicates);
     /// per-type resolution happens in `greta-core`.
@@ -166,11 +169,7 @@ impl PredicateSet {
     }
 
     /// Edge predicates for a `(prev, next)` state pair.
-    pub fn edge_preds(
-        &self,
-        prev: StateId,
-        next: StateId,
-    ) -> impl Iterator<Item = &EdgePredicate> {
+    pub fn edge_preds(&self, prev: StateId, next: StateId) -> impl Iterator<Item = &EdgePredicate> {
         self.edges
             .iter()
             .filter(move |e| e.prev_state == prev && e.next_state == next)
@@ -389,10 +388,7 @@ mod tests {
         assert_eq!(op, CmpOp::Lt);
         assert_eq!(b, 4.0);
         // negative scale flips the operator
-        let rf = RangeForm {
-            scale: -1.0,
-            ..rf
-        };
+        let rf = RangeForm { scale: -1.0, ..rf };
         let (op, b) = rf.bound(&next);
         assert_eq!(op, CmpOp::Gt);
         assert_eq!(b, -8.0);

@@ -19,10 +19,9 @@
 
 use crate::error::QueryError;
 use crate::template::{LPattern, StateId};
-use serde::{Deserialize, Serialize};
 
 /// Result of splitting: positive part plus negative children.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitPattern {
     /// The pattern with all `NOT` sub-patterns removed.
     pub positive: LPattern,
@@ -31,7 +30,7 @@ pub struct SplitPattern {
 }
 
 /// One negative sub-pattern with its connections to the parent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NegativeSub {
     /// The negative sub-pattern, recursively split (it may contain
     /// further negation).

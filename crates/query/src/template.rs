@@ -15,17 +15,14 @@
 
 use crate::ast::Pattern;
 use crate::error::QueryError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense id of a template state (one per event-type occurrence).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StateId(pub u16);
 
 /// Transition label (paper Algorithm 1: `SEQ` or `+`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TransKind {
     /// Adjacency across an event sequence operator.
     Seq,
@@ -37,7 +34,7 @@ pub enum TransKind {
 /// (after desugaring) with a unique [`StateId`] stamped on every type leaf.
 /// Ids are global across the whole pattern, including leaves inside `NOT`,
 /// so that the split algorithm (§5.1) can reference parent states.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LPattern {
     /// Event type occurrence.
     Type {
@@ -155,7 +152,7 @@ impl fmt::Display for LPattern {
 }
 
 /// A template state: one event-type occurrence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateInfo {
     /// Global occurrence id (shared with the located pattern).
     pub occ: StateId,
@@ -166,7 +163,7 @@ pub struct StateInfo {
 }
 
 /// The GRETA template: automaton over event-type occurrences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Template {
     /// States in occurrence order. NOTE: `StateId`s are *global* over the
     /// whole query pattern; use [`Template::state`] to look up by id.
@@ -276,8 +273,12 @@ impl Template {
                 TransKind::Seq => "SEQ",
                 TransKind::Plus => "+",
             };
-            writeln!(out, "  s{} -> s{} [style={style}, label=\"{label}\"];", from.0, to.0)
-                .unwrap();
+            writeln!(
+                out,
+                "  s{} -> s{} [style={style}, label=\"{label}\"];",
+                from.0, to.0
+            )
+            .unwrap();
         }
         out.push_str("}\n");
         out

@@ -39,7 +39,10 @@ impl fmt::Display for TypeError {
                 "event of type `{ty}` built with {got} attribute values, schema declares {expected}"
             ),
             TypeError::DuplicateType(t) => {
-                write!(f, "event type `{t}` registered twice with different schemas")
+                write!(
+                    f,
+                    "event type `{t}` registered twice with different schemas"
+                )
             }
         }
     }

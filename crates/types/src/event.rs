@@ -4,14 +4,13 @@ use crate::schema::{AttrId, Schema, SchemaRegistry, TypeId};
 use crate::time::Time;
 use crate::value::Value;
 use crate::TypeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A primitive event on the stream.
 ///
 /// Events are immutable once built; the GRETA runtime stores each event at
 /// most once per template state (paper §4.2: "each event is stored once").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Occurrence time assigned by the event source.
     pub time: Time,
@@ -167,7 +166,14 @@ mod tests {
         let r = reg();
         let tid = r.type_id("Stock").unwrap();
         let err = Event::new(&r, tid, Time(1), vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, TypeError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            TypeError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
         let ok = Event::new(&r, tid, Time(1), vec![Value::Int(1), "IBM".into()]).unwrap();
         assert_eq!(ok.attr(AttrId(1)).as_str(), Some("IBM"));
     }

@@ -7,23 +7,18 @@
 //! predicate evaluation) never touches strings.
 
 use crate::error::TypeError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dense id of a registered event type.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TypeId(pub u16);
 
 /// Index of an attribute within its event type's schema.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AttrId(pub u16);
 
 /// Schema of one event type: its name and ordered attribute names.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     /// Event type name as written in queries (e.g. `Stock`).
     pub name: String,
@@ -54,10 +49,9 @@ impl Schema {
 /// Registration is idempotent: re-registering an identical schema returns
 /// the existing id; re-registering the same name with a *different* schema
 /// is an error ([`TypeError::DuplicateType`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SchemaRegistry {
     schemas: Vec<Schema>,
-    #[serde(skip)]
     by_name: HashMap<String, TypeId>,
 }
 

@@ -32,7 +32,10 @@ pub struct VecStream {
 impl VecStream {
     /// Wrap a vector of events. Debug builds assert in-order time stamps.
     pub fn new(events: Vec<Event>) -> Self {
-        debug_assert!(check_in_order(&events), "VecStream requires in-order events");
+        debug_assert!(
+            check_in_order(&events),
+            "VecStream requires in-order events"
+        );
         VecStream {
             events: events.into_iter(),
         }

@@ -5,13 +5,12 @@
 //! plus exact equality for partitioning (equivalence predicates and
 //! `GROUP-BY` hash on [`Value`] directly).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A dynamically typed attribute value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer (ids, volumes, positions).
     Int(i64),
@@ -76,7 +75,10 @@ impl Value {
             }
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
-            (None, None) => self.as_str().unwrap_or("").cmp(other.as_str().unwrap_or("")),
+            (None, None) => self
+                .as_str()
+                .unwrap_or("")
+                .cmp(other.as_str().unwrap_or("")),
         }
     }
 }

@@ -177,8 +177,7 @@ mod tests {
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         assert!((mean - 100.0).abs() < 3.0, "mean={mean}");
         // Poisson(100) variance ≈ 100.
-        let var =
-            loads.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / loads.len() as f64;
+        let var = loads.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / loads.len() as f64;
         assert!((var - 100.0).abs() < 25.0, "var={var}");
     }
 
@@ -207,10 +206,8 @@ mod tests {
     #[test]
     fn mapper_count_controls_groups() {
         let (_, g, evs) = gen(2000, 3);
-        let mappers: std::collections::HashSet<i64> = evs
-            .iter()
-            .map(|e| e.attrs[1].as_i64().unwrap())
-            .collect();
+        let mappers: std::collections::HashSet<i64> =
+            evs.iter().map(|e| e.attrs[1].as_i64().unwrap()).collect();
         assert!(mappers.len() <= 3);
         let _ = g;
     }

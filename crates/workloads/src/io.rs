@@ -6,9 +6,12 @@
 //!
 //! * **CSV** — one file per run: `type,time,attr1=value,…` with a schema
 //!   header line; human-diffable, round-trips every [`Value`] variant.
-//! * **JSONL** — one serde-serialized event per line, with the schema
-//!   registry on the first line (floats round-trip to within one ULP of
-//!   the JSON formatter).
+//! * **JSONL** — one JSON-encoded event per line, with the schema
+//!   registry on the first line (floats are rendered with Rust's shortest
+//!   round-trip formatter, so values survive a round trip exactly).
+//!
+//! JSON is encoded and parsed by the tiny [`json`] module below — the
+//! build environment is offline, so no serde.
 
 use greta_types::{Event, Schema, SchemaRegistry, Time, TypeError, Value};
 use std::io::{BufRead, Write};
@@ -28,7 +31,7 @@ pub enum IoError {
     /// Schema mismatch while resolving a type.
     Type(TypeError),
     /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    Json(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -52,11 +55,6 @@ impl From<std::io::Error> for IoError {
 impl From<TypeError> for IoError {
     fn from(e: TypeError) -> Self {
         IoError::Type(e)
-    }
-}
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
     }
 }
 
@@ -115,13 +113,14 @@ pub fn read_csv(r: impl BufRead) -> Result<(SchemaRegistry, Vec<Event>), IoError
             continue;
         }
         let tid = reg.type_id(first)?;
-        let time: u64 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| IoError::Parse {
-                line: lineno,
-                msg: "missing/invalid time stamp".into(),
-            })?;
+        let time: u64 =
+            parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| IoError::Parse {
+                    line: lineno,
+                    msg: "missing/invalid time stamp".into(),
+                })?;
         let mut attrs = Vec::new();
         for cell in parts {
             let (kind, raw) = cell.split_at(cell.find(':').ok_or_else(|| IoError::Parse {
@@ -161,11 +160,9 @@ pub fn write_jsonl(
     reg: &SchemaRegistry,
     events: &[Event],
 ) -> Result<(), IoError> {
-    serde_json::to_writer(&mut *w, reg)?;
-    writeln!(w)?;
+    writeln!(w, "{}", json::encode_registry(reg))?;
     for e in events {
-        serde_json::to_writer(&mut *w, e)?;
-        writeln!(w)?;
+        writeln!(w, "{}", json::encode_event(e))?;
     }
     Ok(())
 }
@@ -177,12 +174,11 @@ pub fn read_jsonl(r: impl BufRead) -> Result<(SchemaRegistry, Vec<Event>), IoErr
         line: 1,
         msg: "empty file".into(),
     })??;
-    // The registry's name index is #[serde(skip)]; rebuild it by
+    // The registry's name index is not persisted; rebuild it by
     // re-registering every schema.
-    let raw: SchemaRegistry = serde_json::from_str(&header)?;
     let mut reg = SchemaRegistry::new();
-    for (_, schema) in raw.iter() {
-        reg.register(schema.clone())?;
+    for schema in json::decode_registry(&header).map_err(IoError::Json)? {
+        reg.register(schema)?;
     }
     let mut events = Vec::new();
     for (ln, line) in lines.enumerate() {
@@ -190,13 +186,387 @@ pub fn read_jsonl(r: impl BufRead) -> Result<(SchemaRegistry, Vec<Event>), IoErr
         if line.is_empty() {
             continue;
         }
-        let e: Event = serde_json::from_str(&line).map_err(|e| IoError::Parse {
-            line: ln + 2,
-            msg: e.to_string(),
-        })?;
+        let e = json::decode_event(&line).map_err(|msg| IoError::Parse { line: ln + 2, msg })?;
         events.push(e);
     }
     Ok((reg, events))
+}
+
+/// Minimal JSON encoding/parsing for the two persisted shapes
+/// (schema registries and events). Number tokens are kept as raw text
+/// until their target type is known, so `i64` attributes never take a
+/// lossy trip through `f64`.
+pub mod json {
+    use greta_types::{Event, Schema, SchemaRegistry, Time, TypeId, Value};
+    use std::fmt::Write as _;
+
+    /// `{"schemas":[{"name":…,"attributes":[…]},…]}`
+    pub fn encode_registry(reg: &SchemaRegistry) -> String {
+        let mut out = String::from("{\"schemas\":[");
+        for (i, (_, schema)) in reg.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_str_lit(&mut out, &schema.name);
+            out.push_str(",\"attributes\":[");
+            for (j, a) in schema.attributes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_str_lit(&mut out, a);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `{"time":…,"type_id":…,"attrs":[{"Int":…}|{"Float":…}|{"Str":…}|{"Bool":…},…]}`
+    pub fn encode_event(e: &Event) -> String {
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"time\":{},\"type_id\":{},\"attrs\":[",
+            e.time.ticks(),
+            e.type_id.0
+        )
+        .expect("string write");
+        for (i, v) in e.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Int(x) => write!(out, "{{\"Int\":{x}}}").expect("string write"),
+                Value::Float(x) => {
+                    if x.is_finite() {
+                        write!(out, "{{\"Float\":{x}}}").expect("string write")
+                    } else {
+                        // JSON has no Inf/NaN literals; null round-trips to NaN.
+                        out.push_str("{\"Float\":null}")
+                    }
+                }
+                Value::Str(s) => {
+                    out.push_str("{\"Str\":");
+                    push_str_lit(&mut out, s);
+                    out.push('}');
+                }
+                Value::Bool(b) => write!(out, "{{\"Bool\":{b}}}").expect("string write"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decode the header line into its schemas.
+    pub fn decode_registry(s: &str) -> Result<Vec<Schema>, String> {
+        let v = parse(s)?;
+        let schemas = v
+            .get("schemas")
+            .and_then(Json::as_array)
+            .ok_or("missing `schemas`")?;
+        schemas
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("schema lacks `name`")?;
+                let attrs = s
+                    .get("attributes")
+                    .and_then(Json::as_array)
+                    .ok_or("schema lacks `attributes`")?;
+                let attrs: Vec<&str> = attrs
+                    .iter()
+                    .map(|a| a.as_str().ok_or("attribute name must be a string"))
+                    .collect::<Result<_, _>>()?;
+                Ok(Schema::new(name, &attrs))
+            })
+            .collect::<Result<Vec<Schema>, &str>>()
+            .map_err(String::from)
+    }
+
+    /// Decode one event line.
+    pub fn decode_event(s: &str) -> Result<Event, String> {
+        let v = parse(s)?;
+        let time = v
+            .get("time")
+            .and_then(Json::as_u64)
+            .ok_or("event lacks a numeric `time`")?;
+        let type_id = v
+            .get("type_id")
+            .and_then(Json::as_u64)
+            .ok_or("event lacks a numeric `type_id`")?;
+        let attrs = v
+            .get("attrs")
+            .and_then(Json::as_array)
+            .ok_or("event lacks `attrs`")?;
+        let attrs: Vec<Value> = attrs
+            .iter()
+            .map(|a| {
+                let obj = a
+                    .as_object()
+                    .ok_or_else(|| "attr must be an object".to_string())?;
+                let (tag, val) = obj.first().ok_or_else(|| "empty attr object".to_string())?;
+                match (tag.as_str(), val) {
+                    ("Int", Json::Num(raw)) => raw
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| e.to_string()),
+                    ("Float", Json::Num(raw)) => raw
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| e.to_string()),
+                    ("Float", Json::Null) => Ok(Value::Float(f64::NAN)),
+                    ("Str", Json::Str(s)) => Ok(Value::from(s.as_str())),
+                    ("Bool", Json::Bool(b)) => Ok(Value::Bool(*b)),
+                    (tag, _) => Err(format!("unknown value tag `{tag}`")),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let type_id =
+            u16::try_from(type_id).map_err(|_| format!("type_id {type_id} out of range"))?;
+        Ok(Event::new_unchecked(TypeId(type_id), Time(time), attrs))
+    }
+
+    /// `s` as a JSON string literal (quoted and escaped).
+    pub fn str_lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_lit(&mut out, s);
+        out
+    }
+
+    fn push_str_lit(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("string write"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// A parsed JSON value. Numbers stay as raw text (see module docs).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Number, unparsed.
+        Num(String),
+        /// String (unescaped).
+        Str(String),
+        /// Array.
+        Arr(Vec<Json>),
+        /// Object, in source order.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        fn as_object(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+            Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Json::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut kvs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(kvs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    let val = parse_value(b, pos)?;
+                    kvs.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(kvs));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                if start == *pos {
+                    return Err(format!("unexpected character at byte {start}"));
+                }
+                Ok(Json::Num(
+                    std::str::from_utf8(&b[start..*pos])
+                        .expect("ascii number")
+                        .to_string(),
+                ))
+            }
+        }
+    }
+
+    fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+        let hex = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = parse_hex4(b, *pos + 1)?;
+                            *pos += 4;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: standard encoders emit the
+                                // low half as an immediately following \uXXXX.
+                                if b.get(*pos + 1..*pos + 3) != Some(br"\u".as_slice()) {
+                                    return Err("high surrogate without \\u low half".into());
+                                }
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                *pos += 6;
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(char::from_u32(c).ok_or("invalid surrogate pair")?);
+                            } else {
+                                out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (possibly multi-byte).
+                    let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +642,27 @@ mod tests {
         write_csv(&mut buf, &reg, std::slice::from_ref(&e)).unwrap();
         let (_, events) = read_csv(buf.as_slice()).unwrap();
         assert_eq!(events[0], e);
+    }
+
+    #[test]
+    fn jsonl_interop_edge_cases() {
+        // Surrogate-pair escapes from standard encoders must decode.
+        let doc = r#"{"time":1,"type_id":0,"attrs":[{"Str":"😀 ok"}]}"#;
+        let e = json::decode_event(doc).unwrap();
+        assert_eq!(e.attrs[0].as_str(), Some("😀 ok"));
+        // Unpaired high surrogate is an error, not a panic.
+        assert!(
+            json::decode_event(r#"{"time":1,"type_id":0,"attrs":[{"Str":"\ud83d"}]}"#).is_err()
+        );
+        // Out-of-range type_id errors instead of silently truncating.
+        let err = json::decode_event(r#"{"time":1,"type_id":70000,"attrs":[]}"#).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // Non-BMP chars round-trip through our own encoder too.
+        let mut reg = SchemaRegistry::new();
+        let t = reg.register_type("T", &["s"]).unwrap();
+        let e = Event::new_unchecked(t, Time(3), vec![Value::from("naïve 🚀")]);
+        let back = json::decode_event(&json::encode_event(&e)).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

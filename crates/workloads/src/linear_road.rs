@@ -63,7 +63,8 @@ impl LinearRoadGen {
         config: LinearRoadConfig,
         reg: &mut SchemaRegistry,
     ) -> Result<LinearRoadGen, TypeError> {
-        let position = reg.register_type("Position", &["vehicle", "segment", "position", "speed"])?;
+        let position =
+            reg.register_type("Position", &["vehicle", "segment", "position", "speed"])?;
         let accident = reg.register_type("Accident", &["segment"])?;
         Ok(LinearRoadGen {
             config,

@@ -82,7 +82,11 @@ impl StockGen {
             &["price", "volume", "company", "sector", "kind", "txn"],
         )?;
         let halt = reg.register_type("Halt", &["company", "sector"])?;
-        Ok(StockGen { config, stock, halt })
+        Ok(StockGen {
+            config,
+            stock,
+            halt,
+        })
     }
 
     /// Generate the stream (in-order, deterministic per seed).

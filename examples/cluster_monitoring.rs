@@ -10,7 +10,7 @@
 //! cargo run --release --example cluster_monitoring
 //! ```
 
-use greta::core::{parallel::run_parallel, EngineConfig, GretaEngine};
+use greta::core::{ExecutorConfig, GretaEngine, StreamExecutor};
 use greta::query::CompiledQuery;
 use greta::workloads::{ClusterConfig, ClusterGen};
 use greta_types::SchemaRegistry;
@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut registry,
     )?;
     let events = generator.generate();
-    println!("generated {} cluster events (Table 2 distributions)", events.len());
+    println!(
+        "generated {} cluster events (Table 2 distributions)",
+        events.len()
+    );
 
     let query = CompiledQuery::parse(
         "RETURN mapper, SUM(M.cpu) \
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let rows = engine.finish();
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("\nsequential: {} mapper-window rows in {seq_ms:.1} ms", rows.len());
+    println!(
+        "\nsequential: {} mapper-window rows in {seq_ms:.1} ms",
+        rows.len()
+    );
     for row in rows.iter().take(8) {
         println!(
             "  window {:>2} | {} | SUM(M.cpu) = {}",
@@ -57,12 +63,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Parallel per-group run (paper §7/§10.4): groups are independent.
-    for threads in [2usize, 4] {
+    // Sharded executor run (paper §7/§10.4): each mapper group is owned by
+    // one shard, events are pushed incrementally, results stream out as
+    // windows close.
+    for shards in [2usize, 4] {
         let t0 = Instant::now();
-        let prows = run_parallel::<f64>(&query, &registry, EngineConfig::default(), &events, threads)?;
+        let mut executor = StreamExecutor::<f64>::new(
+            query.clone(),
+            registry.clone(),
+            ExecutorConfig {
+                shards,
+                ..Default::default()
+            },
+        )?;
+        let mut prows = Vec::new();
+        for e in &events {
+            executor.push(e.clone())?;
+            prows.extend(executor.poll_results());
+        }
+        prows.extend(executor.finish()?);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        println!("parallel x{threads}: {} rows in {ms:.1} ms", prows.len());
+        println!("executor x{shards}: {} rows in {ms:.1} ms", prows.len());
         assert_eq!(prows.len(), rows.len());
     }
     Ok(())

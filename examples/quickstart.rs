@@ -9,7 +9,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use greta::core::GretaEngine;
+use greta::core::{ExecutorConfig, StreamExecutor};
 use greta::query::CompiledQuery;
 use greta::types::{EventBuilder, SchemaRegistry, Time};
 
@@ -28,8 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("--- plan ---\n{}", query.describe());
 
-    // 3. Feed the stream of Fig. 12. Exact counting via the u64 carrier.
-    let mut engine = GretaEngine::<u64>::new(query, registry.clone())?;
+    // 3. Push the stream of Fig. 12 into the streaming executor (the
+    //    ungrouped query runs on a single shard). Exact counting via the
+    //    u64 carrier.
+    let mut executor =
+        StreamExecutor::<u64>::new(query, registry.clone(), ExecutorConfig::default())?;
+    let mut results = Vec::new();
     for (ty, t, attr) in [
         ("A", 1u64, 5.0),
         ("B", 2, 0.0),
@@ -41,11 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .at(Time(t))
             .set("attr", attr)?
             .build();
-        engine.process(&event)?;
+        executor.push(event)?;
+        results.extend(executor.poll_results()); // rows stream as windows close
     }
 
-    // 4. Flush the window and print the aggregates.
-    let results = engine.finish();
+    // 4. End of stream: flush the remaining window.
+    results.extend(executor.finish()?);
     for row in &results {
         println!("window {}:", row.window);
         for (label, value) in ["COUNT(*)", "COUNT(A)", "MIN", "MAX", "SUM", "AVG"]
@@ -59,10 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(values, vec![11.0, 20.0, 4.0, 6.0, 100.0, 5.0]);
     println!("\nExample 1 of the paper reproduced ✔");
 
-    let stats = engine.stats();
+    let stats = executor.stats();
     println!(
         "events={} vertices={} edges={} (quadratic, not exponential)",
-        stats.events, stats.vertices, stats.edges
+        stats.engine.events, stats.engine.vertices, stats.engine.edges
     );
     Ok(())
 }

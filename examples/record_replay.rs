@@ -1,15 +1,16 @@
 //! Record & replay: persist a generated workload to CSV, reload it, repair
-//! a deliberately shuffled copy with the out-of-order adapter, and verify
-//! that all three paths produce identical aggregates.
+//! a deliberately shuffled copy through the executor's reorder stage, and
+//! verify that all three paths produce identical aggregates.
 //!
-//! Demonstrates `greta_workloads::io` (stream persistence) and
-//! `greta_core::ReorderBuffer` (the §2 out-of-order delegation).
+//! Demonstrates `greta_workloads::io` (stream persistence) and the
+//! `StreamExecutor`'s integrated out-of-order ingestion (`slack` +
+//! `LatePolicy`, the §2 out-of-order delegation).
 //!
 //! ```sh
 //! cargo run --release --example record_replay
 //! ```
 
-use greta::core::{GretaEngine, ReorderBuffer};
+use greta::core::{ExecutorConfig, GretaEngine, LatePolicy, StreamExecutor};
 use greta::query::CompiledQuery;
 use greta::types::Event;
 use greta::workloads::io::{read_csv, write_csv};
@@ -58,30 +59,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("live == replay ✔  ({} result rows)", live.len());
 
     // 3. Shuffle the stream locally (swap neighbours within a 16-tick
-    //    jitter) and repair it with the slack buffer.
+    //    jitter) and repair it through the executor's ingestion stage: a
+    //    16-tick reorder slack, dropping anything later than that.
     let mut shuffled = replayed.clone();
     for i in (0..shuffled.len().saturating_sub(8)).step_by(8) {
         shuffled.swap(i, i + 7);
         shuffled.swap(i + 2, i + 5);
     }
-    let mut buf = ReorderBuffer::new(16);
-    let mut engine = GretaEngine::<f64>::new(query.clone(), reg2.clone())?;
-    let mut late = 0u64;
+    let mut executor = StreamExecutor::<f64>::new(
+        query.clone(),
+        reg2.clone(),
+        ExecutorConfig {
+            shards: 2,
+            slack: 16,
+            late_policy: LatePolicy::Drop,
+            ..Default::default()
+        },
+    )?;
+    let mut rows = Vec::new();
     for e in &shuffled {
-        match buf.push(e.clone()) {
-            Ok(ready) => {
-                for e in ready {
-                    engine.process(&e)?;
-                }
-            }
-            Err(_) => late += 1,
-        }
+        executor.push(e.clone())?;
+        rows.extend(executor.poll_results());
     }
-    for e in buf.flush() {
-        engine.process(&e)?;
-    }
-    let repaired: Vec<f64> = engine.finish().iter().map(|r| r.values[0].to_f64()).collect();
+    rows.extend(executor.finish()?);
+    rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+    let repaired: Vec<f64> = rows.iter().map(|r| r.values[0].to_f64()).collect();
     assert_eq!(live, repaired);
-    println!("shuffled + reorder-buffer == live ✔  ({late} events too late)");
+    println!(
+        "shuffled + executor reorder slack == live ✔  ({} events too late)",
+        executor.stats().late_dropped
+    );
     Ok(())
 }

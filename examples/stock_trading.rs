@@ -11,7 +11,7 @@
 //! ```
 
 use greta::baselines::SaseEngine;
-use greta::core::{EngineConfig, GretaEngine, MemoryFootprint};
+use greta::core::{ExecutorConfig, StreamExecutor};
 use greta::query::CompiledQuery;
 use greta::workloads::{StockConfig, StockGen};
 use greta_types::SchemaRegistry;
@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut registry,
     )?;
     let events = generator.generate();
-    println!("generated {} stock transactions (10 companies, 3 sectors)", events.len());
+    println!(
+        "generated {} stock transactions (10 companies, 3 sectors)",
+        events.len()
+    );
 
     // Query Q1: down-trends per sector, 10-minute window sliding every 10s.
     // (1 tick = 1 event here; 600/100 keeps several windows in flight.)
@@ -42,17 +45,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &registry,
     )?;
 
-    // GRETA: incremental, results per window as soon as it closes.
+    // GRETA: push-based executor, sharded by sector; results stream out as
+    // each window closes.
     let t0 = Instant::now();
-    let mut engine = GretaEngine::<f64>::with_config(
+    let mut executor = StreamExecutor::<f64>::new(
         query.clone(),
         registry.clone(),
-        EngineConfig::default(),
+        ExecutorConfig {
+            shards: 2,
+            ..Default::default()
+        },
     )?;
     let mut emitted = 0usize;
     for e in &events {
-        engine.process(e)?;
-        for row in engine.poll_results() {
+        executor.push(e.clone())?;
+        for row in executor.poll_results() {
             emitted += 1;
             if emitted <= 5 {
                 println!(
@@ -64,11 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    emitted += engine.finish().len();
+    emitted += executor.finish()?.len();
     let greta_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
-        "GRETA: {emitted} sector-window results in {greta_ms:.1} ms, peak memory {} KiB",
-        engine.peak_memory_bytes() / 1024
+        "GRETA: {emitted} sector-window results in {greta_ms:.1} ms across {} shards, \
+         peak memory {} KiB",
+        executor.shards(),
+        executor.stats().peak_memory_bytes / 1024
     );
 
     // The same query two-step (SASE): construct every trend, then count.

@@ -11,10 +11,35 @@
 //! cargo run --release --example traffic
 //! ```
 
-use greta::core::GretaEngine;
+use greta::core::{ExecutorConfig, StreamExecutor};
 use greta::query::CompiledQuery;
 use greta::workloads::{LinearRoadConfig, LinearRoadGen};
 use greta_types::SchemaRegistry;
+
+/// Push a batch through a sharded executor and return all rows in
+/// `(window, group)` order.
+fn run_sharded(
+    query: &CompiledQuery,
+    registry: &SchemaRegistry,
+    events: &[greta::types::Event],
+) -> Result<Vec<greta::core::WindowResult<f64>>, Box<dyn std::error::Error>> {
+    let mut executor = StreamExecutor::<f64>::new(
+        query.clone(),
+        registry.clone(),
+        ExecutorConfig {
+            shards: 4, // segments shard cleanly: accidents broadcast
+            ..Default::default()
+        },
+    )?;
+    let mut rows = Vec::new();
+    for e in events {
+        executor.push(e.clone())?;
+        rows.extend(executor.poll_results());
+    }
+    rows.extend(executor.finish()?);
+    rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+    Ok(rows)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = SchemaRegistry::new();
@@ -30,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut registry,
     )?;
     let events = generator.generate();
-    let accidents = events.iter().filter(|e| e.type_id == generator.accident).count();
+    let accidents = events
+        .iter()
+        .filter(|e| e.type_id == generator.accident)
+        .count();
     println!(
         "generated {} position reports and {accidents} accidents",
         events.len() - accidents
@@ -45,11 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &registry,
     )?;
 
-    let mut engine = GretaEngine::<f64>::new(query.clone(), registry.clone())?;
-    for e in &events {
-        engine.process(e)?;
-    }
-    let rows = engine.finish();
+    let rows = run_sharded(&query, &registry, &events)?;
     println!("\nslow-down trends per segment (accident-free only):");
     for row in &rows {
         println!(
@@ -71,11 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          WITHIN 2000 SLIDE 2000",
         &registry,
     )?;
-    let mut engine2 = GretaEngine::<f64>::new(no_neg, registry.clone())?;
-    for e in &events {
-        engine2.process(e)?;
-    }
-    let rows2 = engine2.finish();
+    let rows2 = run_sharded(&no_neg, &registry, &events)?;
     let with_neg: f64 = rows.iter().map(|r| r.values[0].to_f64()).sum();
     let without: f64 = rows2.iter().map(|r| r.values[0].to_f64()).sum();
     println!(

@@ -64,10 +64,7 @@ const AGGS: &[&str] = &[
 
 fn arb_stream() -> impl Strategy<Value = Vec<(u8, u8, i8, i8)>> {
     // (type 0..5, time-delta 0..3, attr, group)
-    prop::collection::vec(
-        (0u8..5, 0u8..3, 0i8..6, 0i8..2),
-        0..14,
-    )
+    prop::collection::vec((0u8..5, 0u8..3, 0i8..6, 0i8..2), 0..14)
 }
 
 fn build_events(reg: &SchemaRegistry, raw: &[(u8, u8, i8, i8)]) -> Vec<Event> {
@@ -202,9 +199,9 @@ proptest! {
     }
 
     #[test]
-    fn parallel_matches_sequential(
+    fn sharded_executor_matches_sequential(
         raw in arb_stream(),
-        threads in 1usize..4,
+        shards in 1usize..4,
     ) {
         let reg = registry();
         let q = CompiledQuery::parse(
@@ -215,11 +212,25 @@ proptest! {
         let events = build_events(&reg, &raw);
         let mut seq = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
         let a = canon(&seq.run(&events).unwrap());
-        let rows = greta::core::parallel::run_parallel::<f64>(
-            &q, &reg, EngineConfig::default(), &events, threads,
+        // Push-based sharded path: events fed one at a time with
+        // intermediate polls, never as a batch.
+        let mut exec = greta::core::StreamExecutor::<f64>::new(
+            q,
+            reg,
+            greta::core::ExecutorConfig {
+                shards,
+                engine: EngineConfig::default(),
+                ..Default::default()
+            },
         ).unwrap();
+        let mut rows = Vec::new();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            rows.extend(exec.poll_results());
+        }
+        rows.extend(exec.finish().unwrap());
         let b = canon(&rows);
-        rows_eq(&a, &b, "parallel vs sequential")?;
+        rows_eq(&a, &b, "sharded executor vs sequential")?;
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Integration tests for the push-based sharded `StreamExecutor`:
+//! shard-count invariance on the paper's grouped queries, incremental
+//! `poll_results` equivalence with batch runs, `ReorderBuffer` late-event
+//! policies, and watermark-driven window closing.
+
+use greta::core::{
+    EngineError, ExecutorConfig, GretaEngine, LatePolicy, StreamExecutor, WindowResult,
+};
+use greta::query::CompiledQuery;
+use greta::types::{Event, EventBuilder, SchemaRegistry, Time};
+use greta::workloads::{ClusterConfig, ClusterGen, StockConfig, StockGen};
+
+fn sorted(mut rows: Vec<WindowResult<f64>>) -> Vec<WindowResult<f64>> {
+    rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+    rows
+}
+
+/// Feed events one by one, polling between pushes (the push-based path).
+fn run_executor(
+    query: &CompiledQuery,
+    reg: &SchemaRegistry,
+    events: &[Event],
+    config: ExecutorConfig,
+) -> (Vec<WindowResult<f64>>, greta::core::ExecutorStats) {
+    let mut exec = StreamExecutor::<f64>::new(query.clone(), reg.clone(), config).unwrap();
+    let mut rows = Vec::new();
+    for e in events {
+        exec.push(e.clone()).unwrap();
+        rows.extend(exec.poll_results());
+    }
+    rows.extend(exec.finish().unwrap());
+    (sorted(rows), exec.stats())
+}
+
+/// Q1 over the stock workload (paper §1) — grouped by sector.
+fn stock_setup(n: usize) -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = StockGen::new(
+        StockConfig {
+            events: n,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    let q = CompiledQuery::parse(
+        &format!(
+            "RETURN sector, COUNT(*) PATTERN Stock S+ \
+             WHERE [company, sector] AND S.price > NEXT(S).price \
+             GROUP-BY sector WITHIN {w} SLIDE {s}",
+            w = n / 2,
+            s = n / 8
+        ),
+        &reg,
+    )
+    .unwrap();
+    (reg, q, events)
+}
+
+#[test]
+fn sharded_executor_is_shard_count_invariant_on_q1() {
+    // Acceptance criterion: N>1 shards produce byte-identical sorted
+    // results to the single-threaded engine while events are pushed one by
+    // one, not as a batch.
+    let (reg, q, events) = stock_setup(600);
+    let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+    let expect = sorted(engine.run(&events).unwrap());
+    assert!(!expect.is_empty());
+    for shards in [1, 2, 4, 8] {
+        let (rows, stats) = run_executor(
+            &q,
+            &reg,
+            &events,
+            ExecutorConfig {
+                shards,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows, expect, "shards={shards}");
+        assert_eq!(stats.engine.events, events.len() as u64);
+    }
+}
+
+#[test]
+fn sharded_executor_is_shard_count_invariant_on_q2() {
+    // Q2 (cluster monitoring): SEQ pattern with MID events and SUM.
+    let mut reg = SchemaRegistry::new();
+    let gen = ClusterGen::new(
+        ClusterConfig {
+            events: 800,
+            mappers: 7,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    let q = CompiledQuery::parse(
+        "RETURN mapper, SUM(M.cpu) PATTERN SEQ(Start S, Measurement M+, End E) \
+         WHERE [job, mapper] AND M.load < NEXT(M).load \
+         GROUP-BY mapper WITHIN 400 SLIDE 400",
+        &reg,
+    )
+    .unwrap();
+    let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+    let expect = sorted(engine.run(&events).unwrap());
+    for shards in [2, 5] {
+        let (rows, _) = run_executor(
+            &q,
+            &reg,
+            &events,
+            ExecutorConfig {
+                shards,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rows, expect, "shards={shards}");
+    }
+}
+
+#[test]
+fn incremental_polls_equal_finish_only() {
+    let (reg, q, events) = stock_setup(400);
+    // Path A: poll aggressively while pushing.
+    let (polled, _) = run_executor(
+        &q,
+        &reg,
+        &events,
+        ExecutorConfig {
+            shards: 3,
+            ..Default::default()
+        },
+    );
+    // Path B: never poll; collect everything from finish().
+    let mut exec = StreamExecutor::<f64>::new(
+        q.clone(),
+        reg.clone(),
+        ExecutorConfig {
+            shards: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for e in &events {
+        exec.push(e.clone()).unwrap();
+    }
+    let finished = sorted(exec.finish().unwrap());
+    assert_eq!(polled, finished);
+}
+
+#[test]
+fn results_arrive_before_end_of_stream() {
+    let (reg, q, events) = stock_setup(600);
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg,
+        ExecutorConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut streamed = 0usize;
+    for e in &events {
+        exec.push(e.clone()).unwrap();
+        streamed += exec.poll_results().len();
+    }
+    // Several windows close mid-stream; allow the workers a brief moment
+    // to flush the last of them.
+    for _ in 0..200 {
+        if streamed > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        streamed += exec.poll_results().len();
+    }
+    let tail = exec.finish().unwrap().len();
+    assert!(
+        streamed > 0,
+        "no incremental results (tail came all at once: {tail})"
+    );
+}
+
+fn tick_setup() -> (SchemaRegistry, CompiledQuery) {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("A", &[]).unwrap();
+    let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
+    (reg, q)
+}
+
+#[test]
+fn late_event_policy_drop_counts_and_excludes() {
+    let (reg, q) = tick_setup();
+    let tid = reg.type_id("A").unwrap();
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg,
+        ExecutorConfig {
+            slack: 3,
+            late_policy: LatePolicy::Drop,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for t in [5u64, 4, 6, 20, 2, 21] {
+        exec.push(Event::new_unchecked(tid, Time(t), vec![]))
+            .unwrap();
+    }
+    let rows = exec.finish().unwrap();
+    // t=2 arrives after the slack released the watermark past it: dropped.
+    assert_eq!(exec.stats().late_dropped, 1);
+    // Remaining in-order events: 4 5 6 20 21 → 2^5 - 1 trends... but only
+    // the 5 surviving events count: 31.
+    assert_eq!(rows[0].values[0].to_f64(), 31.0);
+}
+
+#[test]
+fn late_event_policy_divert_hands_events_back() {
+    let (reg, q) = tick_setup();
+    let tid = reg.type_id("A").unwrap();
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg,
+        ExecutorConfig {
+            slack: 1,
+            late_policy: LatePolicy::Divert,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for t in [10u64, 12, 3, 14, 4] {
+        exec.push(Event::new_unchecked(tid, Time(t), vec![]))
+            .unwrap();
+    }
+    exec.finish().unwrap();
+    let diverted = exec.take_diverted();
+    assert_eq!(exec.stats().late_diverted, 2);
+    let times: Vec<u64> = diverted.iter().map(|e| e.time.ticks()).collect();
+    assert_eq!(times, vec![3, 4]);
+    assert!(exec.take_diverted().is_empty()); // drained
+}
+
+#[test]
+fn late_event_policy_error_fails_the_push() {
+    let (reg, q) = tick_setup();
+    let tid = reg.type_id("A").unwrap();
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg,
+        ExecutorConfig {
+            slack: 1,
+            late_policy: LatePolicy::Error,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    exec.push(Event::new_unchecked(tid, Time(10), vec![]))
+        .unwrap();
+    exec.push(Event::new_unchecked(tid, Time(12), vec![]))
+        .unwrap();
+    let err = exec
+        .push(Event::new_unchecked(tid, Time(3), vec![]))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Late {
+                slack: 1,
+                got: 3,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // The executor survives the rejection.
+    exec.push(Event::new_unchecked(tid, Time(13), vec![]))
+        .unwrap();
+    let rows = exec.finish().unwrap();
+    assert_eq!(rows[0].values[0].to_f64(), 7.0); // {10,12,13} → 2^3 - 1
+}
+
+#[test]
+fn slack_repairs_disorder_to_match_the_sorted_run() {
+    let (reg, q, mut events) = stock_setup(300);
+    let expect = {
+        let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+        sorted(engine.run(&events).unwrap())
+    };
+    // Jitter: swap neighbours up to 6 positions apart (≤ 6 ticks here).
+    for i in (0..events.len().saturating_sub(7)).step_by(7) {
+        events.swap(i, i + 6);
+        events.swap(i + 2, i + 4);
+    }
+    let (rows, stats) = run_executor(
+        &q,
+        &reg,
+        &events,
+        ExecutorConfig {
+            shards: 4,
+            slack: 8,
+            late_policy: LatePolicy::Error,
+            ..Default::default()
+        },
+    );
+    assert_eq!(stats.late_dropped + stats.late_diverted, 0);
+    assert_eq!(rows, expect);
+}
+
+#[test]
+fn watermarks_close_windows_on_quiet_shards() {
+    // Two groups; one goes quiet. The quiet group's shard must still close
+    // its windows because the active group's events advance the watermark.
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("M", &["grp"]).unwrap();
+    let q = CompiledQuery::parse(
+        "RETURN grp, COUNT(*) PATTERN M+ GROUP-BY grp WITHIN 10 SLIDE 10",
+        &reg,
+    )
+    .unwrap();
+    let ev = |t: u64, g: i64| {
+        EventBuilder::new(&reg, "M")
+            .unwrap()
+            .at(Time(t))
+            .set("grp", g)
+            .unwrap()
+            .build()
+    };
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Both groups live in window 0; only group 0 continues.
+    exec.push(ev(1, 0)).unwrap();
+    exec.push(ev(2, 1)).unwrap();
+    for t in 11..200u64 {
+        exec.push(ev(t, 0)).unwrap();
+    }
+    // Wait for window 0 of BOTH groups without finishing the stream.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let mut got = Vec::new();
+    while got.len() < 2 && std::time::Instant::now() < deadline {
+        got.extend(exec.poll_results().into_iter().filter(|r| r.window == 0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(got.len(), 2, "window 0 must close for the quiet group too");
+    assert!(exec.stats().watermarks > 0);
+    exec.finish().unwrap();
+}
+
+#[test]
+fn run_parallel_wrapper_still_matches_engine() {
+    // The legacy batch API is now a wrapper over the executor; make sure
+    // the compatibility contract holds on a paper query.
+    let (reg, q, events) = stock_setup(300);
+    let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+    let expect = sorted(engine.run(&events).unwrap());
+    let rows = greta::core::parallel::run_parallel::<f64>(
+        &q,
+        &reg,
+        greta::core::EngineConfig::default(),
+        &events,
+        4,
+    )
+    .unwrap();
+    assert_eq!(rows, expect);
+}

@@ -29,7 +29,13 @@ fn out_of_order_event_is_rejected_and_engine_survives() {
     let mut engine = GretaEngine::<u64>::new(count_query(&reg), reg.clone()).unwrap();
     engine.process(&ev(&reg, "A", 10)).unwrap();
     let err = engine.process(&ev(&reg, "A", 5)).unwrap_err();
-    assert!(matches!(err, EngineError::OutOfOrder { watermark: 10, got: 5 }));
+    assert!(matches!(
+        err,
+        EngineError::OutOfOrder {
+            watermark: 10,
+            got: 5
+        }
+    ));
     // The engine keeps working for in-order input after the rejection.
     engine.process(&ev(&reg, "A", 11)).unwrap();
     let rows = engine.finish();
@@ -100,8 +106,8 @@ fn saturating_u64_carrier_never_wraps() {
     // 80 mutually-compatible events drive counts past 2^64; the u64
     // carrier must saturate at u64::MAX instead of wrapping to nonsense.
     let reg = registry();
-    let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000", &reg)
-        .unwrap();
+    let q =
+        CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000", &reg).unwrap();
     let mut engine = GretaEngine::<u64>::new(q, reg.clone()).unwrap();
     for t in 0..80u64 {
         engine.process(&ev(&reg, "A", t)).unwrap();
@@ -117,18 +123,15 @@ fn saturating_u64_carrier_never_wraps() {
 fn biguint_carrier_is_exact_past_u64() {
     use greta_bignum::BigUint;
     let reg = registry();
-    let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000", &reg)
-        .unwrap();
+    let q =
+        CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000", &reg).unwrap();
     let mut engine = GretaEngine::<BigUint>::new(q, reg.clone()).unwrap();
     for t in 0..80u64 {
         engine.process(&ev(&reg, "A", t)).unwrap();
     }
     let rows = engine.finish();
     // 2^80 - 1, exactly.
-    assert_eq!(
-        rows[0].values[0].to_string(),
-        "1208925819614629174706175"
-    );
+    assert_eq!(rows[0].values[0].to_string(), "1208925819614629174706175");
 }
 
 #[test]

@@ -131,13 +131,22 @@ fn consecutive_negatives_are_independent() {
     let reg = registry();
     // a1, c2, b3  → (a1,b3) blocked by c2.
     let evs1 = vec![ev(&reg, "A", 1), ev(&reg, "C", 2), ev(&reg, "B", 3)];
-    assert_eq!(all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs1, &reg), 0.0);
+    assert_eq!(
+        all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs1, &reg),
+        0.0
+    );
     // a1, e2, b3 → blocked by e2.
     let evs2 = vec![ev(&reg, "A", 1), ev(&reg, "E", 2), ev(&reg, "B", 3)];
-    assert_eq!(all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs2, &reg), 0.0);
+    assert_eq!(
+        all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs2, &reg),
+        0.0
+    );
     // a1, b3 → allowed.
     let evs3 = vec![ev(&reg, "A", 1), ev(&reg, "B", 3)];
-    assert_eq!(all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs3, &reg), 1.0);
+    assert_eq!(
+        all_engines_agree("SEQ(A, NOT C, NOT E, B)", &evs3, &reg),
+        1.0
+    );
 }
 
 #[test]
@@ -170,7 +179,10 @@ fn negative_trend_must_fully_occur_between() {
     // b4: (c,d) not finished yet → a1 valid → count 1.
     // b6: (c2,d5) finished at t5 with start t2 → a1 (t1 < 2) invalid → b6
     // has no predecessors and is not inserted.
-    assert_eq!(all_engines_agree("SEQ(A+, NOT SEQ(C, D), B)", &evs, &reg), 1.0);
+    assert_eq!(
+        all_engines_agree("SEQ(A+, NOT SEQ(C, D), B)", &evs, &reg),
+        1.0
+    );
 }
 
 #[test]
@@ -188,7 +200,10 @@ fn invalidation_uses_latest_start_dominance() {
         ev(&reg, "B", 5),
     ];
     // Threshold start = max(c2, c3) = 3 ⇒ a1 and a2 both invalid for b5.
-    assert_eq!(all_engines_agree("SEQ(A+, NOT SEQ(C, D), B)", &evs, &reg), 0.0);
+    assert_eq!(
+        all_engines_agree("SEQ(A+, NOT SEQ(C, D), B)", &evs, &reg),
+        0.0
+    );
 }
 
 #[test]

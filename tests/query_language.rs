@@ -7,8 +7,11 @@ use greta::types::SchemaRegistry;
 
 fn full_registry() -> SchemaRegistry {
     let mut reg = SchemaRegistry::new();
-    reg.register_type("Stock", &["price", "volume", "company", "sector", "kind", "txn"])
-        .unwrap();
+    reg.register_type(
+        "Stock",
+        &["price", "volume", "company", "sector", "kind", "txn"],
+    )
+    .unwrap();
     reg.register_type("Start", &["job", "mapper"]).unwrap();
     reg.register_type("Measurement", &["job", "mapper", "cpu", "memory", "load"])
         .unwrap();
@@ -75,7 +78,10 @@ fn q1_variations_with_price_factors() {
         );
         let q = CompiledQuery::parse(&text, &reg).unwrap();
         let ep = &q.alternatives[0].predicates.edges[0];
-        let rf = ep.range.as_ref().expect("linear predicate gets a range form");
+        let rf = ep
+            .range
+            .as_ref()
+            .expect("linear predicate gets a range form");
         assert!((rf.scale - x.parse::<f64>().unwrap()).abs() < 1e-12);
     }
 }
@@ -96,8 +102,8 @@ fn grammar_sugar_round_trips() {
 fn error_diagnostics() {
     let reg = full_registry();
     // Unknown event type.
-    let err = CompiledQuery::parse("RETURN COUNT(*) PATTERN Bond B+ WITHIN 1 SLIDE 1", &reg)
-        .unwrap_err();
+    let err =
+        CompiledQuery::parse("RETURN COUNT(*) PATTERN Bond B+ WITHIN 1 SLIDE 1", &reg).unwrap_err();
     assert!(err.to_string().contains("Bond"), "{err}");
     // Unknown attribute in aggregate.
     let err = CompiledQuery::parse(
@@ -138,7 +144,10 @@ fn minimal_trend_length_unrolling() {
     use greta::types::{EventBuilder, Time};
     let mut engine = GretaEngine::<u64>::new(q, reg.clone()).unwrap();
     for t in 1..=4u64 {
-        let e = EventBuilder::new(&reg, "Stock").unwrap().at(Time(t)).build();
+        let e = EventBuilder::new(&reg, "Stock")
+            .unwrap()
+            .at(Time(t))
+            .build();
         engine.process(&e).unwrap();
     }
     let rows = engine.finish();

@@ -58,7 +58,11 @@ fn contiguous_skips_nothing() {
     // a1 b2 a3: under contiguous semantics, (a1, a3) is not a trend of A+
     // because b2 sits between them.
     let reg = registry();
-    let evs = vec![ev(&reg, "A", 1, 0.0), ev(&reg, "B", 2, 0.0), ev(&reg, "A", 3, 0.0)];
+    let evs = vec![
+        ev(&reg, "A", 1, 0.0),
+        ev(&reg, "B", 2, 0.0),
+        ev(&reg, "A", 3, 0.0),
+    ];
     let q = "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000";
     assert_eq!(count_with(Semantics::Contiguous, q, &evs, &reg), 2.0); // {a1},{a3}
     assert_eq!(count_with(Semantics::SkipTillAny, q, &evs, &reg), 3.0); // + (a1,a3)
@@ -68,7 +72,11 @@ fn contiguous_skips_nothing() {
 fn skip_till_next_skips_only_irrelevant() {
     // a1 b2 a3: b2 is irrelevant to A+, so skip-till-next still links a1→a3.
     let reg = registry();
-    let evs = vec![ev(&reg, "A", 1, 0.0), ev(&reg, "B", 2, 0.0), ev(&reg, "A", 3, 0.0)];
+    let evs = vec![
+        ev(&reg, "A", 1, 0.0),
+        ev(&reg, "B", 2, 0.0),
+        ev(&reg, "A", 3, 0.0),
+    ];
     let q = "RETURN COUNT(*) PATTERN A+ WITHIN 1000 SLIDE 1000";
     assert_eq!(count_with(Semantics::SkipTillNext, q, &evs, &reg), 3.0);
 }
@@ -80,7 +88,11 @@ fn skip_till_next_respects_predicates() {
     // next=8 holds! prev must satisfy attr > next). Both 10 and 12 are
     // compatible; only the latest (12) links.
     let reg = registry();
-    let evs = vec![ev(&reg, "A", 1, 10.0), ev(&reg, "A", 2, 12.0), ev(&reg, "A", 3, 8.0)];
+    let evs = vec![
+        ev(&reg, "A", 1, 10.0),
+        ev(&reg, "A", 2, 12.0),
+        ev(&reg, "A", 3, 8.0),
+    ];
     let q = "RETURN COUNT(*) PATTERN A S+ WHERE S.attr > NEXT(S).attr WITHIN 1000 SLIDE 1000";
     // any: {10},{12},{8},(10,8),(12,8) = 5; next: {10},{12},{8},(12,8) = 4.
     assert_eq!(count_with(Semantics::SkipTillAny, q, &evs, &reg), 5.0);

@@ -167,8 +167,11 @@ fn complexity_is_quadratic_not_exponential() {
     // Doubling the (fully compatible) event count must ~4x the edge count,
     // never 2^n it. n=64 vs n=128 under A+.
     let reg = registry();
-    let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100000 SLIDE 100000", &reg)
-        .unwrap();
+    let q = CompiledQuery::parse(
+        "RETURN COUNT(*) PATTERN A+ WITHIN 100000 SLIDE 100000",
+        &reg,
+    )
+    .unwrap();
     let run = |n: u64| {
         let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
         for t in 0..n {

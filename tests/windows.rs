@@ -186,7 +186,10 @@ fn trend_spanning_window_boundary_counts_in_neither() {
     let q = CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 5 SLIDE 5", &reg).unwrap();
     let mut engine = GretaEngine::<u64>::new(q, reg.clone()).unwrap();
     let rows = engine.run(&evs).unwrap();
-    let counts: Vec<(u64, f64)> = rows.iter().map(|r| (r.window, r.values[0].to_f64())).collect();
+    let counts: Vec<(u64, f64)> = rows
+        .iter()
+        .map(|r| (r.window, r.values[0].to_f64()))
+        .collect();
     assert_eq!(counts, vec![(0, 1.0), (1, 1.0)]);
 }
 

@@ -1,0 +1,261 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! API subset the workspace's benches use (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the two macros) with
+//! a plain wall-clock measurement loop: per sample, the closure is run in a
+//! calibrated batch and the per-iteration mean is reported; the printed
+//! summary shows the median / min / max across samples.
+//!
+//! No statistical analysis, no HTML reports — but the same source compiles
+//! against real criterion unchanged if the dependency is ever swapped back.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark (calibration + samples).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(120);
+
+/// Benchmark driver. Created by [`criterion_group!`]'s generated code.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.default_sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the hot loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of each sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, running it in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = TARGET_SAMPLE_TIME.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    let t0 = Instant::now();
+    f(&mut bencher);
+    let wall = t0.elapsed();
+    if bencher.samples_ns.is_empty() {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    bencher
+        .samples_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = bencher.samples_ns[bencher.samples_ns.len() / 2];
+    let min = bencher.samples_ns.first().copied().unwrap_or(0.0);
+    let max = bencher.samples_ns.last().copied().unwrap_or(0.0);
+    println!(
+        "{label:<50} time: [{} {} {}]   ({} samples, {:.2?} total)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        bencher.samples_ns.len(),
+        wall,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declare a group of benchmark functions (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters); ignore them —
+            // this stand-in always runs every benchmark.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 42), &42u64, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
