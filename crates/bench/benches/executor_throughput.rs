@@ -1,7 +1,13 @@
 //! Scaling baseline for the push-based executor: events/second as a
-//! function of shard count on the stock workload (query Q1, grouped by
-//! sector). Future PRs compare against these numbers before touching the
-//! routing or channel layers.
+//! function of shard count and batch size on the stock workload (query Q1,
+//! grouped by sector). Future PRs compare against these numbers before
+//! touching the routing or channel layers.
+//!
+//! The `frame_batching` group isolates the per-event channel overhead that
+//! used to dominate small-batch runs (ROADMAP "Executor perf"): batch size
+//! 1 reproduces the old one-message-per-event behaviour, larger sizes
+//! amortize the Mutex/Condvar handshake over whole `Vec<Event>` frames.
+//! The `durability_overhead` group measures the WAL + checkpoint tax.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use greta_core::{ExecutorConfig, GretaEngine, StreamExecutor};
@@ -73,5 +79,89 @@ fn bench_executor_shards(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_executor_shards);
+fn bench_frame_batching(c: &mut Criterion) {
+    let (reg, query, events) = setup();
+    let mut g = c.benchmark_group("frame_batching");
+    g.sample_size(10);
+    for batch_size in [1usize, 16, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("batch", batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| {
+                    let mut exec = StreamExecutor::<f64>::new(
+                        query.clone(),
+                        reg.clone(),
+                        ExecutorConfig {
+                            shards: 4,
+                            batch_size,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("executor");
+                    let mut n = 0usize;
+                    for e in &events {
+                        exec.push(e.clone()).expect("in-order");
+                        n += exec.poll_results().len();
+                    }
+                    n + exec.finish().expect("finish").len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_durability_overhead(c: &mut Criterion) {
+    let (reg, query, events) = setup();
+    let mut g = c.benchmark_group("durability_overhead");
+    g.sample_size(10);
+    for durable in [false, true] {
+        let name = if durable { "wal_on" } else { "wal_off" };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let dir = durable.then(|| {
+                    let d = std::env::temp_dir().join(format!(
+                        "greta-bench-dur-{}-{:x}",
+                        std::process::id(),
+                        std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.as_nanos())
+                            .unwrap_or(0)
+                    ));
+                    let _ = std::fs::remove_dir_all(&d);
+                    d
+                });
+                let mut exec = StreamExecutor::<f64>::new(
+                    query.clone(),
+                    reg.clone(),
+                    ExecutorConfig {
+                        shards: 4,
+                        durability: dir.as_ref().map(greta_durability::DurabilityConfig::new),
+                        ..Default::default()
+                    },
+                )
+                .expect("executor");
+                let mut n = 0usize;
+                for e in &events {
+                    exec.push(e.clone()).expect("in-order");
+                    n += exec.poll_results().len();
+                }
+                n += exec.finish().expect("finish").len();
+                if let Some(d) = dir {
+                    let _ = std::fs::remove_dir_all(&d);
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_shards,
+    bench_frame_batching,
+    bench_durability_overhead
+);
 criterion_main!(benches);

@@ -48,6 +48,20 @@ impl BigUint {
         self.limbs.len()
     }
 
+    /// The little-endian base-2⁶⁴ limbs (canonical: no trailing zero limb).
+    /// Used by the durability layer to serialize exact aggregates.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Reconstruct from little-endian base-2⁶⁴ limbs; trailing zero limbs
+    /// are normalized away, so any limb vector is a valid input.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
     fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();

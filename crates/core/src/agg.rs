@@ -13,7 +13,8 @@
 
 use greta_bignum::BigUint;
 use greta_query::compile::{AggKind, CompiledAgg};
-use greta_types::{AttrId, Event, TypeId};
+use greta_types::codec::{put_u32, put_u64, Reader};
+use greta_types::{AttrId, CodecError, Event, TypeId};
 
 /// Numeric carrier for trend counts and sums.
 pub trait TrendNum: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
@@ -36,6 +37,12 @@ pub trait TrendNum: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static 
     fn heap_size(&self) -> usize {
         0
     }
+    /// Append the binary encoding (durability snapshots).
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode a value written by [`encode`](Self::encode).
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>
+    where
+        Self: Sized;
 }
 
 impl TrendNum for u64 {
@@ -60,6 +67,12 @@ impl TrendNum for u64 {
     }
     fn display(&self) -> String {
         self.to_string()
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.u64()
     }
 }
 
@@ -88,6 +101,12 @@ impl TrendNum for f64 {
         } else {
             format!("{self}")
         }
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.to_bits());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(r.u64()?))
     }
 }
 
@@ -118,6 +137,20 @@ impl TrendNum for BigUint {
     }
     fn heap_size(&self) -> usize {
         BigUint::heap_size(self)
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.limb_count() as u32);
+        for &l in self.limbs() {
+            put_u64(out, l);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len(8)?;
+        let mut limbs = Vec::with_capacity(n);
+        for _ in 0..n {
+            limbs.push(r.u64()?);
+        }
+        Ok(BigUint::from_limbs(limbs))
     }
 }
 

@@ -36,6 +36,9 @@ pub enum EngineError {
     },
     /// A shard worker terminated abnormally.
     Worker(String),
+    /// Durability failure: WAL/snapshot/manifest I-O or corruption, or an
+    /// undecodable state blob.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +65,7 @@ impl fmt::Display for EngineError {
                  (reorder slack {slack}) under LatePolicy::Error"
             ),
             EngineError::Worker(m) => write!(f, "shard worker failed: {m}"),
+            EngineError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }
@@ -71,6 +75,18 @@ impl std::error::Error for EngineError {}
 impl From<TypeError> for EngineError {
     fn from(e: TypeError) -> Self {
         EngineError::Type(e)
+    }
+}
+
+impl From<greta_types::CodecError> for EngineError {
+    fn from(e: greta_types::CodecError) -> Self {
+        EngineError::Durability(e.to_string())
+    }
+}
+
+impl From<greta_durability::DurabilityError> for EngineError {
+    fn from(e: greta_durability::DurabilityError) -> Self {
+        EngineError::Durability(e.to_string())
     }
 }
 

@@ -9,12 +9,12 @@
 //! ```text
 //!                 ┌────────────┐    hash(group key)   ┌─────────────┐
 //!  push(event) ─▶ │ ReorderBuf │ ──▶ shard router ──▶ │ shard 0..N  │──┐
-//!                 │ (slack,    │     (broadcast for   │ GretaEngine │  │ bounded
-//!                 │  late      │      negative-       └─────────────┘  │ results
-//!                 │  policy)   │      pattern types)  ┌─────────────┐  │ channel
-//!                 └────────────┘ ──── watermarks ───▶ │ shard N-1   │──┤
-//!                                                     └─────────────┘  ▼
-//!                                              poll_results() / finish()
+//!       │         │ (slack,    │     (Vec<Event>      │ GretaEngine │  │ bounded
+//!       ▼         │  late      │      frames;         └─────────────┘  │ results
+//!  WAL append     │  policy)   │      broadcast for   ┌─────────────┐  │ channel
+//!  (optional)     └────────────┘      negative types) │ shard N-1   │──┤
+//!                       └────────── watermarks ─────▶ └─────────────┘  ▼
+//!                                                 poll_results() / finish()
 //! ```
 //!
 //! * **Ingestion**: events may arrive out of order up to a configurable
@@ -23,32 +23,47 @@
 //! * **Sharding** (§7): each `GROUP-BY` group is owned by exactly one shard
 //!   worker, so per-shard results are disjoint and concatenate without
 //!   merging. Events of broadcast types (negative-pattern / sub-key types)
-//!   are delivered to every shard, which keeps its own copy of the (tiny)
-//!   negative graphs — the same trade the paper's parallel evaluation
-//!   makes. Routing is deterministic: the same stream shards identically
-//!   on every run, and results are independent of the shard count.
+//!   are delivered to every shard. Routing is deterministic: results are
+//!   independent of the shard count.
+//! * **Batching**: events are accumulated into per-shard `Vec<Event>`
+//!   frames ([`ExecutorConfig::batch_size`]) so channel synchronization is
+//!   paid per frame, not per event. Frames are flushed whenever full and at
+//!   every window-close boundary, so results still stream incrementally.
 //! * **Watermarks**: whenever the released watermark crosses a window-close
-//!   boundary, it is broadcast so shards that received no recent events
-//!   still close their windows — results stream out incrementally instead
-//!   of materializing at the end.
+//!   boundary, buffered frames are flushed and the watermark is broadcast
+//!   so shards that received no recent events still close their windows.
+//! * **Durability** (off by default): with
+//!   [`ExecutorConfig::durability`] set, every pushed event is appended to
+//!   a write-ahead log *before* routing, and every
+//!   `snapshot_every_windows` closed windows the executor checkpoints —
+//!   each shard serializes its engine ([`GretaEngine::export_state`]), the
+//!   ingest side serializes the reorder buffer and counters, the blob goes
+//!   to the snapshot store, the manifest advances, and obsolete WAL
+//!   segments are deleted. [`StreamExecutor::recover`] restores the latest
+//!   checkpoint and replays the WAL tail: the recovered executor emits
+//!   exactly the rows an uninterrupted run would have emitted after that
+//!   checkpoint (rows already emitted for earlier windows are not
+//!   repeated; rows emitted between the checkpoint and the crash are
+//!   re-emitted — results are deterministic, so an idempotent sink keyed
+//!   on `(window, group)` yields exactly-once output).
 //! * **Emission**: closed-window results flow through a bounded channel;
 //!   [`StreamExecutor::poll_results`] drains it without blocking,
 //!   [`StreamExecutor::finish`] flushes the pipeline and joins the workers.
-//!
-//! The legacy entry points are thin wrappers: `GretaEngine::run` drives the
-//! inline single-shard path ([`drive_batch`]), `run_parallel` builds an
-//! executor, feeds it, and sorts the combined output.
 
 use crate::agg::TrendNum;
 use crate::engine::{EngineConfig, EngineStats, GretaEngine};
 use crate::grouping::StreamRouting;
 use crate::reorder::ReorderBuffer;
 use crate::results::WindowResult;
+use crate::window::WindowId;
 use crate::EngineError;
 use crate::MemoryFootprint;
-use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use greta_durability::{DurabilityConfig, Manifest, SnapshotStore, TailPolicy, Wal};
 use greta_query::CompiledQuery;
-use greta_types::{Event, SchemaRegistry, Time};
+use greta_types::codec::{put_u32, put_u64, Reader};
+use greta_types::{CodecError, Event, SchemaRegistry, Time};
+use std::collections::BTreeMap;
 use std::thread::JoinHandle;
 
 /// What to do with an event that arrives later than the reorder slack
@@ -66,7 +81,7 @@ pub enum LatePolicy {
 }
 
 /// Tuning knobs for [`StreamExecutor`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     /// Shard workers. Clamped to 1 for queries without `GROUP-BY` (nothing
     /// to partition by — the paper's scaling model). Must be ≥ 1.
@@ -76,13 +91,20 @@ pub struct ExecutorConfig {
     pub slack: u64,
     /// Policy for events later than `slack`.
     pub late_policy: LatePolicy,
-    /// Per-shard input queue capacity (events; backpressure beyond it).
+    /// Per-shard input queue capacity (frames; backpressure beyond it).
     pub channel_capacity: usize,
     /// Result channel capacity (rows; callers that never poll get
     /// backpressure once this many rows are waiting).
     pub result_capacity: usize,
+    /// Events accumulated per shard before a frame is sent (1 = a frame
+    /// per event, the pre-batching behaviour). Frames are also flushed at
+    /// every window-close boundary, so results never wait on a lazy batch.
+    pub batch_size: usize,
     /// Configuration for the per-shard engines.
     pub engine: EngineConfig,
+    /// Write-ahead log + snapshot configuration; `None` (the default) runs
+    /// without any persistence.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -95,13 +117,28 @@ impl Default for ExecutorConfig {
             late_policy: LatePolicy::Drop,
             channel_capacity: 4096,
             result_capacity: 1 << 16,
+            batch_size: 64,
             engine: EngineConfig::default(),
+            durability: None,
         }
     }
 }
 
+/// Late-event counters of one window (backpressure / data-quality metric:
+/// which windows lost input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowLateCounts {
+    /// The latest window that would have contained the late event
+    /// (`⌊t / slide⌋`).
+    pub window: WindowId,
+    /// Events dropped under [`LatePolicy::Drop`].
+    pub dropped: u64,
+    /// Events kept under [`LatePolicy::Divert`].
+    pub diverted: u64,
+}
+
 /// Executor counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutorStats {
     /// Events offered to [`StreamExecutor::push`].
     pub pushed: u64,
@@ -115,6 +152,20 @@ pub struct ExecutorStats {
     pub broadcasts: u64,
     /// Watermark messages broadcast to the shards.
     pub watermarks: u64,
+    /// `Vec<Event>` frames sent to shard queues.
+    pub frames: u64,
+    /// Durability checkpoints completed.
+    pub checkpoints: u64,
+    /// Late drops/diverts per window, ascending by window id.
+    pub late_by_window: Vec<WindowLateCounts>,
+    /// Frames queued per shard input channel when
+    /// [`stats`](StreamExecutor::stats) was called (empty after `finish`).
+    pub channel_occupancy: Vec<usize>,
+    /// Highest shard-queue occupancy (frames) observed at any flush.
+    pub max_channel_occupancy: usize,
+    /// Rows waiting in the result channel when
+    /// [`stats`](StreamExecutor::stats) was called.
+    pub result_occupancy: usize,
     /// Aggregated per-shard engine counters (populated by `finish`).
     pub engine: EngineStats,
     /// Summed per-shard peak memory in bytes (populated by `finish`).
@@ -122,14 +173,48 @@ pub struct ExecutorStats {
 }
 
 enum Msg {
-    Event(Event),
+    /// A batch of in-order events for one shard.
+    Events(Vec<Event>),
+    /// Close every window ending at or before this time.
     Watermark(Time),
+    /// Serialize engine state and reply with `(shard, blob)`. Acts as a
+    /// barrier: the state covers exactly the messages queued before it.
+    Snapshot(Sender<(usize, Vec<u8>)>),
 }
 
 struct WorkerReport {
     stats: EngineStats,
     peak_bytes: usize,
+    /// Post-`finish` engine state, exported when durability is on so the
+    /// terminal checkpoint reflects a fully-closed stream.
+    final_state: Option<Vec<u8>>,
 }
+
+/// Durability runtime: open WAL + snapshot store + checkpoint bookkeeping.
+struct DurabilityState {
+    config: DurabilityConfig,
+    wal: Wal,
+    snapshots: SnapshotStore,
+    /// Epoch of the last written snapshot (0 = none yet).
+    epoch: u64,
+    /// Reused WAL-record encode buffer.
+    record_buf: Vec<u8>,
+}
+
+/// Everything [`StreamExecutor::recover`] restores from a snapshot blob
+/// besides the per-shard engine states.
+struct SnapshotParts<N: TrendNum> {
+    stats: ExecutorStats,
+    max_occupancy: usize,
+    last_close_idx: Option<u64>,
+    late_windows: BTreeMap<WindowId, (u64, u64)>,
+    reorder: ReorderBuffer,
+    diverted: Vec<Event>,
+    pending: Vec<WindowResult<N>>,
+    shard_states: Vec<Vec<u8>>,
+}
+
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// The push-based, sharded GRETA runtime. See the [module docs](self).
 ///
@@ -151,44 +236,243 @@ pub struct StreamExecutor<N: TrendNum = f64> {
     /// returned by the next `poll_results`/`finish`.
     pending: Vec<WindowResult<N>>,
     stats: ExecutorStats,
+    /// Per-shard event frames not yet sent.
+    batch_bufs: Vec<Vec<Event>>,
+    batch_size: usize,
+    /// Late drop/divert counts keyed by the event's latest window.
+    late_windows: BTreeMap<WindowId, (u64, u64)>,
+    max_occupancy: usize,
     /// Window-close boundary index already broadcast (⌊(wm−within)/slide⌋).
     last_close_idx: Option<u64>,
     window_within: u64,
     window_slide: u64,
+    durability: Option<DurabilityState>,
+    /// Windows closed since the last checkpoint (cadence counter).
+    windows_since_checkpoint: u64,
+    /// A cadence checkpoint is owed; taken after the current routing pass
+    /// so the snapshot cut never splits a reorder release batch.
+    checkpoint_due: bool,
     finished: bool,
 }
 
 impl<N: TrendNum> StreamExecutor<N> {
     /// Spawn the shard workers for `query` under `config`.
+    ///
+    /// With [`ExecutorConfig::durability`] set, the directory must be
+    /// fresh: reusing a directory that already holds a manifest or WAL
+    /// records is refused so that state from a previous run is never
+    /// silently overwritten — use [`recover`](Self::recover) (or point at
+    /// a new directory) instead.
     pub fn new(
         query: CompiledQuery,
         registry: SchemaRegistry,
         config: ExecutorConfig,
     ) -> Result<Self, EngineError> {
+        let (routing, shards) = Self::validated_routing(&query, &registry, &config)?;
+        let durability = match &config.durability {
+            None => None,
+            Some(dcfg) => {
+                if Manifest::load(&dcfg.dir)?.is_some() {
+                    return Err(EngineError::Config(format!(
+                        "durability dir {} already contains a manifest; \
+                         use StreamExecutor::recover or a fresh directory",
+                        dcfg.dir.display()
+                    )));
+                }
+                let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync_each_append)?;
+                if wal.next_index() > 0 {
+                    return Err(EngineError::Config(format!(
+                        "durability dir {} already contains WAL records; \
+                         use StreamExecutor::recover or a fresh directory",
+                        dcfg.dir.display()
+                    )));
+                }
+                let snapshots = SnapshotStore::open(&dcfg.dir)?;
+                Some(DurabilityState {
+                    config: dcfg.clone(),
+                    wal,
+                    snapshots,
+                    epoch: 0,
+                    record_buf: Vec::new(),
+                })
+            }
+        };
+        let engines = (0..shards)
+            .map(|_| GretaEngine::with_config(query.clone(), registry.clone(), config.engine))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::assemble(query, &config, routing, engines, durability)
+    }
+
+    /// Restore an executor from the durability directory in
+    /// `config.durability` and replay the WAL tail.
+    ///
+    /// The latest checkpoint fixes the shard count (a `config.shards`
+    /// mismatch is an error); `query` and `registry` must match the
+    /// original run's. The recovered executor continues the stream exactly
+    /// where the WAL ends: rows for windows that closed after the last
+    /// checkpoint are (re-)emitted through
+    /// [`poll_results`](Self::poll_results)/[`finish`](Self::finish), rows
+    /// for earlier windows are not repeated. If the process crashed before
+    /// the first checkpoint, the whole WAL is replayed into fresh state. A
+    /// torn final WAL frame (crash mid-append) is repaired; checksum
+    /// corruption anywhere is a clean [`EngineError::Durability`].
+    pub fn recover(
+        query: CompiledQuery,
+        registry: SchemaRegistry,
+        config: ExecutorConfig,
+    ) -> Result<Self, EngineError> {
+        let dcfg = config.durability.clone().ok_or_else(|| {
+            EngineError::Config("recover requires ExecutorConfig::durability".into())
+        })?;
+        // Opening the WAL first repairs a torn tail before replay.
+        let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync_each_append)?;
+        let snapshots = SnapshotStore::open(&dcfg.dir)?;
+        let manifest = Manifest::load(&dcfg.dir)?;
+
+        let (mut exec, replay_from) = match manifest {
+            None => {
+                // Crash before the first checkpoint: fresh state, full replay.
+                let (routing, shards) = Self::validated_routing(&query, &registry, &config)?;
+                let engines = (0..shards)
+                    .map(|_| {
+                        GretaEngine::with_config(query.clone(), registry.clone(), config.engine)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let durability = Some(DurabilityState {
+                    config: dcfg.clone(),
+                    wal,
+                    snapshots,
+                    epoch: 0,
+                    record_buf: Vec::new(),
+                });
+                (
+                    Self::assemble(query, &config, routing, engines, durability)?,
+                    0,
+                )
+            }
+            Some(m) => {
+                let (routing, expected) = Self::validated_routing(&query, &registry, &config)?;
+                if expected != m.shards as usize {
+                    return Err(EngineError::Config(format!(
+                        "shard count mismatch: checkpoint was taken with {} shard(s), \
+                         config asks for {expected}",
+                        m.shards
+                    )));
+                }
+                let blob = snapshots.read(m.epoch)?;
+                let parts: SnapshotParts<N> =
+                    Self::decode_snapshot(&blob, m.shards as usize, &config)?;
+                let engines = parts
+                    .shard_states
+                    .iter()
+                    .map(|bytes| {
+                        GretaEngine::import_state(
+                            query.clone(),
+                            registry.clone(),
+                            config.engine,
+                            bytes,
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let durability = Some(DurabilityState {
+                    config: dcfg.clone(),
+                    wal,
+                    snapshots,
+                    epoch: m.epoch,
+                    record_buf: Vec::new(),
+                });
+                let mut exec = Self::assemble(query, &config, routing, engines, durability)?;
+                exec.stats = parts.stats;
+                exec.max_occupancy = parts.max_occupancy;
+                exec.last_close_idx = parts.last_close_idx;
+                exec.late_windows = parts.late_windows;
+                exec.reorder = parts.reorder;
+                exec.diverted = parts.diverted;
+                exec.pending = parts.pending;
+                (exec, m.wal_index)
+            }
+        };
+
+        // Replay the WAL tail through the normal ingest path (without
+        // re-appending). A torn final frame was already repaired by open.
+        let mut tail: Vec<Event> = Vec::new();
+        let mut decode_err: Option<CodecError> = None;
+        Wal::replay(
+            &dcfg.dir,
+            replay_from,
+            TailPolicy::Tolerate,
+            |_, payload| {
+                if decode_err.is_some() {
+                    return;
+                }
+                match Event::decode(&mut Reader::new(payload)) {
+                    Ok(e) => tail.push(e),
+                    Err(e) => decode_err = Some(e),
+                }
+            },
+        )
+        .map_err(EngineError::from)?;
+        if let Some(e) = decode_err {
+            return Err(e.into());
+        }
+        for e in tail {
+            exec.stats.pushed += 1;
+            match exec.ingest(e) {
+                // Under LatePolicy::Error the original push() surfaced the
+                // Late error to the caller *after* logging the event, and
+                // the pipeline stayed usable — mirror that here so one
+                // logged-then-rejected record cannot poison recovery.
+                Err(EngineError::Late { .. }) => {}
+                other => other?,
+            }
+            if exec.checkpoint_due {
+                exec.checkpoint()?;
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Routing construction + shard-count validation shared by `new` and
+    /// `recover` (the returned routing is handed on to [`assemble`]).
+    fn validated_routing(
+        query: &CompiledQuery,
+        registry: &SchemaRegistry,
+        config: &ExecutorConfig,
+    ) -> Result<(StreamRouting, usize), EngineError> {
         if config.shards == 0 {
             return Err(EngineError::Config("shards must be ≥ 1".into()));
         }
-        let routing = StreamRouting::new(&query, &registry);
-        routing.validate(&query, &registry)?;
+        let routing = StreamRouting::new(query, registry);
+        routing.validate(query, registry)?;
         let shards = if query.group_by.is_empty() {
             1
         } else {
             config.shards
         };
+        Ok((routing, shards))
+    }
+
+    /// Wire channels and spawn one worker per pre-built engine.
+    fn assemble(
+        query: CompiledQuery,
+        config: &ExecutorConfig,
+        routing: StreamRouting,
+        engines: Vec<GretaEngine<N>>,
+        durability: Option<DurabilityState>,
+    ) -> Result<Self, EngineError> {
+        let shards = engines.len();
         let (results_tx, results_rx) = channel::bounded(config.result_capacity.max(1));
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
+        let export_final = durability.is_some();
+        for (shard, engine) in engines.into_iter().enumerate() {
             let (tx, rx) = channel::bounded::<Msg>(config.channel_capacity.max(1));
             senders.push(tx);
-            let query = query.clone();
-            let registry = registry.clone();
-            let engine_config = config.engine;
             let results_tx = results_tx.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("greta-shard-{shard}"))
-                    .spawn(move || worker_loop::<N>(query, registry, engine_config, rx, results_tx))
+                    .spawn(move || worker_loop::<N>(engine, shard, rx, results_tx, export_final))
                     .map_err(|e| EngineError::Worker(e.to_string()))?,
             );
         }
@@ -204,9 +488,16 @@ impl<N: TrendNum> StreamExecutor<N> {
             diverted: Vec::new(),
             pending: Vec::new(),
             stats: ExecutorStats::default(),
+            batch_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            batch_size: config.batch_size.max(1),
+            late_windows: BTreeMap::new(),
+            max_occupancy: 0,
             last_close_idx: None,
             window_within: query.window.within,
             window_slide: query.window.slide,
+            durability,
+            windows_since_checkpoint: 0,
+            checkpoint_due: false,
             finished: false,
         })
     }
@@ -217,7 +508,8 @@ impl<N: TrendNum> StreamExecutor<N> {
     }
 
     /// Offer one event. Events may arrive out of order within the
-    /// configured slack; beyond it the [`LatePolicy`] applies. When a
+    /// configured slack; beyond it the [`LatePolicy`] applies. With
+    /// durability on, the event is WAL-logged before anything else. When a
     /// shard's input queue is full, the call drains ready results into an
     /// internal buffer while it waits (so a caller that never polls cannot
     /// deadlock the pipeline) and returns once the event is queued.
@@ -227,14 +519,34 @@ impl<N: TrendNum> StreamExecutor<N> {
                 "push after finish() on StreamExecutor".into(),
             ));
         }
+        if let Some(d) = &mut self.durability {
+            d.record_buf.clear();
+            e.encode(&mut d.record_buf);
+            d.wal.append(&d.record_buf).map_err(EngineError::from)?;
+        }
         self.stats.pushed += 1;
+        self.ingest(e)?;
+        if self.checkpoint_due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Reorder + route one event (shared by `push` and WAL replay).
+    fn ingest(&mut self, e: Event) -> Result<(), EngineError> {
         match self.reorder.push(e) {
             Ok(released) => self.route_all(released),
             Err(late) => {
+                let wid = late.time.ticks() / self.window_slide.max(1);
+                let slot = self.late_windows.entry(wid).or_default();
                 match self.late_policy {
-                    LatePolicy::Drop => self.stats.late_dropped += 1,
+                    LatePolicy::Drop => {
+                        self.stats.late_dropped += 1;
+                        slot.0 += 1;
+                    }
                     LatePolicy::Divert => {
                         self.stats.late_diverted += 1;
+                        slot.1 += 1;
                         self.diverted.push(late);
                     }
                     LatePolicy::Error => {
@@ -262,17 +574,19 @@ impl<N: TrendNum> StreamExecutor<N> {
     }
 
     /// End of stream: flush the reorder buffer, close all remaining
-    /// windows, join the workers, and return the remaining rows sorted by
-    /// `(window, group)`. Also finalizes [`stats`](Self::stats). Idempotent.
+    /// windows, take a final checkpoint (durability on), join the workers,
+    /// and return the remaining rows sorted by `(window, group)`. Also
+    /// finalizes [`stats`](Self::stats). Idempotent.
     pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
         if self.finished {
             return Ok(Vec::new());
         }
-        self.finished = true;
         let tail = self.reorder.flush();
-        let route_result = self.route_all(tail);
+        let route_result = self.route_all(tail).and_then(|()| self.flush_all_batches());
+        self.finished = true;
         // Close the input channels regardless, so workers always terminate.
         self.senders.clear();
+        self.batch_bufs.clear();
         // Drain concurrently with the workers' final flush: recv() ends
         // when every worker has dropped its result sender.
         let mut rows = std::mem::take(&mut self.pending);
@@ -280,6 +594,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             rows.push(row);
         }
         let mut first_err = route_result.err();
+        let mut final_states: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.workers.len());
         for w in self.workers.drain(..) {
             match w.join() {
                 Ok(Ok(report)) => {
@@ -289,12 +604,22 @@ impl<N: TrendNum> StreamExecutor<N> {
                     s.edges += report.stats.edges;
                     s.results += report.stats.results;
                     self.stats.peak_memory_bytes += report.peak_bytes;
+                    final_states.push(report.final_state);
                 }
                 Ok(Err(e)) => first_err = first_err.or(Some(e)),
                 Err(_) => {
                     first_err =
                         first_err.or(Some(EngineError::Worker("shard worker panicked".into())))
                 }
+            }
+        }
+        if first_err.is_none() && self.durability.is_some() {
+            // Terminal checkpoint *after* the workers closed every window:
+            // a graceful shutdown leaves a truncated log and a snapshot
+            // from which recovery resumes with nothing to re-emit.
+            let shard_states: Vec<Vec<u8>> = final_states.into_iter().flatten().collect();
+            if shard_states.len() == self.shards {
+                first_err = self.persist_snapshot(&shard_states).err();
             }
         }
         if let Some(e) = first_err {
@@ -305,9 +630,23 @@ impl<N: TrendNum> StreamExecutor<N> {
     }
 
     /// Executor counters. Engine aggregates and peak memory are only
-    /// populated once [`finish`](Self::finish) has run.
+    /// populated once [`finish`](Self::finish) has run; channel occupancy
+    /// is sampled at the moment of the call.
     pub fn stats(&self) -> ExecutorStats {
-        self.stats
+        let mut s = self.stats.clone();
+        s.late_by_window = self
+            .late_windows
+            .iter()
+            .map(|(&window, &(dropped, diverted))| WindowLateCounts {
+                window,
+                dropped,
+                diverted,
+            })
+            .collect();
+        s.channel_occupancy = self.senders.iter().map(Sender::len).collect();
+        s.max_channel_occupancy = self.max_occupancy;
+        s.result_occupancy = self.results_rx.len();
+        s
     }
 
     /// Take the events diverted under [`LatePolicy::Divert`] so far.
@@ -322,22 +661,31 @@ impl<N: TrendNum> StreamExecutor<N> {
             match self.routing.shard_of(&e, self.shards) {
                 None => {
                     self.stats.broadcasts += 1;
-                    for i in 0..self.senders.len() {
-                        let msg = Msg::Event(e.clone());
-                        self.send(i, msg)?;
+                    for i in 0..self.shards {
+                        self.batch_bufs[i].push(e.clone());
+                        if self.batch_bufs[i].len() >= self.batch_size {
+                            self.flush_shard(i)?;
+                        }
                     }
                 }
-                Some(shard) => self.send(shard, Msg::Event(e))?,
+                Some(shard) => {
+                    self.batch_bufs[shard].push(e);
+                    if self.batch_bufs[shard].len() >= self.batch_size {
+                        self.flush_shard(shard)?;
+                    }
+                }
             }
-            self.broadcast_watermark(wm)?;
+            self.note_watermark(wm)?;
         }
         Ok(())
     }
 
-    /// Broadcast `wm` iff it crossed a window-close boundary since the last
-    /// broadcast — watermarks only matter when they close windows, so this
-    /// keeps watermark traffic at one message per shard per closed window.
-    fn broadcast_watermark(&mut self, wm: Time) -> Result<(), EngineError> {
+    /// React to the released watermark reaching `wm`: if it crossed a
+    /// window-close boundary since the last broadcast, flush every buffered
+    /// frame (the watermark must not overtake its events) and broadcast the
+    /// watermark — one message per shard per closed window. With durability
+    /// on, closed windows also drive the checkpoint cadence.
+    fn note_watermark(&mut self, wm: Time) -> Result<(), EngineError> {
         let t = wm.ticks();
         if t < self.window_within {
             return Ok(());
@@ -346,12 +694,286 @@ impl<N: TrendNum> StreamExecutor<N> {
         if self.last_close_idx == Some(close_idx) {
             return Ok(());
         }
+        let closed = match self.last_close_idx {
+            Some(prev) => close_idx - prev,
+            None => close_idx + 1,
+        };
         self.last_close_idx = Some(close_idx);
         self.stats.watermarks += 1;
+        self.flush_all_batches()?;
         for i in 0..self.senders.len() {
             self.send(i, Msg::Watermark(wm))?;
         }
+        if let Some(d) = &self.durability {
+            self.windows_since_checkpoint += closed;
+            if self.windows_since_checkpoint >= d.config.snapshot_every_windows.max(1) {
+                // Defer to the end of the current routing pass: a snapshot
+                // cut mid-release would lose the not-yet-routed remainder.
+                self.checkpoint_due = true;
+            }
+        }
         Ok(())
+    }
+
+    /// Send shard `i`'s buffered frame, if any.
+    fn flush_shard(&mut self, i: usize) -> Result<(), EngineError> {
+        if self.batch_bufs[i].is_empty() {
+            return Ok(());
+        }
+        let frame = std::mem::replace(&mut self.batch_bufs[i], Vec::with_capacity(self.batch_size));
+        self.max_occupancy = self.max_occupancy.max(self.senders[i].len() + 1);
+        self.stats.frames += 1;
+        self.send(i, Msg::Events(frame))
+    }
+
+    fn flush_all_batches(&mut self) -> Result<(), EngineError> {
+        for i in 0..self.shards {
+            self.flush_shard(i)?;
+        }
+        Ok(())
+    }
+
+    /// Force a checkpoint now (durability must be configured): flush all
+    /// frames, barrier-snapshot every shard engine, persist the blob,
+    /// advance the manifest, and drop WAL segments and snapshots it made
+    /// obsolete.
+    ///
+    /// Output-commit contract: rows already polled before the checkpoint
+    /// are *not* in the snapshot and will never be re-emitted; rows not
+    /// yet polled are carried inside the snapshot and re-delivered by the
+    /// recovered executor. Rows polled *after* the last checkpoint are
+    /// re-emitted on recovery — results are deterministic, so a sink
+    /// keyed on `(window, group)` deduplicates them into exactly-once.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        if self.durability.is_none() {
+            return Err(EngineError::Config(
+                "checkpoint requires ExecutorConfig::durability".into(),
+            ));
+        }
+        if self.finished {
+            return Err(EngineError::Config(
+                "checkpoint after finish() on StreamExecutor".into(),
+            ));
+        }
+        self.checkpoint_due = false;
+        self.windows_since_checkpoint = 0;
+        self.flush_all_batches()?;
+
+        // Barrier: every message queued before the Snapshot request is
+        // processed before the shard replies, so the combined state is the
+        // exact cut at `stats.pushed` WAL records (events still in the
+        // reorder buffer are serialized on the ingest side below).
+        let (reply_tx, reply_rx) = channel::bounded::<(usize, Vec<u8>)>(self.shards);
+        for i in 0..self.senders.len() {
+            self.send(i, Msg::Snapshot(reply_tx.clone()))?;
+        }
+        drop(reply_tx);
+        let mut shard_states: Vec<Vec<u8>> = (0..self.shards).map(|_| Vec::new()).collect();
+        let mut got = 0usize;
+        while got < self.shards {
+            match reply_rx.try_recv() {
+                Ok((shard, blob)) => {
+                    shard_states[shard] = blob;
+                    got += 1;
+                }
+                Err(TryRecvError::Empty) => {
+                    // Workers may be blocked emitting rows; keep draining.
+                    let mut drained = false;
+                    while let Ok(row) = self.results_rx.try_recv() {
+                        self.pending.push(row);
+                        drained = true;
+                    }
+                    if !drained {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return Err(self.reap_after_failure()),
+            }
+        }
+        // Rows emitted before the barrier are all in flight by now; pull
+        // them into `pending` so the snapshot can carry the un-polled ones.
+        while let Ok(row) = self.results_rx.try_recv() {
+            self.pending.push(row);
+        }
+        self.persist_snapshot(&shard_states)
+    }
+
+    /// Serialize, write, and commit a snapshot of the current cut: fsync
+    /// the WAL, write the blob, advance the manifest, drop WAL segments
+    /// and snapshots it made obsolete.
+    fn persist_snapshot(&mut self, shard_states: &[Vec<u8>]) -> Result<(), EngineError> {
+        let blob = self.encode_snapshot(shard_states);
+        let d = self.durability.as_mut().expect("durability configured");
+        // Order matters: WAL records covered by the manifest must be
+        // durable before the manifest points past them.
+        d.wal.sync().map_err(EngineError::from)?;
+        d.epoch += 1;
+        d.snapshots
+            .write(d.epoch, &blob)
+            .map_err(EngineError::from)?;
+        Manifest {
+            epoch: d.epoch,
+            wal_index: self.stats.pushed,
+            shards: self.shards as u32,
+        }
+        .store(&d.config.dir)
+        .map_err(EngineError::from)?;
+        d.wal
+            .truncate_segments_before(self.stats.pushed)
+            .map_err(EngineError::from)?;
+        d.snapshots
+            .purge_before(d.epoch)
+            .map_err(EngineError::from)?;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Serialize the ingest-side state + shard blobs into one snapshot.
+    fn encode_snapshot(&self, shard_states: &[Vec<u8>]) -> Vec<u8> {
+        use crate::state::{encode_events, encode_window_result, put_opt_u64};
+        let mut out = Vec::new();
+        out.push(SNAPSHOT_VERSION);
+        put_u32(&mut out, self.shards as u32);
+        // Result-shaping configuration the snapshot depends on: recovery
+        // with different values would silently diverge from the original
+        // run, so it is recorded and checked instead.
+        put_u64(&mut out, self.reorder.slack());
+        out.push(match self.late_policy {
+            LatePolicy::Drop => 0,
+            LatePolicy::Divert => 1,
+            LatePolicy::Error => 2,
+        });
+        for v in [
+            self.stats.pushed,
+            self.stats.released,
+            self.stats.late_dropped,
+            self.stats.late_diverted,
+            self.stats.broadcasts,
+            self.stats.watermarks,
+            self.stats.frames,
+            self.stats.checkpoints,
+            self.max_occupancy as u64,
+        ] {
+            put_u64(&mut out, v);
+        }
+        put_opt_u64(&mut out, self.last_close_idx);
+        put_u32(&mut out, self.late_windows.len() as u32);
+        for (&wid, &(dropped, diverted)) in &self.late_windows {
+            put_u64(&mut out, wid);
+            put_u64(&mut out, dropped);
+            put_u64(&mut out, diverted);
+        }
+        self.reorder.export_state(&mut out);
+        encode_events(self.diverted.iter(), &mut out);
+        put_u32(&mut out, self.pending.len() as u32);
+        for row in &self.pending {
+            encode_window_result(row, &mut out);
+        }
+        put_u32(&mut out, shard_states.len() as u32);
+        for blob in shard_states {
+            put_u32(&mut out, blob.len() as u32);
+            out.extend_from_slice(blob);
+        }
+        out
+    }
+
+    /// Inverse of [`encode_snapshot`](Self::encode_snapshot). Refuses a
+    /// `config` whose result-shaping knobs (slack, late policy) differ
+    /// from the checkpointed run's — recovering under different values
+    /// would silently break the byte-identical-replay guarantee.
+    fn decode_snapshot(
+        bytes: &[u8],
+        expect_shards: usize,
+        config: &ExecutorConfig,
+    ) -> Result<SnapshotParts<N>, EngineError> {
+        use crate::state::{decode_events, decode_window_result, get_opt_u64};
+        let r = &mut Reader::new(bytes);
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError(format!("unsupported snapshot version {version}")).into());
+        }
+        let shards = r.u32()? as usize;
+        if shards != expect_shards {
+            return Err(CodecError(format!(
+                "snapshot has {shards} shard state(s), manifest says {expect_shards}"
+            ))
+            .into());
+        }
+        let slack = r.u64()?;
+        if slack != config.slack {
+            return Err(EngineError::Config(format!(
+                "slack mismatch: checkpoint was taken with slack {slack}, \
+                 config asks for {}",
+                config.slack
+            )));
+        }
+        let late_policy = match r.u8()? {
+            0 => LatePolicy::Drop,
+            1 => LatePolicy::Divert,
+            2 => LatePolicy::Error,
+            t => return Err(CodecError(format!("bad LatePolicy tag {t}")).into()),
+        };
+        if late_policy != config.late_policy {
+            return Err(EngineError::Config(format!(
+                "late-policy mismatch: checkpoint was taken with {late_policy:?}, \
+                 config asks for {:?}",
+                config.late_policy
+            )));
+        }
+        let stats = ExecutorStats {
+            pushed: r.u64()?,
+            released: r.u64()?,
+            late_dropped: r.u64()?,
+            late_diverted: r.u64()?,
+            broadcasts: r.u64()?,
+            watermarks: r.u64()?,
+            frames: r.u64()?,
+            checkpoints: r.u64()?,
+            ..Default::default()
+        };
+        let max_occupancy = r.u64()? as usize;
+        let last_close_idx = get_opt_u64(r)?;
+        let n_late = r.seq_len(24)?;
+        let mut late_windows = BTreeMap::new();
+        for _ in 0..n_late {
+            let wid = r.u64()?;
+            let dropped = r.u64()?;
+            let diverted = r.u64()?;
+            late_windows.insert(wid, (dropped, diverted));
+        }
+        let reorder = ReorderBuffer::import_state(slack, r)?;
+        let diverted = decode_events(r)?;
+        let n_pending = r.seq_len(9)?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push(decode_window_result(r)?);
+        }
+        let n_states = r.seq_len(4)?;
+        if n_states != shards {
+            return Err(CodecError(format!(
+                "snapshot header says {shards} shards but carries {n_states} state blobs"
+            ))
+            .into());
+        }
+        let mut shard_states = Vec::with_capacity(n_states);
+        for _ in 0..n_states {
+            shard_states.push(r.bytes()?.to_vec());
+        }
+        if !r.is_empty() {
+            return Err(
+                CodecError(format!("{} trailing bytes after snapshot", r.remaining())).into(),
+            );
+        }
+        Ok(SnapshotParts {
+            stats,
+            max_occupancy,
+            last_close_idx,
+            late_windows,
+            reorder,
+            diverted,
+            pending,
+            shard_states,
+        })
     }
 
     /// Deliver `msg` to a shard without ever blocking this thread for good:
@@ -416,7 +1038,9 @@ impl<N: TrendNum> Drop for StreamExecutor<N> {
         if self.finished {
             return;
         }
-        // Close inputs, discard pending results, reap the workers.
+        // Close inputs, discard pending results, reap the workers. (With
+        // durability on, the WAL flushes via its own Drop — a subsequent
+        // `recover` replays it.)
         self.senders.clear();
         while self.results_rx.try_recv().is_ok() {}
         for w in self.workers.drain(..) {
@@ -432,21 +1056,31 @@ impl<N: TrendNum> Drop for StreamExecutor<N> {
 }
 
 fn worker_loop<N: TrendNum>(
-    query: CompiledQuery,
-    registry: SchemaRegistry,
-    config: EngineConfig,
+    mut engine: GretaEngine<N>,
+    shard: usize,
     rx: Receiver<Msg>,
     results_tx: Sender<WindowResult<N>>,
+    export_final: bool,
 ) -> Result<WorkerReport, EngineError> {
-    let mut engine = GretaEngine::<N>::with_config(query, registry, config)?;
     let report = |engine: &GretaEngine<N>| WorkerReport {
         stats: engine.stats(),
         peak_bytes: engine.peak_memory_bytes().max(engine.memory_bytes()),
+        final_state: None,
     };
     for msg in rx.iter() {
         match msg {
-            Msg::Event(e) => engine.process(&e)?,
+            Msg::Events(batch) => {
+                for e in &batch {
+                    engine.process(e)?;
+                }
+            }
             Msg::Watermark(t) => engine.advance_watermark(t),
+            Msg::Snapshot(reply) => {
+                // Rows of previous messages were already flushed below, so
+                // the exported state and the emitted rows never overlap.
+                let _ = reply.send((shard, engine.export_state()));
+                continue;
+            }
         }
         for row in engine.poll_results() {
             if results_tx.send(row).is_err() {
@@ -460,7 +1094,11 @@ fn worker_loop<N: TrendNum>(
             break;
         }
     }
-    Ok(report(&engine))
+    let mut rep = report(&engine);
+    if export_final {
+        rep.final_state = Some(engine.export_state());
+    }
+    Ok(rep)
 }
 
 /// Inline batch driver: the single-shard, zero-thread execution path that
@@ -483,6 +1121,7 @@ pub(crate) fn drive_batch<N: TrendNum>(
 mod tests {
     use super::*;
     use greta_types::EventBuilder;
+    use std::path::PathBuf;
 
     fn grouped_setup() -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
         let mut reg = SchemaRegistry::new();
@@ -513,6 +1152,12 @@ mod tests {
         rows
     }
 
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("greta-exec-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
     #[test]
     fn sharded_executor_matches_sequential_engine() {
         let (reg, q, events) = grouped_setup();
@@ -539,6 +1184,41 @@ mod tests {
             assert_eq!(stats.pushed, events.len() as u64);
             assert_eq!(stats.engine.events, events.len() as u64);
         }
+    }
+
+    #[test]
+    fn batch_sizes_do_not_change_results() {
+        let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let mut frames_seen = Vec::new();
+        for batch_size in [1usize, 7, 64, 10_000] {
+            let mut exec = StreamExecutor::<u64>::new(
+                q.clone(),
+                reg.clone(),
+                ExecutorConfig {
+                    shards: 3,
+                    batch_size,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut rows = Vec::new();
+            for e in &events {
+                exec.push(e.clone()).unwrap();
+                rows.extend(exec.poll_results());
+            }
+            rows.extend(exec.finish().unwrap());
+            assert_eq!(sorted(rows), expect, "batch_size={batch_size}");
+            frames_seen.push(exec.stats().frames);
+        }
+        // Bigger batches mean fewer frames.
+        assert!(
+            frames_seen[0] > frames_seen[2],
+            "batch=1 sent {} frames, batch=64 sent {}",
+            frames_seen[0],
+            frames_seen[2]
+        );
     }
 
     #[test]
@@ -593,13 +1273,23 @@ mod tests {
         };
         let ev = |tid, t| Event::new_unchecked(tid, Time(t), vec![]);
 
-        // Drop: the late event vanishes but is counted.
+        // Drop: the late event vanishes but is counted, globally and per
+        // window.
         let (mut exec, tid) = mk(LatePolicy::Drop);
         for t in [10u64, 20, 5] {
             exec.push(ev(tid, t)).unwrap();
         }
         let rows = exec.finish().unwrap();
-        assert_eq!(exec.stats().late_dropped, 1);
+        let stats = exec.stats();
+        assert_eq!(stats.late_dropped, 1);
+        assert_eq!(
+            stats.late_by_window,
+            vec![WindowLateCounts {
+                window: 0,
+                dropped: 1,
+                diverted: 0
+            }]
+        );
         assert_eq!(rows[0].values[0].to_f64(), 3.0); // {10},{20},{10,20}
 
         // Divert: the late event is handed back.
@@ -609,7 +1299,9 @@ mod tests {
         }
         exec.finish().unwrap();
         let diverted = exec.take_diverted();
-        assert_eq!(exec.stats().late_diverted, 1);
+        let stats = exec.stats();
+        assert_eq!(stats.late_diverted, 1);
+        assert_eq!(stats.late_by_window[0].diverted, 1);
         assert_eq!(diverted.len(), 1);
         assert_eq!(diverted[0].time, Time(5));
 
@@ -706,6 +1398,7 @@ mod tests {
                 shards: 2,
                 channel_capacity: 2,
                 result_capacity: 1,
+                batch_size: 4,
                 ..Default::default()
             },
         )
@@ -715,6 +1408,7 @@ mod tests {
         }
         let rows = exec.finish().unwrap();
         assert_eq!(sorted(rows), expect);
+        assert!(exec.stats().max_channel_occupancy >= 2);
     }
 
     #[test]
@@ -772,5 +1466,320 @@ mod tests {
         let rows = exec.finish().unwrap();
         assert_eq!(sorted(rows), expect);
         assert_eq!(exec.stats().broadcasts, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    fn durable_config(dir: &std::path::Path, shards: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            shards,
+            durability: Some(DurabilityConfig::new(dir)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_crash_then_recover_is_byte_identical() {
+        let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let dir = tmpdir("ckpt-recover");
+        let mut committed = Vec::new();
+        {
+            let mut exec =
+                StreamExecutor::<u64>::new(q.clone(), reg.clone(), durable_config(&dir, 3))
+                    .unwrap();
+            for e in &events[..150] {
+                exec.push(e.clone()).unwrap();
+                committed.extend(exec.poll_results());
+            }
+            exec.checkpoint().unwrap();
+            assert!(exec.stats().checkpoints >= 1);
+            // Crash: drop without finish(). Rows polled before the
+            // checkpoint are kept (`committed`); un-polled rows live in
+            // the snapshot and resurface through the recovered executor.
+            // (Rows polled *after* a checkpoint would be re-emitted on
+            // recovery — deterministic duplicates for an idempotent sink.)
+        }
+        let mut exec =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 3))
+                .unwrap();
+        let mut rows = Vec::new();
+        for e in &events[150..] {
+            exec.push(e.clone()).unwrap();
+            rows.extend(exec.poll_results());
+        }
+        rows.extend(exec.finish().unwrap());
+        committed.extend(rows);
+        assert_eq!(sorted(committed), expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_replays_whole_wal() {
+        let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let dir = tmpdir("no-ckpt");
+        {
+            let mut cfg = durable_config(&dir, 2);
+            // Cadence so large no automatic checkpoint fires.
+            cfg.durability.as_mut().unwrap().snapshot_every_windows = u64::MAX;
+            let mut exec = StreamExecutor::<u64>::new(q.clone(), reg.clone(), cfg).unwrap();
+            for e in &events[..57] {
+                exec.push(e.clone()).unwrap();
+            }
+            // Crash without ever polling: every row must come from recovery.
+        }
+        let mut exec =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 2))
+                .unwrap();
+        let mut rows = Vec::new();
+        for e in &events[57..] {
+            exec.push(e.clone()).unwrap();
+            rows.extend(exec.poll_results());
+        }
+        rows.extend(exec.finish().unwrap());
+        assert_eq!(sorted(rows), expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_cadence_checkpoints_and_wal_truncation() {
+        let (reg, q, events) = grouped_setup();
+        let dir = tmpdir("cadence");
+        let mut cfg = durable_config(&dir, 2);
+        {
+            let d = cfg.durability.as_mut().unwrap();
+            d.snapshot_every_windows = 1;
+            d.segment_bytes = 512; // force rotations so truncation can bite
+        }
+        let mut exec = StreamExecutor::<u64>::new(q.clone(), reg.clone(), cfg).unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            exec.poll_results();
+        }
+        exec.finish().unwrap();
+        let stats = exec.stats();
+        assert!(
+            stats.checkpoints >= 3,
+            "expected cadence checkpoints, got {}",
+            stats.checkpoints
+        );
+        // Obsolete segments were truncated: the on-disk WAL no longer
+        // reaches back to record 0.
+        let err = Wal::replay(&dir, 0, TailPolicy::Tolerate, |_, _| {}).unwrap_err();
+        assert!(matches!(
+            err,
+            greta_durability::DurabilityError::NothingToRecover(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_after_graceful_finish_resumes_empty() {
+        // finish() takes a final checkpoint; recovering afterwards yields a
+        // executor with the full history in its counters and nothing to
+        // replay.
+        let (reg, q, events) = grouped_setup();
+        let dir = tmpdir("graceful");
+        let mut exec =
+            StreamExecutor::<u64>::new(q.clone(), reg.clone(), durable_config(&dir, 2)).unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            exec.poll_results();
+        }
+        exec.finish().unwrap();
+        let mut recovered =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 2))
+                .unwrap();
+        assert_eq!(recovered.stats().pushed, events.len() as u64);
+        let rows = recovered.finish().unwrap();
+        assert!(rows.is_empty(), "graceful finish left {} rows", rows.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_refuses_dir_with_existing_state_and_recover_checks_shards() {
+        let (reg, q, events) = grouped_setup();
+        let dir = tmpdir("refuse");
+        {
+            let mut exec =
+                StreamExecutor::<u64>::new(q.clone(), reg.clone(), durable_config(&dir, 2))
+                    .unwrap();
+            for e in &events[..120] {
+                exec.push(e.clone()).unwrap();
+            }
+            exec.checkpoint().unwrap();
+        }
+        // new() on a used dir is refused (would shadow recoverable state).
+        let err = StreamExecutor::<u64>::new(q.clone(), reg.clone(), durable_config(&dir, 2))
+            .err()
+            .expect("new() must refuse a dir with recoverable state");
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        // recover() with a different shard count is refused.
+        let err = StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 5))
+            .err()
+            .expect("recover() must refuse a shard-count mismatch");
+        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn logged_then_rejected_late_event_does_not_poison_recovery() {
+        // Under LatePolicy::Error the event is WAL-logged before the late
+        // check fails the push; replay must skip it the same way the
+        // original caller did, not fail recovery forever.
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &[]).unwrap();
+        let q =
+            CompiledQuery::parse("RETURN COUNT(*) PATTERN A+ WITHIN 100 SLIDE 100", &reg).unwrap();
+        let tid = reg.type_id("A").unwrap();
+        let dir = tmpdir("late-poison");
+        let mk_cfg = || ExecutorConfig {
+            shards: 1,
+            slack: 2,
+            late_policy: LatePolicy::Error,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        {
+            let mut exec = StreamExecutor::<u64>::new(q.clone(), reg.clone(), mk_cfg()).unwrap();
+            let ev = |t| Event::new_unchecked(tid, Time(t), vec![]);
+            exec.push(ev(10)).unwrap();
+            exec.push(ev(20)).unwrap();
+            // Late: logged, then rejected — the caller notes it and goes on.
+            assert!(matches!(
+                exec.push(ev(5)).unwrap_err(),
+                EngineError::Late { got: 5, .. }
+            ));
+            exec.push(ev(30)).unwrap();
+        } // crash
+        let mut exec = StreamExecutor::<u64>::recover(q, reg, mk_cfg()).unwrap();
+        assert_eq!(exec.stats().pushed, 4);
+        let rows = exec.finish().unwrap();
+        // Same result the uninterrupted run produces: trends over {10,20,30}.
+        assert_eq!(rows[0].values[0].to_f64(), 7.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_refuses_mismatched_slack_or_late_policy() {
+        let (reg, q, events) = grouped_setup();
+        let dir = tmpdir("cfg-mismatch");
+        let mk_cfg = |slack, late_policy| ExecutorConfig {
+            shards: 2,
+            slack,
+            late_policy,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        {
+            let mut exec =
+                StreamExecutor::<u64>::new(q.clone(), reg.clone(), mk_cfg(3, LatePolicy::Divert))
+                    .unwrap();
+            for e in &events[..150] {
+                exec.push(e.clone()).unwrap();
+            }
+            exec.checkpoint().unwrap();
+        }
+        for bad in [mk_cfg(0, LatePolicy::Divert), mk_cfg(3, LatePolicy::Drop)] {
+            let err = StreamExecutor::<u64>::recover(q.clone(), reg.clone(), bad)
+                .err()
+                .expect("recover must refuse result-shaping config changes");
+            assert!(matches!(err, EngineError::Config(_)), "{err}");
+        }
+        // The matching config still works.
+        let mut exec =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), mk_cfg(3, LatePolicy::Divert))
+                .unwrap();
+        exec.finish().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let (reg, q, _) = grouped_setup();
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            exec.checkpoint().unwrap_err(),
+            EngineError::Config(_)
+        ));
+        exec.finish().unwrap();
+    }
+
+    #[test]
+    fn recovery_preserves_reorder_slack_state_and_diverted() {
+        // Out-of-order events pending in the reorder buffer at checkpoint
+        // time survive the crash via the snapshot (they are *before* the
+        // manifest's WAL cut).
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("A", &["grp"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN grp, COUNT(*) PATTERN A+ GROUP-BY grp WITHIN 20 SLIDE 20",
+            &reg,
+        )
+        .unwrap();
+        let tid = reg.type_id("A").unwrap();
+        let ev = |t: u64| Event::new_unchecked(tid, Time(t), vec![greta_types::Value::Int(0)]);
+        let times: Vec<u64> = vec![2, 1, 4, 3, 6, 5, 8, 7, 30, 29, 31, 28, 50];
+        let mk_cfg = |dir: &std::path::Path| ExecutorConfig {
+            shards: 1,
+            slack: 3,
+            late_policy: LatePolicy::Divert,
+            durability: Some(DurabilityConfig::new(dir)),
+            ..Default::default()
+        };
+        // Oracle without durability.
+        let mut oracle = StreamExecutor::<u64>::new(
+            q.clone(),
+            reg.clone(),
+            ExecutorConfig {
+                durability: None,
+                ..mk_cfg(std::path::Path::new("/unused"))
+            },
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        for &t in &times {
+            oracle.push(ev(t)).unwrap();
+        }
+        expect.extend(oracle.finish().unwrap());
+        let n_div_expect = {
+            let d = oracle.take_diverted();
+            d.len()
+        };
+
+        let dir = tmpdir("reorder-divert");
+        let mut committed = Vec::new();
+        {
+            let mut exec =
+                StreamExecutor::<u64>::new(q.clone(), reg.clone(), mk_cfg(&dir)).unwrap();
+            for &t in &times[..7] {
+                exec.push(ev(t)).unwrap();
+                committed.extend(exec.poll_results());
+            }
+            exec.checkpoint().unwrap();
+        } // crash
+        let mut exec =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), mk_cfg(&dir)).unwrap();
+        for &t in &times[7..] {
+            exec.push(ev(t)).unwrap();
+            committed.extend(exec.poll_results());
+        }
+        committed.extend(exec.finish().unwrap());
+        assert_eq!(sorted(committed), sorted(expect));
+        assert_eq!(exec.take_diverted().len(), n_div_expect);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

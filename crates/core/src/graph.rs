@@ -349,6 +349,57 @@ impl<N: TrendNum> AltRuntime<N> {
             .map(|g| g.storage.bytes() + g.log.heap_size())
             .sum()
     }
+
+    /// Append the binary encoding of the mutable runtime state: statistics
+    /// counters, each graph's invalidation log, and every live vertex in
+    /// pane order (durability snapshots). The immutable plan-derived parts
+    /// (state indexes, sort attributes, dependencies) are rebuilt from the
+    /// query on [`decode_state`](Self::decode_state).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use greta_types::codec::{put_u32, put_u64};
+        put_u64(out, self.vertices_inserted);
+        put_u64(out, self.edges_traversed);
+        put_u32(out, self.graphs.len() as u32);
+        for g in &self.graphs {
+            g.log.encode(out);
+            put_u32(out, g.storage.len() as u32);
+            for pane in g.storage.panes() {
+                for id in pane.all_ids() {
+                    crate::state::encode_vertex(g.storage.store.get(id), out);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a runtime from `plan`/`window` and state written by
+    /// [`encode_state`](Self::encode_state). Vertices are re-inserted in
+    /// pane order, reconstructing the pane/tree indexes exactly.
+    pub fn decode_state(
+        plan: &AltPlan,
+        window: &WindowSpec,
+        r: &mut greta_types::Reader<'_>,
+    ) -> Result<AltRuntime<N>, greta_types::CodecError> {
+        use greta_types::CodecError;
+        let mut rt = AltRuntime::new(plan, window);
+        rt.vertices_inserted = r.u64()?;
+        rt.edges_traversed = r.u64()?;
+        let n = r.seq_len(8)?;
+        if n != rt.graphs.len() {
+            return Err(CodecError(format!(
+                "graph count mismatch: snapshot has {n}, plan has {}",
+                rt.graphs.len()
+            )));
+        }
+        for g in &mut rt.graphs {
+            g.log = crate::negation::InvalidationLog::decode(r)?;
+            let nv = r.seq_len(27)?;
+            for _ in 0..nv {
+                let v = crate::state::decode_vertex(r)?;
+                g.storage.insert(v);
+            }
+        }
+        Ok(rt)
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub mod parallel;
 pub mod reorder;
 pub mod results;
 pub mod semantics;
+mod state;
 pub mod storage;
 pub mod window;
 

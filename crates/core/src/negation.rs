@@ -86,6 +86,30 @@ impl InvalidationLog {
     pub fn heap_size(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<(Time, Time)>()
     }
+
+    /// Append the binary encoding (durability snapshots).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        use greta_types::codec::{put_u32, put_u64};
+        put_u32(out, self.entries.len() as u32);
+        for (end, pmax) in &self.entries {
+            put_u64(out, end.ticks());
+            put_u64(out, pmax.ticks());
+        }
+        crate::state::put_opt_u64(out, self.first_end.map(Time::ticks));
+    }
+
+    /// Decode a log written by [`encode`](Self::encode).
+    pub fn decode(
+        r: &mut greta_types::Reader<'_>,
+    ) -> Result<InvalidationLog, greta_types::CodecError> {
+        let n = r.seq_len(16)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((Time(r.u64()?), Time(r.u64()?)));
+        }
+        let first_end = crate::state::get_opt_u64(r)?.map(Time);
+        Ok(InvalidationLog { entries, first_end })
+    }
 }
 
 /// How a negative child graph constrains its parent (derived from the

@@ -87,6 +87,44 @@ impl ReorderBuffer {
     pub fn late_events(&self) -> u64 {
         self.late
     }
+
+    /// Append the binary encoding of the buffer's mutable state: the
+    /// released watermark, the late counter, and every buffered event in
+    /// release order (durability snapshots). The slack is configuration
+    /// and is supplied again on [`import_state`](Self::import_state).
+    pub fn export_state(&self, out: &mut Vec<u8>) {
+        crate::state::put_opt_u64(out, self.released.map(Time::ticks));
+        greta_types::codec::put_u64(out, self.late);
+        let n: usize = self.pending.values().map(Vec::len).sum();
+        greta_types::codec::put_u32(out, n as u32);
+        for batch in self.pending.values() {
+            for e in batch {
+                e.encode(out);
+            }
+        }
+    }
+
+    /// Rebuild a buffer with the given `slack` from state written by
+    /// [`export_state`](Self::export_state).
+    pub fn import_state(
+        slack: u64,
+        r: &mut greta_types::Reader<'_>,
+    ) -> Result<ReorderBuffer, greta_types::CodecError> {
+        let released = crate::state::get_opt_u64(r)?.map(Time);
+        let late = r.u64()?;
+        let n = r.seq_len(11)?;
+        let mut pending: BTreeMap<Time, Vec<Event>> = BTreeMap::new();
+        for _ in 0..n {
+            let e = Event::decode(r)?;
+            pending.entry(e.time).or_default().push(e);
+        }
+        Ok(ReorderBuffer {
+            slack,
+            pending,
+            released,
+            late,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,304 @@
+//! Binary (de)serialization of runtime state — the building blocks of
+//! durability snapshots.
+//!
+//! Each piece of engine state gets a small, versionless record encoding
+//! (the containing snapshot blob carries the version byte): partition keys,
+//! per-vertex aggregate states, graph vertices, and emitted result rows.
+//! Container modules ([`graph`](crate::graph), [`engine`](crate::engine),
+//! [`reorder`](crate::reorder)) compose these into whole-component state
+//! blobs; the [`executor`](crate::executor) composes those into the
+//! per-epoch snapshot the durability layer persists.
+
+use crate::agg::{AggState, TrendNum};
+use crate::grouping::PartitionKey;
+use crate::results::{OutValue, WindowResult};
+use crate::storage::Vertex;
+use greta_query::StateId;
+use greta_types::codec::{put_u16, put_u32, put_u64, Reader};
+use greta_types::{CodecError, Event, Time, Value};
+
+/// Append an `Option<u64>` (presence byte + value).
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+/// Decode an `Option<u64>` written by [`put_opt_u64`].
+pub(crate) fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        t => Err(CodecError(format!("bad Option tag {t}"))),
+    }
+}
+
+/// Append a partition key (`None` marks a sub-key hole).
+pub(crate) fn encode_key(k: &PartitionKey, out: &mut Vec<u8>) {
+    put_u32(out, k.0.len() as u32);
+    for v in &k.0 {
+        match v {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+/// Decode a partition key written by [`encode_key`].
+pub(crate) fn decode_key(r: &mut Reader<'_>) -> Result<PartitionKey, CodecError> {
+    let n = r.seq_len(1)?;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(match r.u8()? {
+            0 => None,
+            1 => Some(Value::decode(r)?),
+            t => return Err(CodecError(format!("bad key slot tag {t}"))),
+        });
+    }
+    Ok(PartitionKey(vals))
+}
+
+/// Append an aggregate state (slot counts written explicitly so decoding
+/// never trusts the layout).
+pub(crate) fn encode_agg_state<N: TrendNum>(st: &AggState<N>, out: &mut Vec<u8>) {
+    st.count.encode(out);
+    put_u32(out, st.counts_e.len() as u32);
+    for n in st.counts_e.iter() {
+        n.encode(out);
+    }
+    put_u32(out, st.mins.len() as u32);
+    for m in st.mins.iter() {
+        put_u64(out, m.to_bits());
+    }
+    put_u32(out, st.maxs.len() as u32);
+    for m in st.maxs.iter() {
+        put_u64(out, m.to_bits());
+    }
+    put_u32(out, st.sums.len() as u32);
+    for n in st.sums.iter() {
+        n.encode(out);
+    }
+}
+
+/// Decode an aggregate state written by [`encode_agg_state`].
+pub(crate) fn decode_agg_state<N: TrendNum>(r: &mut Reader<'_>) -> Result<AggState<N>, CodecError> {
+    let count = N::decode(r)?;
+    let n = r.seq_len(1)?;
+    let mut counts_e = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts_e.push(N::decode(r)?);
+    }
+    let n = r.seq_len(8)?;
+    let mut mins = Vec::with_capacity(n);
+    for _ in 0..n {
+        mins.push(f64::from_bits(r.u64()?));
+    }
+    let n = r.seq_len(8)?;
+    let mut maxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        maxs.push(f64::from_bits(r.u64()?));
+    }
+    let n = r.seq_len(1)?;
+    let mut sums = Vec::with_capacity(n);
+    for _ in 0..n {
+        sums.push(N::decode(r)?);
+    }
+    Ok(AggState {
+        count,
+        counts_e: counts_e.into_boxed_slice(),
+        mins: mins.into_boxed_slice(),
+        maxs: maxs.into_boxed_slice(),
+        sums: sums.into_boxed_slice(),
+    })
+}
+
+/// Append a graph vertex.
+pub(crate) fn encode_vertex<N: TrendNum>(v: &Vertex<N>, out: &mut Vec<u8>) {
+    v.event.encode(out);
+    put_u16(out, v.state.0);
+    put_u64(out, v.seq);
+    put_u64(out, v.latest_start.ticks());
+    put_u32(out, v.aggs.len() as u32);
+    for (w, st) in &v.aggs {
+        put_u64(out, *w);
+        encode_agg_state(st, out);
+    }
+}
+
+/// Decode a graph vertex written by [`encode_vertex`].
+pub(crate) fn decode_vertex<N: TrendNum>(r: &mut Reader<'_>) -> Result<Vertex<N>, CodecError> {
+    let event = Event::decode(r)?;
+    let state = StateId(r.u16()?);
+    let seq = r.u64()?;
+    let latest_start = Time(r.u64()?);
+    let n = r.seq_len(8)?;
+    let mut aggs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = r.u64()?;
+        aggs.push((w, decode_agg_state(r)?));
+    }
+    Ok(Vertex {
+        event,
+        state,
+        seq,
+        latest_start,
+        aggs,
+    })
+}
+
+/// Append a result row.
+pub(crate) fn encode_window_result<N: TrendNum>(row: &WindowResult<N>, out: &mut Vec<u8>) {
+    put_u64(out, row.window);
+    encode_key(&row.group, out);
+    put_u32(out, row.values.len() as u32);
+    for v in &row.values {
+        match v {
+            OutValue::Count(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            OutValue::Float(f) => {
+                out.push(1);
+                put_u64(out, f.to_bits());
+            }
+        }
+    }
+}
+
+/// Decode a result row written by [`encode_window_result`].
+pub(crate) fn decode_window_result<N: TrendNum>(
+    r: &mut Reader<'_>,
+) -> Result<WindowResult<N>, CodecError> {
+    let window = r.u64()?;
+    let group = decode_key(r)?;
+    let n = r.seq_len(1)?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(match r.u8()? {
+            0 => OutValue::Count(N::decode(r)?),
+            1 => OutValue::Float(f64::from_bits(r.u64()?)),
+            t => return Err(CodecError(format!("bad OutValue tag {t}"))),
+        });
+    }
+    Ok(WindowResult {
+        window,
+        group,
+        values,
+    })
+}
+
+/// Append a list of events.
+pub(crate) fn encode_events<'a>(
+    events: impl ExactSizeIterator<Item = &'a Event>,
+    out: &mut Vec<u8>,
+) {
+    put_u32(out, events.len() as u32);
+    for e in events {
+        e.encode(out);
+    }
+}
+
+/// Decode a list of events written by [`encode_events`].
+pub(crate) fn decode_events(r: &mut Reader<'_>) -> Result<Vec<Event>, CodecError> {
+    let n = r.seq_len(11)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Event::decode(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggLayout;
+    use greta_bignum::BigUint;
+    use greta_types::TypeId;
+
+    #[test]
+    fn agg_state_roundtrip_all_carriers() {
+        let layout = AggLayout {
+            count_targets: vec![TypeId(0), TypeId(1)],
+            min_targets: vec![(TypeId(0), greta_types::AttrId(0))],
+            max_targets: vec![(TypeId(0), greta_types::AttrId(0))],
+            sum_targets: vec![(TypeId(1), greta_types::AttrId(1))],
+        };
+        fn check<N: TrendNum>(layout: &AggLayout, mk: impl Fn(u64) -> N) {
+            let mut st = AggState::<N>::zero(layout);
+            st.count = mk(17);
+            st.counts_e[0] = mk(3);
+            st.mins[0] = -2.5;
+            st.maxs[0] = f64::NEG_INFINITY;
+            st.sums[0] = mk(123456789);
+            let mut buf = Vec::new();
+            encode_agg_state(&st, &mut buf);
+            let got: AggState<N> = decode_agg_state(&mut Reader::new(&buf)).unwrap();
+            assert_eq!(got, st);
+        }
+        check::<u64>(&layout, |v| v);
+        check::<f64>(&layout, |v| v as f64);
+        check::<BigUint>(&layout, BigUint::from_u64);
+    }
+
+    #[test]
+    fn key_roundtrip_with_subkey_holes() {
+        let k = PartitionKey(vec![
+            Some(Value::Int(7)),
+            None,
+            Some(Value::from("IBM")),
+            Some(Value::Float(1.25)),
+        ]);
+        let mut buf = Vec::new();
+        encode_key(&k, &mut buf);
+        assert_eq!(decode_key(&mut Reader::new(&buf)).unwrap(), k);
+    }
+
+    #[test]
+    fn vertex_roundtrip() {
+        let layout = AggLayout::default();
+        let mut st = AggState::<u64>::zero(&layout);
+        st.count = 42;
+        let v = Vertex {
+            event: Event::new_unchecked(TypeId(3), Time(99), vec![Value::Int(5)]),
+            state: StateId(2),
+            seq: 17,
+            latest_start: Time(90),
+            aggs: vec![(4, st.clone()), (5, st)],
+        };
+        let mut buf = Vec::new();
+        encode_vertex(&v, &mut buf);
+        let got: Vertex<u64> = decode_vertex(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got.event, v.event);
+        assert_eq!(got.state, v.state);
+        assert_eq!(got.seq, v.seq);
+        assert_eq!(got.latest_start, v.latest_start);
+        assert_eq!(got.aggs, v.aggs);
+    }
+
+    #[test]
+    fn window_result_roundtrip() {
+        let row = WindowResult::<f64> {
+            window: 9,
+            group: PartitionKey(vec![Some(Value::Int(1))]),
+            values: vec![OutValue::Count(8.0), OutValue::Float(f64::NAN)],
+        };
+        let mut buf = Vec::new();
+        encode_window_result(&row, &mut buf);
+        let got: WindowResult<f64> = decode_window_result(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got.window, row.window);
+        assert_eq!(got.group, row.group);
+        assert_eq!(got.values[0], row.values[0]);
+        // NaN round-trips bit-exactly even though NaN != NaN.
+        match (&got.values[1], &row.values[1]) {
+            (OutValue::Float(a), OutValue::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+            _ => panic!("expected floats"),
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Segmented write-ahead log.
+//!
+//! Records are opaque byte payloads framed as
+//! `[len: u32 LE][crc32(payload): u32 LE][payload]` and appended to segment
+//! files named `wal-<base>.seg`, where `<base>` is the global index of the
+//! segment's first record. A segment is rotated once it exceeds the
+//! configured size; rotation fsyncs the finished segment (and the
+//! directory), so every record before the live segment is durable. Frames
+//! never span segments.
+//!
+//! Crash anatomy (mirroring the segmented-log layout of LSM stores):
+//!
+//! * a crash mid-append leaves a **torn tail** — a partial frame at the end
+//!   of the *last* segment. [`Wal::open`] repairs it by truncating to the
+//!   last whole frame; [`Wal::replay`] with [`TailPolicy::Tolerate`] stops
+//!   in front of it.
+//! * a frame whose checksum does not match is **corruption**, reported as
+//!   [`DurabilityError::BadChecksum`] — never silently skipped.
+
+use crate::crc::crc32;
+use crate::error::{io_err, DurabilityError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+const FRAME_HEADER: usize = 8; // len + crc
+/// Upper bound on a single record; larger lengths are treated as corruption.
+const MAX_RECORD: u32 = 1 << 30;
+
+/// How [`Wal::replay`] treats a partial frame at the very end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailPolicy {
+    /// Stop before the partial frame (a crash mid-append is expected).
+    Tolerate,
+    /// Surface it as [`DurabilityError::TruncatedFrame`].
+    Error,
+}
+
+fn segment_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base:020}.seg"))
+}
+
+fn parse_segment_base(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let base = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    base.parse().ok()
+}
+
+/// Sorted `(base_index, path)` of every segment in `dir`.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir).map_err(io_err(format!("read dir {}", dir.display())))? {
+        let entry = entry.map_err(io_err("read dir entry"))?;
+        let path = entry.path();
+        if let Some(base) = parse_segment_base(&path) {
+            segs.push((base, path));
+        }
+    }
+    segs.sort_unstable_by_key(|(b, _)| *b);
+    Ok(segs)
+}
+
+fn sync_dir(dir: &Path) -> Result<(), DurabilityError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io_err(format!("fsync dir {}", dir.display())))
+}
+
+/// Outcome of scanning one segment file.
+struct SegmentScan {
+    /// Number of whole, checksummed frames.
+    records: u64,
+    /// Byte offset just past the last whole frame.
+    valid_len: u64,
+    /// A partial frame follows `valid_len`.
+    torn: bool,
+}
+
+/// Scan a segment, verifying every frame checksum. `f` is called with each
+/// payload. Stops at a torn tail (reported in the result); fails on a bad
+/// checksum or an absurd length.
+fn scan_segment(path: &Path, mut f: impl FnMut(&[u8])) -> Result<SegmentScan, DurabilityError> {
+    let data = fs::read(path).map_err(io_err(format!("read segment {}", path.display())))?;
+    let mut pos = 0usize;
+    let mut records = 0u64;
+    loop {
+        if pos == data.len() {
+            return Ok(SegmentScan {
+                records,
+                valid_len: pos as u64,
+                torn: false,
+            });
+        }
+        if data.len() - pos < FRAME_HEADER {
+            return Ok(SegmentScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            });
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            return Err(DurabilityError::Corrupt {
+                file: path.to_path_buf(),
+                msg: format!("frame length {len} at offset {pos} exceeds maximum"),
+            });
+        }
+        let body_start = pos + FRAME_HEADER;
+        let body_end = body_start + len as usize;
+        if body_end > data.len() {
+            return Ok(SegmentScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            });
+        }
+        let payload = &data[body_start..body_end];
+        if crc32(payload) != crc {
+            return Err(DurabilityError::BadChecksum {
+                file: path.to_path_buf(),
+                offset: pos as u64,
+            });
+        }
+        f(payload);
+        records += 1;
+        pos = body_end;
+    }
+}
+
+/// Append handle over a segmented WAL directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    writer: BufWriter<File>,
+    /// Base record index of the live segment.
+    segment_base: u64,
+    /// Bytes written to the live segment.
+    segment_len: u64,
+    /// Global index the next appended record will get.
+    next_index: u64,
+    segment_bytes: u64,
+    fsync_each_append: bool,
+    /// Set after any write/flush failure: the BufWriter may hold a partial
+    /// frame, so further appends could corrupt the log mid-segment. All
+    /// subsequent writes fail until the WAL is reopened (which truncates
+    /// the on-disk tail to the last whole frame).
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Open (or create) the WAL in `dir`. Repairs a torn tail left by a
+    /// crash mid-append by truncating the last segment to its last whole
+    /// frame. Fails on checksum corruption.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        fsync_each_append: bool,
+    ) -> Result<Wal, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err(format!("create dir {}", dir.display())))?;
+        let segs = list_segments(&dir)?;
+        let (segment_base, next_index, segment_len, path) = match segs.last() {
+            None => (0, 0, 0, segment_path(&dir, 0)),
+            Some((base, path)) => {
+                let scan = scan_segment(path, |_| {})?;
+                if scan.torn {
+                    // Crash artifact: drop the partial frame.
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(io_err(format!("open {}", path.display())))?;
+                    f.set_len(scan.valid_len)
+                        .map_err(io_err(format!("truncate {}", path.display())))?;
+                    f.sync_all()
+                        .map_err(io_err(format!("fsync {}", path.display())))?;
+                }
+                (*base, base + scan.records, scan.valid_len, path.clone())
+            }
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err(format!("open segment {}", path.display())))?;
+        Ok(Wal {
+            dir,
+            writer: BufWriter::new(file),
+            segment_base,
+            segment_len,
+            next_index,
+            segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
+            fsync_each_append,
+            poisoned: false,
+        })
+    }
+
+    /// Directory holding the segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Global index the next appended record will receive.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Append one record, returning its global index. The record is durable
+    /// once the segment rotates, [`sync`](Self::sync) is called, or
+    /// `fsync_each_append` is set.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, DurabilityError> {
+        self.check_poisoned()?;
+        let idx = self.next_index;
+        let len = payload.len() as u32;
+        self.writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|_| self.writer.write_all(&crc32(payload).to_le_bytes()))
+            .and_then(|_| self.writer.write_all(payload))
+            .map_err(|e| {
+                self.poisoned = true;
+                io_err("append WAL record")(e)
+            })?;
+        self.next_index += 1;
+        self.segment_len += FRAME_HEADER as u64 + payload.len() as u64;
+        if self.fsync_each_append {
+            self.sync()?;
+        }
+        if self.segment_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(idx)
+    }
+
+    /// Flush and fsync the live segment.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.check_poisoned()?;
+        self.writer.flush().map_err(|e| {
+            self.poisoned = true;
+            io_err("flush WAL")(e)
+        })?;
+        self.writer
+            .get_ref()
+            .sync_all()
+            .map_err(io_err("fsync WAL segment"))
+    }
+
+    fn check_poisoned(&self) -> Result<(), DurabilityError> {
+        if self.poisoned {
+            return Err(DurabilityError::Poisoned(format!(
+                "an earlier write to {} failed; reopen the WAL to repair and continue",
+                self.dir.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seal the live segment (fsync) and start a new one.
+    fn rotate(&mut self) -> Result<(), DurabilityError> {
+        self.sync()?;
+        self.segment_base = self.next_index;
+        self.segment_len = 0;
+        let path = segment_path(&self.dir, self.segment_base);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err(format!("open segment {}", path.display())))?;
+        self.writer = BufWriter::new(file);
+        sync_dir(&self.dir)
+    }
+
+    /// Delete every sealed segment whose records all have index < `index`
+    /// (they are covered by a snapshot). The live segment always survives.
+    pub fn truncate_segments_before(&mut self, index: u64) -> Result<usize, DurabilityError> {
+        self.writer.flush().map_err(io_err("flush WAL"))?;
+        let segs = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for w in segs.windows(2) {
+            let (base, ref path) = w[0];
+            let (next_base, _) = w[1];
+            // Segment covers [base, next_base).
+            if next_base <= index && base < self.segment_base {
+                fs::remove_file(path)
+                    .map_err(io_err(format!("remove segment {}", path.display())))?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Replay records with global index ≥ `from_index`, in order, calling
+    /// `f(index, payload)` for each. Returns the index one past the last
+    /// replayed record. `tail` selects whether a partial final frame (crash
+    /// artifact) is tolerated or an error; a bad checksum or a gap between
+    /// segments is always an error.
+    pub fn replay(
+        dir: impl AsRef<Path>,
+        from_index: u64,
+        tail: TailPolicy,
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> Result<u64, DurabilityError> {
+        let dir = dir.as_ref();
+        let segs = list_segments(dir)?;
+        if segs.is_empty() {
+            return Ok(from_index);
+        }
+        if from_index < segs[0].0 {
+            return Err(DurabilityError::NothingToRecover(format!(
+                "WAL starts at record {} but replay needs record {from_index}",
+                segs[0].0
+            )));
+        }
+        let mut idx = segs[0].0;
+        for (si, (base, path)) in segs.iter().enumerate() {
+            if *base != idx {
+                return Err(DurabilityError::Corrupt {
+                    file: path.clone(),
+                    msg: format!("segment gap: expected base {idx}, found {base}"),
+                });
+            }
+            let last = si + 1 == segs.len();
+            let scan = scan_segment(path, |payload| {
+                if idx >= from_index {
+                    f(idx, payload);
+                }
+                idx += 1;
+            })?;
+            if scan.torn && (!last || tail == TailPolicy::Error) {
+                return Err(DurabilityError::TruncatedFrame {
+                    file: path.clone(),
+                    offset: scan.valid_len,
+                });
+            }
+        }
+        Ok(idx)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("greta-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn collect(
+        dir: &Path,
+        from: u64,
+        tail: TailPolicy,
+    ) -> Result<Vec<(u64, Vec<u8>)>, DurabilityError> {
+        let mut out = Vec::new();
+        Wal::replay(dir, from, tail, |i, p| out.push((i, p.to_vec())))?;
+        Ok(out)
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+        for i in 0..100u64 {
+            let idx = wal.append(format!("rec-{i}").as_bytes()).unwrap();
+            assert_eq!(idx, i);
+        }
+        wal.sync().unwrap();
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 100);
+        assert_eq!(recs[42], (42, b"rec-42".to_vec()));
+        // Replay from an offset skips the prefix.
+        let tail = collect(&dir, 97, TailPolicy::Error).unwrap();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].0, 97);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_creates_segments_and_reopen_continues_indices() {
+        let dir = tmpdir("rotate");
+        {
+            let mut wal = Wal::open(&dir, 64, false).unwrap(); // tiny segments
+            for i in 0..50u64 {
+                wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
+            }
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(
+            segs.len() > 1,
+            "expected rotation, got {} segment(s)",
+            segs.len()
+        );
+        // Reopen continues where it left off.
+        let mut wal = Wal::open(&dir, 64, false).unwrap();
+        assert_eq!(wal.next_index(), 50);
+        wal.append(b"after-reopen").unwrap();
+        wal.sync().unwrap();
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 51);
+        assert_eq!(recs[50].1, b"after-reopen");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_a_clean_error_and_tolerated_when_asked() {
+        let dir = tmpdir("torn");
+        {
+            let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+            for i in 0..10u64 {
+                wal.append(format!("rec-{i}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Chop bytes off the tail: a torn frame.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        // Strict: clean error, not a panic.
+        let err = collect(&dir, 0, TailPolicy::Error).unwrap_err();
+        assert!(
+            matches!(err, DurabilityError::TruncatedFrame { .. }),
+            "{err}"
+        );
+        // Lenient: the whole frames before the tear replay fine.
+        let recs = collect(&dir, 0, TailPolicy::Tolerate).unwrap();
+        assert_eq!(recs.len(), 9);
+        // Reopen repairs the tail and appends continue at the right index.
+        let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+        assert_eq!(wal.next_index(), 9);
+        wal.append(b"after-repair").unwrap();
+        wal.sync().unwrap();
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_checksum_is_a_clean_error_everywhere() {
+        let dir = tmpdir("crc");
+        {
+            let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+            for i in 0..5u64 {
+                wal.append(format!("rec-{i}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        // Flip one payload byte of the second record.
+        let mut data = fs::read(&path).unwrap();
+        let second = (FRAME_HEADER + 5) + FRAME_HEADER + 2;
+        data[second] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        for tail in [TailPolicy::Tolerate, TailPolicy::Error] {
+            let err = collect(&dir, 0, tail).unwrap_err();
+            assert!(matches!(err, DurabilityError::BadChecksum { .. }), "{err}");
+        }
+        // Opening for append also refuses.
+        assert!(Wal::open(&dir, 1 << 20, false).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_segments_before_keeps_needed_tail() {
+        let dir = tmpdir("truncate");
+        let mut wal = Wal::open(&dir, 64, false).unwrap();
+        for i in 0..60u64 {
+            wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = list_segments(&dir).unwrap().len();
+        let removed = wal.truncate_segments_before(30).unwrap();
+        assert!(removed > 0);
+        assert_eq!(list_segments(&dir).unwrap().len(), before - removed);
+        // Everything from index 30 on still replays.
+        let recs = collect(&dir, 30, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 30);
+        assert_eq!(recs[0].0, 30);
+        // Replaying a pre-truncation index is a clean error.
+        assert!(collect(&dir, 0, TailPolicy::Error).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod error;
 pub mod event;
 pub mod schema;
@@ -22,6 +23,7 @@ pub mod stream;
 pub mod time;
 pub mod value;
 
+pub use codec::{CodecError, Reader};
 pub use error::TypeError;
 pub use event::{Event, EventBuilder};
 pub use schema::{AttrId, Schema, SchemaRegistry, TypeId};

@@ -145,6 +145,22 @@ pub mod channel {
             Ok(())
         }
 
+        /// Number of messages currently queued (like `crossbeam`'s
+        /// `Sender::len`; used for backpressure metrics).
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Non-blocking send: fails with [`TrySendError::Full`] instead of
         /// waiting when the channel is at capacity.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
@@ -218,6 +234,22 @@ pub mod channel {
             } else {
                 Err(TryRecvError::Empty)
             }
+        }
+
+        /// Number of messages currently queued (like `crossbeam`'s
+        /// `Receiver::len`; used for backpressure metrics).
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Blocking iterator that ends when the channel disconnects.
