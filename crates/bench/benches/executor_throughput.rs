@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use greta_core::{ExecutorConfig, GretaEngine, StreamExecutor};
 use greta_query::CompiledQuery;
-use greta_types::{Event, SchemaRegistry};
+use greta_types::{Event, SchemaRegistry, Time, Value};
 use greta_workloads::{StockConfig, StockGen};
 
 const EVENTS: usize = 2000;
@@ -112,6 +112,69 @@ fn bench_frame_batching(c: &mut Criterion) {
     g.finish();
 }
 
+/// Broadcast-heavy routing: a Q3-style leading negation where `Accident`
+/// events lack the full partition key and must reach every shard. Each
+/// accident used to be deep-cloned once per shard; with `Arc<Event>`
+/// routing a broadcast is a pointer clone, so this group isolates the
+/// event-plane copy cost that `executor_throughput` (no broadcast types)
+/// cannot see.
+fn bench_broadcast_heavy(c: &mut Criterion) {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("Accident", &["segment"]).expect("schema");
+    reg.register_type("Position", &["vehicle", "segment", "speed"])
+        .expect("schema");
+    let query = CompiledQuery::parse(
+        "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
+         WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 200 SLIDE 50",
+        &reg,
+    )
+    .expect("Q3 compiles");
+    let acc_id = reg.type_id("Accident").expect("Accident");
+    let pos_id = reg.type_id("Position").expect("Position");
+    // ~30% broadcast events, 16 segments × 8 vehicles.
+    let events: Vec<Event> = (0..EVENTS as u64)
+        .map(|t| {
+            if t % 10 < 3 {
+                Event::new_unchecked(acc_id, Time(t), vec![Value::Int((t % 16) as i64)])
+            } else {
+                Event::new_unchecked(
+                    pos_id,
+                    Time(t),
+                    vec![
+                        Value::Int((t % 8) as i64),
+                        Value::Int((t % 16) as i64),
+                        Value::Float(((t * 31) % 90) as f64),
+                    ],
+                )
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("broadcast_heavy");
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut exec = StreamExecutor::<f64>::new(
+                    query.clone(),
+                    reg.clone(),
+                    ExecutorConfig {
+                        shards,
+                        ..Default::default()
+                    },
+                )
+                .expect("executor");
+                let mut n = 0usize;
+                for e in &events {
+                    exec.push(e.clone()).expect("in-order");
+                    n += exec.poll_results().len();
+                }
+                n + exec.finish().expect("finish").len()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_durability_overhead(c: &mut Criterion) {
     let (reg, query, events) = setup();
     let mut g = c.benchmark_group("durability_overhead");
@@ -162,6 +225,7 @@ criterion_group!(
     benches,
     bench_executor_shards,
     bench_frame_batching,
+    bench_broadcast_heavy,
     bench_durability_overhead
 );
 criterion_main!(benches);

@@ -154,6 +154,18 @@ impl TrendNum for BigUint {
     }
 }
 
+/// Dense per-event-type accessor of an [`AggLayout`]: the slots (and
+/// attribute indexes) an event of one type contributes to, resolved once
+/// at plan time so [`AggState::apply_own`] indexes straight into its
+/// arrays instead of scanning every target per event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct TypeAggOps {
+    counts: Vec<usize>,
+    mins: Vec<(usize, AttrId)>,
+    maxs: Vec<(usize, AttrId)>,
+    sums: Vec<(usize, AttrId)>,
+}
+
 /// Physical layout of an [`AggState`], derived from the query's aggregates.
 /// Distinct targets are deduplicated: `AVG(E.a)` shares the `COUNT(E)` and
 /// `SUM(E.a)` slots with any other aggregate needing them.
@@ -167,6 +179,8 @@ pub struct AggLayout {
     pub max_targets: Vec<(TypeId, AttrId)>,
     /// `SUM(E.attr)` slots (also AVG numerators).
     pub sum_targets: Vec<(TypeId, AttrId)>,
+    /// Per-type slot table, indexed by `TypeId` (compiled accessor).
+    ops: Vec<TypeAggOps>,
 }
 
 impl AggLayout {
@@ -186,6 +200,7 @@ impl AggLayout {
                 }
             }
         }
+        l.build_ops();
         l
     }
 
@@ -193,6 +208,34 @@ impl AggLayout {
         if !self.count_targets.contains(&t) {
             self.count_targets.push(t);
         }
+    }
+
+    /// Resolve the dense per-type slot table from the target lists.
+    fn build_ops(&mut self) {
+        let max_ty = self
+            .count_targets
+            .iter()
+            .copied()
+            .chain(self.min_targets.iter().map(|(t, _)| *t))
+            .chain(self.max_targets.iter().map(|(t, _)| *t))
+            .chain(self.sum_targets.iter().map(|(t, _)| *t))
+            .map(|t| t.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut ops = vec![TypeAggOps::default(); max_ty];
+        for (i, t) in self.count_targets.iter().enumerate() {
+            ops[t.0 as usize].counts.push(i);
+        }
+        for (i, (t, a)) in self.min_targets.iter().enumerate() {
+            ops[t.0 as usize].mins.push((i, *a));
+        }
+        for (i, (t, a)) in self.max_targets.iter().enumerate() {
+            ops[t.0 as usize].maxs.push((i, *a));
+        }
+        for (i, (t, a)) in self.sum_targets.iter().enumerate() {
+            ops[t.0 as usize].sums.push((i, *a));
+        }
+        self.ops = ops;
     }
 
     /// Slot of `COUNT(E)`.
@@ -282,30 +325,26 @@ impl<N: TrendNum> AggState<N> {
         if is_start {
             self.count.add_assign(&N::one());
         }
-        let ty = event.type_id;
-        for (i, t) in layout.count_targets.iter().enumerate() {
-            if *t == ty {
-                // e.countE = e.count + Σ p.countE; the Σ part is already in
-                // counts_e from merge(), so add e.count.
-                let c = self.count.clone();
-                self.counts_e[i].add_assign(&c);
-            }
+        // Dense accessor: one index by type id, then only the slots this
+        // type actually feeds (resolved once in `AggLayout::new`).
+        let Some(ops) = layout.ops.get(event.type_id.0 as usize) else {
+            return;
+        };
+        for &i in &ops.counts {
+            // e.countE = e.count + Σ p.countE; the Σ part is already in
+            // counts_e from merge(), so add e.count.
+            let c = self.count.clone();
+            self.counts_e[i].add_assign(&c);
         }
-        for (i, (t, a)) in layout.min_targets.iter().enumerate() {
-            if *t == ty {
-                self.mins[i] = self.mins[i].min(event.attr(*a).as_f64());
-            }
+        for &(i, a) in &ops.mins {
+            self.mins[i] = self.mins[i].min(event.attr(a).as_f64());
         }
-        for (i, (t, a)) in layout.max_targets.iter().enumerate() {
-            if *t == ty {
-                self.maxs[i] = self.maxs[i].max(event.attr(*a).as_f64());
-            }
+        for &(i, a) in &ops.maxs {
+            self.maxs[i] = self.maxs[i].max(event.attr(a).as_f64());
         }
-        for (i, (t, a)) in layout.sum_targets.iter().enumerate() {
-            if *t == ty {
-                let contrib = N::scale_by_attr(&self.count, event.attr(*a).as_f64());
-                self.sums[i].add_assign(&contrib);
-            }
+        for &(i, a) in &ops.sums {
+            let contrib = N::scale_by_attr(&self.count, event.attr(a).as_f64());
+            self.sums[i].add_assign(&contrib);
         }
     }
 

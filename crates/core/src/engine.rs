@@ -26,7 +26,7 @@ use crate::semantics::Semantics;
 use crate::window::{window_close_time, windows_of, WindowId};
 use crate::EngineError;
 use greta_query::CompiledQuery;
-use greta_types::{Event, SchemaRegistry, Time};
+use greta_types::{shared_heap_size, Event, EventRef, SchemaRegistry, Time};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Engine tuning knobs.
@@ -80,8 +80,12 @@ pub struct GretaEngine<N: TrendNum = f64> {
     routing: StreamRouting,
     partitions: HashMap<PartitionKey, Partition<N>>,
     /// Events of types that lack the full partition key (broadcast types),
-    /// kept one window deep for replay into new partitions.
-    replay: VecDeque<Event>,
+    /// kept one window deep for replay into new partitions (shared refs —
+    /// replay never copies payloads). Each entry records the bytes it was
+    /// charged, so the running total never drifts as Arc sharing changes.
+    replay: VecDeque<(EventRef, usize)>,
+    /// Running byte total of the replay buffer.
+    replay_bytes: usize,
     /// Incremental per-(window, group) final aggregates.
     results: BTreeMap<WindowId, HashMap<PartitionKey, AggState<N>>>,
     /// Windows touched by any event (deferred-final scans).
@@ -124,6 +128,7 @@ impl<N: TrendNum> GretaEngine<N> {
             routing,
             partitions: HashMap::new(),
             replay: VecDeque::new(),
+            replay_bytes: 0,
             results: BTreeMap::new(),
             touched: BTreeSet::new(),
             emitted: Vec::new(),
@@ -155,8 +160,17 @@ impl<N: TrendNum> GretaEngine<N> {
         self.partitions.len()
     }
 
-    /// Process one event (must arrive in-order by time, §2).
+    /// Process one event (must arrive in-order by time, §2). Compatibility
+    /// wrapper that clones the event into a shared [`EventRef`] once; the
+    /// zero-copy path is [`process_ref`](Self::process_ref).
     pub fn process(&mut self, e: &Event) -> Result<(), EngineError> {
+        self.process_ref(&e.clone().into_ref())
+    }
+
+    /// Process one shared event (must arrive in-order by time, §2). The
+    /// event is *not* copied: graph vertices and the broadcast replay
+    /// buffer hold clones of the `Arc` handle.
+    pub fn process_ref(&mut self, e: &EventRef) -> Result<(), EngineError> {
         if self.saw_event && e.time < self.watermark {
             return Err(EngineError::OutOfOrder {
                 watermark: self.watermark.ticks(),
@@ -174,7 +188,7 @@ impl<N: TrendNum> GretaEngine<N> {
 
         if is_root_type {
             self.ensure_partition(&key);
-            self.deliver(&key.clone(), e);
+            self.deliver(&key, e);
         } else if is_broadcast {
             // Deliver to every matching partition, remember for replay.
             let targets: Vec<PartitionKey> = self
@@ -186,16 +200,20 @@ impl<N: TrendNum> GretaEngine<N> {
             for t in targets {
                 self.deliver(&t, e);
             }
-            self.replay.push_back(e.clone());
+            let charge = shared_heap_size(e);
+            self.replay_bytes += charge;
+            self.replay.push_back((e.clone(), charge));
             // Replay buffer is one window deep (DESIGN.md: Def-5 effects for
             // late-created partitions are window-bounded).
             let cutoff = e.time.ticks().saturating_sub(self.query.window.within);
             while self
                 .replay
                 .front()
-                .is_some_and(|old| old.time.ticks() < cutoff)
+                .is_some_and(|(old, _)| old.time.ticks() < cutoff)
             {
-                self.replay.pop_front();
+                if let Some((_, c)) = self.replay.pop_front() {
+                    self.replay_bytes = self.replay_bytes.saturating_sub(c);
+                }
             }
         }
         // Events of types not in the query are ignored entirely.
@@ -225,11 +243,11 @@ impl<N: TrendNum> GretaEngine<N> {
         self.deferred_final =
             self.deferred_final || part.alts.iter().any(AltRuntime::needs_deferred_final);
         // Replay buffered broadcast events that match this partition.
-        let replayable: Vec<Event> = self
+        let replayable: Vec<EventRef> = self
             .replay
             .iter()
-            .filter(|old| self.routing.extractor().key_of(old).matches(key))
-            .cloned()
+            .filter(|(old, _)| self.routing.extractor().key_of(old).matches(key))
+            .map(|(old, _)| old.clone())
             .collect();
         let ctx = Ctx {
             layout: &self.layout,
@@ -242,15 +260,15 @@ impl<N: TrendNum> GretaEngine<N> {
             // below any live event's global index. Contiguous semantics is
             // approximate across replay (see DESIGN.md).
             let seq = i as u64;
-            for (alt, plan) in part.alts.iter_mut().zip(&self.query.alternatives) {
-                alt.process(plan, &ctx, old, seq, |_, _| {});
+            for alt in part.alts.iter_mut() {
+                alt.process(&ctx, old, seq, |_, _| {});
             }
         }
         self.live_bytes += part.alts.iter().map(AltRuntime::bytes).sum::<usize>();
         self.partitions.insert(key.clone(), part);
     }
 
-    fn deliver(&mut self, key: &PartitionKey, e: &Event) {
+    fn deliver(&mut self, key: &PartitionKey, e: &EventRef) {
         let n_group = self.query.group_by.len();
         let group = key.group_prefix(n_group);
         let ctx = Ctx {
@@ -264,9 +282,9 @@ impl<N: TrendNum> GretaEngine<N> {
         // stream event as a potential gap (Table 1: "skips none").
         let seq = self.stats.events;
         let mut end_updates: Vec<(WindowId, AggState<N>)> = Vec::new();
-        for (alt, plan) in part.alts.iter_mut().zip(&self.query.alternatives) {
+        for alt in part.alts.iter_mut() {
             let (v0, e0, b0) = (alt.vertices_inserted, alt.edges_traversed, alt.bytes());
-            alt.process(plan, &ctx, e, seq, |w, st| {
+            alt.process(&ctx, e, seq, |w, st| {
                 end_updates.push((w, st.clone()));
             });
             self.stats.vertices += alt.vertices_inserted - v0;
@@ -416,7 +434,7 @@ impl<N: TrendNum> GretaEngine<N> {
             }
         }
 
-        encode_events(self.replay.iter(), &mut out);
+        encode_events(self.replay.iter().map(|(e, _)| e), &mut out);
 
         put_u32(&mut out, self.results.len() as u32);
         for (wid, groups) in &self.results {
@@ -499,7 +517,11 @@ impl<N: TrendNum> GretaEngine<N> {
             eng.partitions.insert(key, part);
         }
 
-        eng.replay = decode_events(r)?.into();
+        for e in decode_events(r)? {
+            let charge = shared_heap_size(&e);
+            eng.replay_bytes += charge;
+            eng.replay.push_back((e, charge));
+        }
 
         let n_results = r.seq_len(12)?;
         for _ in 0..n_results {
@@ -556,8 +578,7 @@ impl<N: TrendNum> MemoryFootprint for GretaEngine<N> {
                     .sum::<usize>()
             })
             .sum();
-        let replay: usize = self.replay.iter().map(Event::heap_size).sum();
-        parts + results + replay
+        parts + results + self.replay_bytes
     }
 
     fn peak_memory_bytes(&self) -> usize {

@@ -9,7 +9,7 @@
 //! ```text
 //!                 ┌────────────┐    hash(group key)   ┌─────────────┐
 //!  push(event) ─▶ │ ReorderBuf │ ──▶ shard router ──▶ │ shard 0..N  │──┐
-//!       │         │ (slack,    │     (Vec<Event>      │ GretaEngine │  │ bounded
+//!       │         │ (slack,    │     (Vec<EventRef>   │ GretaEngine │  │ bounded
 //!       ▼         │  late      │      frames;         └─────────────┘  │ results
 //!  WAL append     │  policy)   │      broadcast for   ┌─────────────┐  │ channel
 //!  (optional)     └────────────┘      negative types) │ shard N-1   │──┤
@@ -25,10 +25,16 @@
 //!   merging. Events of broadcast types (negative-pattern / sub-key types)
 //!   are delivered to every shard. Routing is deterministic: results are
 //!   independent of the shard count.
-//! * **Batching**: events are accumulated into per-shard `Vec<Event>`
+//! * **Batching**: events are accumulated into per-shard `Vec<EventRef>`
 //!   frames ([`ExecutorConfig::batch_size`]) so channel synchronization is
 //!   paid per frame, not per event. Frames are flushed whenever full and at
 //!   every window-close boundary, so results still stream incrementally.
+//! * **Zero-copy event plane**: an event is allocated once, when it enters
+//!   [`push`](StreamExecutor::push) (or arrives pre-shared via
+//!   [`push_ref`](StreamExecutor::push_ref)); everything downstream — the
+//!   reorder buffer, shard frames, the broadcast fan-out, graph vertices,
+//!   the divert buffer — holds `Arc` clones of that one allocation. A
+//!   broadcast to N shards costs N pointer bumps, not N deep copies.
 //! * **Watermarks**: whenever the released watermark crosses a window-close
 //!   boundary, buffered frames are flushed and the watermark is broadcast
 //!   so shards that received no recent events still close their windows.
@@ -62,7 +68,7 @@ use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use greta_durability::{DurabilityConfig, Manifest, SnapshotStore, TailPolicy, Wal};
 use greta_query::CompiledQuery;
 use greta_types::codec::{put_u32, put_u64, Reader};
-use greta_types::{CodecError, Event, SchemaRegistry, Time};
+use greta_types::{CodecError, Event, EventRef, SchemaRegistry, Time};
 use std::collections::BTreeMap;
 use std::thread::JoinHandle;
 
@@ -152,7 +158,7 @@ pub struct ExecutorStats {
     pub broadcasts: u64,
     /// Watermark messages broadcast to the shards.
     pub watermarks: u64,
-    /// `Vec<Event>` frames sent to shard queues.
+    /// `Vec<EventRef>` frames sent to shard queues.
     pub frames: u64,
     /// Durability checkpoints completed.
     pub checkpoints: u64,
@@ -173,8 +179,9 @@ pub struct ExecutorStats {
 }
 
 enum Msg {
-    /// A batch of in-order events for one shard.
-    Events(Vec<Event>),
+    /// A batch of in-order shared events for one shard (broadcast frames
+    /// carry `Arc` clones of the same allocations).
+    Events(Vec<EventRef>),
     /// Close every window ending at or before this time.
     Watermark(Time),
     /// Serialize engine state and reply with `(shard, blob)`. Acts as a
@@ -209,12 +216,16 @@ struct SnapshotParts<N: TrendNum> {
     last_close_idx: Option<u64>,
     late_windows: BTreeMap<WindowId, (u64, u64)>,
     reorder: ReorderBuffer,
-    diverted: Vec<Event>,
+    diverted: Vec<EventRef>,
     pending: Vec<WindowResult<N>>,
     shard_states: Vec<Vec<u8>>,
 }
 
-const SNAPSHOT_VERSION: u8 = 1;
+/// Bumped to 2 with the zero-copy event plane: the group→shard hash
+/// changed (values are hashed straight off the event), so snapshots taken
+/// by older revisions must be rejected instead of silently mis-sharding
+/// replayed WAL events.
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// The push-based, sharded GRETA runtime. See the [module docs](self).
 ///
@@ -231,13 +242,15 @@ pub struct StreamExecutor<N: TrendNum = f64> {
     senders: Vec<Sender<Msg>>,
     results_rx: Receiver<WindowResult<N>>,
     workers: Vec<JoinHandle<Result<WorkerReport, EngineError>>>,
-    diverted: Vec<Event>,
+    diverted: Vec<EventRef>,
     /// Rows drained off the result channel while a shard queue was full;
     /// returned by the next `poll_results`/`finish`.
     pending: Vec<WindowResult<N>>,
     stats: ExecutorStats,
     /// Per-shard event frames not yet sent.
-    batch_bufs: Vec<Vec<Event>>,
+    batch_bufs: Vec<Vec<EventRef>>,
+    /// Reused scratch for reorder-buffer releases (no per-event alloc).
+    release_scratch: Vec<EventRef>,
     batch_size: usize,
     /// Late drop/divert counts keyed by the event's latest window.
     late_windows: BTreeMap<WindowId, (u64, u64)>,
@@ -279,7 +292,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                         dcfg.dir.display()
                     )));
                 }
-                let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync_each_append)?;
+                let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync)?;
                 if wal.next_index() > 0 {
                     return Err(EngineError::Config(format!(
                         "durability dir {} already contains WAL records; \
@@ -325,7 +338,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             EngineError::Config("recover requires ExecutorConfig::durability".into())
         })?;
         // Opening the WAL first repairs a torn tail before replay.
-        let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync_each_append)?;
+        let wal = Wal::open(&dcfg.dir, dcfg.segment_bytes, dcfg.fsync)?;
         let snapshots = SnapshotStore::open(&dcfg.dir)?;
         let manifest = Manifest::load(&dcfg.dir)?;
 
@@ -395,7 +408,7 @@ impl<N: TrendNum> StreamExecutor<N> {
 
         // Replay the WAL tail through the normal ingest path (without
         // re-appending). A torn final frame was already repaired by open.
-        let mut tail: Vec<Event> = Vec::new();
+        let mut tail: Vec<EventRef> = Vec::new();
         let mut decode_err: Option<CodecError> = None;
         Wal::replay(
             &dcfg.dir,
@@ -406,7 +419,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                     return;
                 }
                 match Event::decode(&mut Reader::new(payload)) {
-                    Ok(e) => tail.push(e),
+                    Ok(e) => tail.push(e.into_ref()),
                     Err(e) => decode_err = Some(e),
                 }
             },
@@ -489,6 +502,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             pending: Vec::new(),
             stats: ExecutorStats::default(),
             batch_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            release_scratch: Vec::new(),
             batch_size: config.batch_size.max(1),
             late_windows: BTreeMap::new(),
             max_occupancy: 0,
@@ -514,6 +528,14 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// internal buffer while it waits (so a caller that never polls cannot
     /// deadlock the pipeline) and returns once the event is queued.
     pub fn push(&mut self, e: Event) -> Result<(), EngineError> {
+        self.push_ref(e.into_ref())
+    }
+
+    /// [`push`](Self::push) without the allocation: the caller hands over a
+    /// shared event, and the executor never copies the payload again — the
+    /// reorder buffer, shard frames, broadcast fan-out, and graph vertices
+    /// all hold clones of this `Arc`.
+    pub fn push_ref(&mut self, e: EventRef) -> Result<(), EngineError> {
         if self.finished {
             return Err(EngineError::Config(
                 "push after finish() on StreamExecutor".into(),
@@ -533,10 +555,17 @@ impl<N: TrendNum> StreamExecutor<N> {
     }
 
     /// Reorder + route one event (shared by `push` and WAL replay).
-    fn ingest(&mut self, e: Event) -> Result<(), EngineError> {
-        match self.reorder.push(e) {
-            Ok(released) => self.route_all(released),
+    fn ingest(&mut self, e: EventRef) -> Result<(), EngineError> {
+        let mut released = std::mem::take(&mut self.release_scratch);
+        match self.reorder.push_into(e, &mut released) {
+            Ok(()) => {
+                let r = self.route_all(&mut released);
+                released.clear();
+                self.release_scratch = released;
+                r
+            }
             Err(late) => {
+                self.release_scratch = released;
                 let wid = late.time.ticks() / self.window_slide.max(1);
                 let slot = self.late_windows.entry(wid).or_default();
                 match self.late_policy {
@@ -581,8 +610,10 @@ impl<N: TrendNum> StreamExecutor<N> {
         if self.finished {
             return Ok(Vec::new());
         }
-        let tail = self.reorder.flush();
-        let route_result = self.route_all(tail).and_then(|()| self.flush_all_batches());
+        let mut tail = self.reorder.flush();
+        let route_result = self
+            .route_all(&mut tail)
+            .and_then(|()| self.flush_all_batches());
         self.finished = true;
         // Close the input channels regardless, so workers always terminate.
         self.senders.clear();
@@ -650,12 +681,12 @@ impl<N: TrendNum> StreamExecutor<N> {
     }
 
     /// Take the events diverted under [`LatePolicy::Divert`] so far.
-    pub fn take_diverted(&mut self) -> Vec<Event> {
+    pub fn take_diverted(&mut self) -> Vec<EventRef> {
         std::mem::take(&mut self.diverted)
     }
 
-    fn route_all(&mut self, released: Vec<Event>) -> Result<(), EngineError> {
-        for e in released {
+    fn route_all(&mut self, released: &mut Vec<EventRef>) -> Result<(), EngineError> {
+        for e in released.drain(..) {
             self.stats.released += 1;
             let wm = e.time;
             match self.routing.shard_of(&e, self.shards) {
@@ -1071,7 +1102,7 @@ fn worker_loop<N: TrendNum>(
         match msg {
             Msg::Events(batch) => {
                 for e in &batch {
-                    engine.process(e)?;
+                    engine.process_ref(e)?;
                 }
             }
             Msg::Watermark(t) => engine.advance_watermark(t),
@@ -1409,6 +1440,58 @@ mod tests {
         let rows = exec.finish().unwrap();
         assert_eq!(sorted(rows), expect);
         assert!(exec.stats().max_channel_occupancy >= 2);
+    }
+
+    #[test]
+    fn broadcast_frames_are_pointer_identical_across_shards() {
+        // The zero-copy event plane: a broadcast event reaches every shard
+        // as an `Arc` clone of ONE allocation, never as a deep copy.
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("Accident", &["segment"]).unwrap();
+        reg.register_type("Position", &["vehicle", "segment"])
+            .unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN segment, COUNT(*) PATTERN SEQ(NOT Accident X, Position P+) \
+             WHERE [P.vehicle, segment] GROUP-BY segment WITHIN 1000 SLIDE 1000",
+            &reg,
+        )
+        .unwrap();
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg.clone(),
+            ExecutorConfig {
+                shards: 3,
+                batch_size: 10_000, // keep frames buffered so we can inspect them
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let acc = EventBuilder::new(&reg, "Accident")
+            .unwrap()
+            .at(Time(1))
+            .set("segment", 4)
+            .unwrap()
+            .build();
+        let pos = EventBuilder::new(&reg, "Position")
+            .unwrap()
+            .at(Time(5))
+            .set("vehicle", 7)
+            .unwrap()
+            .set("segment", 4)
+            .unwrap()
+            .build();
+        exec.push(acc).unwrap();
+        exec.push(pos).unwrap(); // advances the reorder horizon past t=1
+        assert_eq!(exec.stats().broadcasts, 1);
+        assert_eq!(exec.batch_bufs.len(), 3);
+        let first = &exec.batch_bufs[0][0];
+        for buf in &exec.batch_bufs[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(first, &buf[0]),
+                "broadcast event was copied instead of shared"
+            );
+        }
+        exec.finish().unwrap();
     }
 
     #[test]

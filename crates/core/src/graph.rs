@@ -29,9 +29,9 @@ use crate::semantics::Semantics;
 use crate::storage::{GraphStorage, Vertex, VertexId};
 use crate::window::{pane_length, windows_of, WindowId};
 use greta_query::compile::AltPlan;
+use greta_query::predicate::{CompiledExpr, EdgePredicate};
 use greta_query::{StateId, WindowSpec};
-use greta_types::{Event, Time, TypeId};
-use std::collections::HashMap;
+use greta_types::{EventRef, Time};
 
 /// Immutable per-event processing context.
 #[derive(Debug, Clone, Copy)]
@@ -52,15 +52,48 @@ struct GraphRuntime<N: TrendNum> {
     /// Invalidations produced by this graph (non-empty only for negative
     /// graphs that finished trends).
     log: InvalidationLog,
-    /// States indexed by event type.
-    states_by_type: HashMap<TypeId, Vec<StateId>>,
     /// Dependencies on child (negative) graphs.
     deps: Vec<Dependency>,
+}
+
+/// Compiled per-state accessors of one graph, resolved once from the plan
+/// (no per-event name/hash lookups or predicate scans on the hot path):
+/// dispatch table from event type to candidate states, hoisted vertex and
+/// edge predicate lists, START/END flags, and the range-query predicate
+/// index per predecessor state.
+struct GraphOps {
+    /// `TypeId.0` → indices into [`GraphOps::states`].
+    dispatch: Vec<Box<[usize]>>,
+    /// Per-state ops, in `state_types` order.
+    states: Vec<StateOps>,
+}
+
+/// Compiled accessors for one template state.
+struct StateOps {
+    state: StateId,
+    is_start: bool,
+    is_end: bool,
+    /// Local filters of this state (§6), hoisted out of the per-event scan.
+    vertex_preds: Vec<CompiledExpr>,
+    /// One entry per predecessor state, hoisted out of the per-event
+    /// `predecessors()` + `edge_preds()` collection.
+    preds: Vec<PredOps>,
+}
+
+/// Compiled edge-predicate set for one `(prev_state, state)` pair.
+struct PredOps {
+    p_state: StateId,
+    eps: Vec<EdgePredicate>,
+    /// Index into `eps` of the predicate the Vertex Tree answers as a
+    /// range query (honored only when `Ctx::use_range_index` is set).
+    range_idx: Option<usize>,
 }
 
 /// Runtime of one compiled alternative within one partition.
 pub struct AltRuntime<N: TrendNum> {
     graphs: Vec<GraphRuntime<N>>,
+    /// Compiled accessors, parallel to `graphs`.
+    ops: Vec<GraphOps>,
     /// Vertices inserted (statistics).
     pub vertices_inserted: u64,
     /// Edges traversed, i.e. predecessor pairs merged (statistics; the
@@ -72,45 +105,89 @@ impl<N: TrendNum> AltRuntime<N> {
     /// Set up runtime state for an alternative.
     pub fn new(plan: &AltPlan, window: &WindowSpec) -> AltRuntime<N> {
         let pane_len = pane_length(window);
-        let graphs = plan
-            .graphs
-            .iter()
-            .map(|spec| {
-                // Sort attribute per state: first range-form edge predicate
-                // using this state as the previous side.
-                let mut sort_attr = HashMap::new();
-                for s in &spec.template.states {
-                    let attr = plan
-                        .predicates
-                        .edges
-                        .iter()
-                        .filter(|e| e.prev_state == s.occ)
-                        .find_map(|e| e.range.as_ref().map(|r| r.prev_attr));
-                    sort_attr.insert(s.occ, attr);
-                }
-                let mut states_by_type: HashMap<TypeId, Vec<StateId>> = HashMap::new();
-                for (sid, tid) in &spec.state_types {
-                    states_by_type.entry(*tid).or_default().push(*sid);
-                }
-                let deps = plan
-                    .graphs
+        let mut graphs = Vec::with_capacity(plan.graphs.len());
+        let mut ops = Vec::with_capacity(plan.graphs.len());
+        for spec in &plan.graphs {
+            let n_states = spec
+                .template
+                .states
+                .iter()
+                .map(|s| s.occ.0 as usize + 1)
+                .max()
+                .unwrap_or(0);
+            // Sort attribute per state: first range-form edge predicate
+            // using this state as the previous side.
+            let mut sort_attr: Vec<Option<greta_types::AttrId>> = vec![None; n_states];
+            for s in &spec.template.states {
+                sort_attr[s.occ.0 as usize] = plan
+                    .predicates
+                    .edges
                     .iter()
-                    .filter(|g| g.parent == Some(spec.id))
-                    .map(|g| Dependency {
-                        child: g.id,
-                        mode: DepMode::of(g),
+                    .filter(|e| e.prev_state == s.occ)
+                    .find_map(|e| e.range.as_ref().map(|r| r.prev_attr));
+            }
+            let mut states: Vec<StateOps> = Vec::with_capacity(spec.state_types.len());
+            let mut dispatch: Vec<Vec<usize>> = Vec::new();
+            for (sid, tid) in &spec.state_types {
+                let ti = tid.0 as usize;
+                if dispatch.len() <= ti {
+                    dispatch.resize(ti + 1, Vec::new());
+                }
+                dispatch[ti].push(states.len());
+                let preds = spec
+                    .template
+                    .predecessors(*sid)
+                    .into_iter()
+                    .map(|p_state| {
+                        let eps: Vec<EdgePredicate> =
+                            plan.predicates.edge_preds(p_state, *sid).cloned().collect();
+                        let range_idx = eps.iter().position(|ep| {
+                            ep.range.as_ref().is_some_and(|r| {
+                                sort_attr.get(p_state.0 as usize).copied().flatten()
+                                    == Some(r.prev_attr)
+                            })
+                        });
+                        PredOps {
+                            p_state,
+                            eps,
+                            range_idx,
+                        }
                     })
                     .collect();
-                GraphRuntime {
-                    storage: GraphStorage::new(pane_len, sort_attr),
-                    log: InvalidationLog::default(),
-                    states_by_type,
-                    deps,
-                }
-            })
-            .collect();
+                states.push(StateOps {
+                    state: *sid,
+                    is_start: spec.template.is_start(*sid),
+                    is_end: spec.template.is_end(*sid),
+                    vertex_preds: plan
+                        .predicates
+                        .vertex_preds(*sid)
+                        .map(|p| p.expr.clone())
+                        .collect(),
+                    preds,
+                });
+            }
+            let deps = plan
+                .graphs
+                .iter()
+                .filter(|g| g.parent == Some(spec.id))
+                .map(|g| Dependency {
+                    child: g.id,
+                    mode: DepMode::of(g),
+                })
+                .collect();
+            graphs.push(GraphRuntime {
+                storage: GraphStorage::new(pane_len, sort_attr),
+                log: InvalidationLog::default(),
+                deps,
+            });
+            ops.push(GraphOps {
+                dispatch: dispatch.into_iter().map(Vec::into_boxed_slice).collect(),
+                states,
+            });
+        }
         AltRuntime {
             graphs,
+            ops,
             vertices_inserted: 0,
             edges_traversed: 0,
         }
@@ -128,31 +205,32 @@ impl<N: TrendNum> AltRuntime<N> {
     /// aggregation, Algorithm 2 line 8).
     pub fn process(
         &mut self,
-        plan: &AltPlan,
         ctx: &Ctx<'_>,
-        e: &Event,
+        e: &EventRef,
         event_seq: u64,
         mut on_root_end: impl FnMut(WindowId, &AggState<N>),
     ) {
         for gi in 0..self.graphs.len() {
-            self.process_graph(plan, ctx, gi, e, event_seq, &mut on_root_end);
+            self.process_graph(ctx, gi, e, event_seq, &mut on_root_end);
         }
     }
 
     fn process_graph(
         &mut self,
-        plan: &AltPlan,
         ctx: &Ctx<'_>,
         gi: usize,
-        e: &Event,
+        e: &EventRef,
         event_seq: u64,
         on_root_end: &mut impl FnMut(WindowId, &AggState<N>),
     ) {
-        let spec = &plan.graphs[gi];
-        let Some(states) = self.graphs[gi].states_by_type.get(&e.type_id) else {
+        // Compiled dispatch: event type → candidate states, one array index.
+        let ops = &self.ops[gi];
+        let Some(state_idxs) = ops.dispatch.get(e.type_id.0 as usize) else {
             return;
         };
-        let states = states.clone();
+        if state_idxs.is_empty() {
+            return;
+        }
 
         // Case-3 negation: drop events arriving strictly after the first
         // finished trend of a DropFollowing child (Fig. 8(b)).
@@ -165,31 +243,26 @@ impl<N: TrendNum> AltRuntime<N> {
             }
         }
 
-        for state in states {
-            // Vertex predicates (local filters, §6).
-            if !plan
-                .predicates
-                .vertex_preds(state)
-                .all(|p| p.expr.eval_bool(None, e))
-            {
+        for &si in state_idxs.iter() {
+            let so = &ops.states[si];
+            let state = so.state;
+            // Vertex predicates (local filters, §6), hoisted at plan time.
+            if !so.vertex_preds.iter().all(|p| p.eval_bool(None, e)) {
                 continue;
             }
-            let is_start = spec.template.is_start(state);
-            let is_end = spec.template.is_end(state);
+            let is_start = so.is_start;
+            let is_end = so.is_end;
 
             // --- predecessor collection ------------------------------------
             let mut preds: Vec<VertexId> = Vec::new();
             let lo = Time(e.time.ticks().saturating_sub(ctx.window.within - 1));
-            for p_state in spec.template.predecessors(state) {
-                let eps: Vec<_> = plan.predicates.edge_preds(p_state, state).collect();
+            for po in &so.preds {
+                let p_state = po.p_state;
+                let eps = &po.eps;
                 // Range form answered by the Vertex Tree (if it sorts on
-                // the predicate's attribute).
+                // the predicate's attribute; resolved at plan time).
                 let range_idx = if ctx.use_range_index {
-                    eps.iter().position(|ep| {
-                        ep.range.as_ref().is_some_and(|r| {
-                            self.graphs[gi].storage.indexes_attr(p_state, r.prev_attr)
-                        })
-                    })
+                    po.range_idx
                 } else {
                     None
                 };
@@ -221,7 +294,7 @@ impl<N: TrendNum> AltRuntime<N> {
                         if Some(i) == range_idx {
                             continue;
                         }
-                        if !ep.expr.eval_bool(Some(&v.event), e) {
+                        if !ep.expr.eval_bool(Some(v.event.as_ref()), e) {
                             return;
                         }
                     }
@@ -434,8 +507,12 @@ mod tests {
         };
         let mut total = 0.0;
         for (seq, (ty, t)) in events.iter().enumerate() {
-            let e = EventBuilder::new(&reg, ty).unwrap().at(Time(*t)).build();
-            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+            let e = EventBuilder::new(&reg, ty)
+                .unwrap()
+                .at(Time(*t))
+                .build()
+                .into_ref();
+            rt.process(&ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
         }
         total
     }
@@ -562,8 +639,12 @@ mod tests {
         };
         let mut total = 0.0;
         for (seq, t) in [1u64, 2, 3].iter().enumerate() {
-            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(*t)).build();
-            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+            let e = EventBuilder::new(&reg, "A")
+                .unwrap()
+                .at(Time(*t))
+                .build()
+                .into_ref();
+            rt.process(&ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
         }
         // Contiguous trends of a1 a2 a3: (a1),(a2),(a3),(a1a2),(a2a3),(a1a2a3) = 6
         assert_eq!(total, 6.0);
@@ -583,8 +664,12 @@ mod tests {
         };
         let mut total = 0.0;
         for (seq, t) in (1u64..=10).enumerate() {
-            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build();
-            rt.process(plan, &ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
+            let e = EventBuilder::new(&reg, "A")
+                .unwrap()
+                .at(Time(t))
+                .build()
+                .into_ref();
+            rt.process(&ctx, &e, seq as u64 + 1, |_w, st| total += st.count);
         }
         // Each event links only to its immediate predecessor: runs = n(n+1)/2.
         assert_eq!(total, 55.0);
@@ -603,8 +688,12 @@ mod tests {
             use_range_index: true,
         };
         for (seq, t) in (1u64..=4).enumerate() {
-            let e = EventBuilder::new(&reg, "A").unwrap().at(Time(t)).build();
-            rt.process(plan, &ctx, &e, seq as u64 + 1, |_, _| {});
+            let e = EventBuilder::new(&reg, "A")
+                .unwrap()
+                .at(Time(t))
+                .build()
+                .into_ref();
+            rt.process(&ctx, &e, seq as u64 + 1, |_, _| {});
         }
         assert_eq!(rt.vertices_inserted, 4);
         assert_eq!(rt.edges_traversed, 1 + 2 + 3);

@@ -7,7 +7,7 @@ use crate::EngineError;
 use greta_query::CompiledQuery;
 use greta_types::{AttrId, Event, SchemaRegistry, TypeId, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 /// A partition / group key: attribute values in `partition_attrs` order.
@@ -93,10 +93,13 @@ impl PartitionKey {
 
 /// Pre-resolved partition-attribute lookup: for each event type, the
 /// attribute index of every partition attribute (or `None` if the type
-/// lacks it).
+/// lacks it). The table is dense by `TypeId` — schema names are resolved
+/// **once** at plan time, and the per-event lookup is an array index, not
+/// a hash (compiled attribute accessors).
 #[derive(Debug, Clone, Default)]
 pub struct KeyExtractor {
-    per_type: HashMap<TypeId, Vec<Option<AttrId>>>,
+    /// `TypeId.0` → attribute slots; `None` for types outside the query.
+    per_type: Vec<Option<Box<[Option<AttrId>]>>>,
     n_attrs: usize,
 }
 
@@ -104,18 +107,24 @@ impl KeyExtractor {
     /// Build the extractor for a compiled query: resolves every partition
     /// attribute on every event type appearing in any graph.
     pub fn new(query: &CompiledQuery, reg: &SchemaRegistry) -> KeyExtractor {
-        let mut per_type: HashMap<TypeId, Vec<Option<AttrId>>> = HashMap::new();
+        let mut per_type: Vec<Option<Box<[Option<AttrId>]>>> = Vec::new();
         for alt in &query.alternatives {
             for g in &alt.graphs {
                 for (_, tid) in &g.state_types {
-                    per_type.entry(*tid).or_insert_with(|| {
+                    let ti = tid.0 as usize;
+                    if per_type.len() <= ti {
+                        per_type.resize(ti + 1, None);
+                    }
+                    if per_type[ti].is_none() {
                         let schema = reg.schema(*tid);
-                        query
-                            .partition_attrs
-                            .iter()
-                            .map(|a| schema.attr(a))
-                            .collect()
-                    });
+                        per_type[ti] = Some(
+                            query
+                                .partition_attrs
+                                .iter()
+                                .map(|a| schema.attr(a))
+                                .collect(),
+                        );
+                    }
                 }
             }
         }
@@ -125,9 +134,15 @@ impl KeyExtractor {
         }
     }
 
+    /// Resolved attribute slots of a type, if it appears in the query.
+    #[inline]
+    fn slots_of(&self, ty: TypeId) -> Option<&[Option<AttrId>]> {
+        self.per_type.get(ty.0 as usize).and_then(|s| s.as_deref())
+    }
+
     /// Extract the (sub-)key of an event.
     pub fn key_of(&self, e: &Event) -> PartitionKey {
-        match self.per_type.get(&e.type_id) {
+        match self.slots_of(e.type_id) {
             Some(slots) => {
                 PartitionKey(slots.iter().map(|s| s.map(|a| e.attr(a).clone())).collect())
             }
@@ -135,11 +150,25 @@ impl KeyExtractor {
         }
     }
 
+    /// Extract only the leading `n` attributes of the (sub-)key (the
+    /// `GROUP-BY` prefix) without materializing the full key.
+    pub fn key_prefix_of(&self, e: &Event, n: usize) -> PartitionKey {
+        match self.slots_of(e.type_id) {
+            Some(slots) => PartitionKey(
+                slots
+                    .iter()
+                    .take(n)
+                    .map(|s| s.map(|a| e.attr(a).clone()))
+                    .collect(),
+            ),
+            None => PartitionKey(vec![None; self.n_attrs.min(n)]),
+        }
+    }
+
     /// True when the event's type carries **all** partition attributes
     /// (complete key ⇒ the event belongs to exactly one partition).
     pub fn has_full_key(&self, ty: TypeId) -> bool {
-        self.per_type
-            .get(&ty)
+        self.slots_of(ty)
             .is_none_or(|slots| slots.iter().all(Option::is_some))
     }
 
@@ -166,8 +195,9 @@ impl KeyExtractor {
 #[derive(Debug, Clone)]
 pub struct StreamRouting {
     extractor: KeyExtractor,
-    root_types: HashSet<TypeId>,
-    broadcast_types: HashSet<TypeId>,
+    /// Dense by `TypeId`: the per-event classification is an array index.
+    root_types: Vec<bool>,
+    broadcast_types: Vec<bool>,
     n_group: usize,
 }
 
@@ -187,14 +217,25 @@ impl StreamRouting {
                 }
             }
         }
-        let broadcast_types: HashSet<TypeId> = all_types
-            .into_iter()
-            .filter(|t| !root_types.contains(t) || !extractor.has_full_key(*t))
-            .collect();
+        let max_ty = all_types
+            .iter()
+            .map(|t| t.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut root = vec![false; max_ty];
+        let mut broadcast = vec![false; max_ty];
+        for t in &root_types {
+            root[t.0 as usize] = true;
+        }
+        for t in all_types {
+            if !root_types.contains(&t) || !extractor.has_full_key(t) {
+                broadcast[t.0 as usize] = true;
+            }
+        }
         StreamRouting {
             extractor,
-            root_types,
-            broadcast_types,
+            root_types: root,
+            broadcast_types: broadcast,
             n_group: query.group_by.len(),
         }
     }
@@ -207,9 +248,10 @@ impl StreamRouting {
         query: &CompiledQuery,
         registry: &SchemaRegistry,
     ) -> Result<(), EngineError> {
-        for tid in &self.root_types {
-            if !self.extractor.has_full_key(*tid) {
-                let schema = registry.schema(*tid);
+        for (i, is_root) in self.root_types.iter().enumerate() {
+            let tid = TypeId(i as u16);
+            if *is_root && !self.extractor.has_full_key(tid) {
+                let schema = registry.schema(tid);
                 let missing = query
                     .partition_attrs
                     .iter()
@@ -232,29 +274,51 @@ impl StreamRouting {
 
     /// True for root-graph types carrying the full key.
     pub fn is_root(&self, ty: TypeId) -> bool {
-        self.root_types.contains(&ty) && !self.broadcast_types.contains(&ty)
+        let i = ty.0 as usize;
+        self.root_types.get(i).copied().unwrap_or(false)
+            && !self.broadcast_types.get(i).copied().unwrap_or(false)
     }
 
     /// True for types that must reach every shard.
     pub fn is_broadcast(&self, ty: TypeId) -> bool {
-        self.broadcast_types.contains(&ty)
+        self.broadcast_types
+            .get(ty.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// The event's `GROUP-BY` projection of the partition key.
     pub fn group_key(&self, e: &Event) -> PartitionKey {
-        self.extractor.key_of(e).group_prefix(self.n_group)
+        self.extractor.key_prefix_of(e, self.n_group)
     }
 
     /// Shard owning the event's group, or `None` when the event must be
     /// broadcast. Deterministic for a given key and shard count, so the
-    /// same stream always shards identically.
+    /// same stream always shards identically. The group values are hashed
+    /// straight out of the event — no key is materialized per event.
     pub fn shard_of(&self, e: &Event, shards: usize) -> Option<usize> {
         if self.is_broadcast(e.type_id) {
             return None;
         }
-        let key = self.group_key(e);
         let mut h = DefaultHasher::new();
-        key.hash(&mut h);
+        match self.extractor.slots_of(e.type_id) {
+            Some(slots) => {
+                for s in slots.iter().take(self.n_group) {
+                    match s {
+                        Some(a) => {
+                            h.write_u8(1);
+                            e.attr(*a).hash(&mut h);
+                        }
+                        None => h.write_u8(0),
+                    }
+                }
+            }
+            None => {
+                for _ in 0..self.n_group.min(self.extractor.n_attrs) {
+                    h.write_u8(0);
+                }
+            }
+        }
         Some((h.finish() % shards.max(1) as u64) as usize)
     }
 }

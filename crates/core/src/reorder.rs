@@ -7,7 +7,7 @@
 //! arriving later than the already-released watermark is reported as a
 //! [`late event`](ReorderBuffer::push) instead of corrupting the graph.
 
-use greta_types::{Event, Time};
+use greta_types::{Event, EventRef, Time};
 use std::collections::BTreeMap;
 
 /// Buffering reorderer with a fixed time slack.
@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 pub struct ReorderBuffer {
     slack: u64,
     /// Buffered events keyed by time stamp (stable within a stamp).
-    pending: BTreeMap<Time, Vec<Event>>,
+    pending: BTreeMap<Time, Vec<EventRef>>,
     /// Highest time stamp already released.
     released: Option<Time>,
     /// Count of events dropped for arriving beyond the slack.
@@ -34,7 +34,14 @@ impl ReorderBuffer {
     /// Offer an event. Returns the events that became safe to release (in
     /// time-stamp order), or `Err(event)` when the event arrived later than
     /// the slack allows (the caller decides whether to drop or divert it).
-    pub fn push(&mut self, e: Event) -> Result<Vec<Event>, Event> {
+    pub fn push(&mut self, e: EventRef) -> Result<Vec<EventRef>, EventRef> {
+        let mut out = Vec::new();
+        self.push_into(e, &mut out).map(|()| out)
+    }
+
+    /// [`push`](Self::push) into a caller-provided buffer — the hot path
+    /// reuses one scratch vector instead of allocating per event.
+    pub fn push_into(&mut self, e: EventRef, out: &mut Vec<EventRef>) -> Result<(), EventRef> {
         if let Some(r) = self.released {
             if e.time < r {
                 self.late += 1;
@@ -46,16 +53,18 @@ impl ReorderBuffer {
         // Release everything at least `slack` ticks behind the max seen.
         let max_seen = *self.pending.keys().next_back().expect("just inserted");
         let horizon = Time(max_seen.ticks().saturating_sub(self.slack));
-        Ok(self.release_before(horizon))
+        self.release_before(horizon, out);
+        Ok(())
     }
 
     /// Flush all buffered events (stream end).
-    pub fn flush(&mut self) -> Vec<Event> {
-        self.release_before(Time::MAX)
+    pub fn flush(&mut self) -> Vec<EventRef> {
+        let mut out = Vec::new();
+        self.release_before(Time::MAX, &mut out);
+        out
     }
 
-    fn release_before(&mut self, horizon: Time) -> Vec<Event> {
-        let mut out = Vec::new();
+    fn release_before(&mut self, horizon: Time, out: &mut Vec<EventRef>) {
         while let Some((&t, _)) = self.pending.iter().next() {
             if t >= horizon {
                 break;
@@ -64,7 +73,6 @@ impl ReorderBuffer {
             self.released = Some(t);
             out.extend(batch);
         }
-        out
     }
 
     /// Highest time stamp released so far (the buffer's output watermark):
@@ -113,9 +121,9 @@ impl ReorderBuffer {
         let released = crate::state::get_opt_u64(r)?.map(Time);
         let late = r.u64()?;
         let n = r.seq_len(11)?;
-        let mut pending: BTreeMap<Time, Vec<Event>> = BTreeMap::new();
+        let mut pending: BTreeMap<Time, Vec<EventRef>> = BTreeMap::new();
         for _ in 0..n {
-            let e = Event::decode(r)?;
+            let e = Event::decode(r)?.into_ref();
             pending.entry(e.time).or_default().push(e);
         }
         Ok(ReorderBuffer {
@@ -132,8 +140,8 @@ mod tests {
     use super::*;
     use greta_types::{SchemaRegistry, TypeId};
 
-    fn ev(t: u64) -> Event {
-        Event::new_unchecked(TypeId(0), Time(t), vec![])
+    fn ev(t: u64) -> EventRef {
+        Event::new_unchecked(TypeId(0), Time(t), vec![]).into_ref()
     }
 
     #[test]
@@ -167,8 +175,8 @@ mod tests {
         let a = reg.register_type("A", &[]).unwrap();
         let b = reg.register_type("B", &[]).unwrap();
         let mut buf = ReorderBuffer::new(0);
-        let e1 = Event::new_unchecked(a, Time(1), vec![]);
-        let e2 = Event::new_unchecked(b, Time(1), vec![]);
+        let e1 = Event::new_unchecked(a, Time(1), vec![]).into_ref();
+        let e2 = Event::new_unchecked(b, Time(1), vec![]).into_ref();
         buf.push(e1.clone()).unwrap();
         buf.push(e2.clone()).unwrap();
         let out = buf.flush();
@@ -189,14 +197,14 @@ mod tests {
         let tid = reg.type_id("A").unwrap();
         for t in [2u64, 1, 4, 3, 5] {
             for e in buf
-                .push(Event::new_unchecked(tid, Time(t), vec![]))
+                .push(Event::new_unchecked(tid, Time(t), vec![]).into_ref())
                 .unwrap()
             {
-                engine.process(&e).unwrap();
+                engine.process_ref(&e).unwrap();
             }
         }
         for e in buf.flush() {
-            engine.process(&e).unwrap();
+            engine.process_ref(&e).unwrap();
         }
         let rows = engine.finish();
         assert_eq!(rows[0].values[0].to_f64(), 31.0); // 2^5 - 1

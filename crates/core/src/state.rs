@@ -15,7 +15,7 @@ use crate::results::{OutValue, WindowResult};
 use crate::storage::Vertex;
 use greta_query::StateId;
 use greta_types::codec::{put_u16, put_u32, put_u64, Reader};
-use greta_types::{CodecError, Event, Time, Value};
+use greta_types::{CodecError, Event, EventRef, Time, Value};
 
 /// Append an `Option<u64>` (presence byte + value).
 pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
@@ -134,7 +134,7 @@ pub(crate) fn encode_vertex<N: TrendNum>(v: &Vertex<N>, out: &mut Vec<u8>) {
 
 /// Decode a graph vertex written by [`encode_vertex`].
 pub(crate) fn decode_vertex<N: TrendNum>(r: &mut Reader<'_>) -> Result<Vertex<N>, CodecError> {
-    let event = Event::decode(r)?;
+    let event = Event::decode(r)?.into_ref();
     let state = StateId(r.u16()?);
     let seq = r.u64()?;
     let latest_start = Time(r.u64()?);
@@ -194,9 +194,9 @@ pub(crate) fn decode_window_result<N: TrendNum>(
     })
 }
 
-/// Append a list of events.
+/// Append a list of shared events.
 pub(crate) fn encode_events<'a>(
-    events: impl ExactSizeIterator<Item = &'a Event>,
+    events: impl ExactSizeIterator<Item = &'a EventRef>,
     out: &mut Vec<u8>,
 ) {
     put_u32(out, events.len() as u32);
@@ -206,11 +206,11 @@ pub(crate) fn encode_events<'a>(
 }
 
 /// Decode a list of events written by [`encode_events`].
-pub(crate) fn decode_events(r: &mut Reader<'_>) -> Result<Vec<Event>, CodecError> {
+pub(crate) fn decode_events(r: &mut Reader<'_>) -> Result<Vec<EventRef>, CodecError> {
     let n = r.seq_len(11)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(Event::decode(r)?);
+        out.push(Event::decode(r)?.into_ref());
     }
     Ok(out)
 }
@@ -224,12 +224,18 @@ mod tests {
 
     #[test]
     fn agg_state_roundtrip_all_carriers() {
-        let layout = AggLayout {
-            count_targets: vec![TypeId(0), TypeId(1)],
-            min_targets: vec![(TypeId(0), greta_types::AttrId(0))],
-            max_targets: vec![(TypeId(0), greta_types::AttrId(0))],
-            sum_targets: vec![(TypeId(1), greta_types::AttrId(1))],
+        use greta_query::compile::{AggKind, CompiledAgg};
+        let a = |kind| CompiledAgg {
+            label: String::new(),
+            kind,
         };
+        let layout = AggLayout::new(&[
+            a(AggKind::Count(TypeId(0))),
+            a(AggKind::Count(TypeId(1))),
+            a(AggKind::Min(TypeId(0), greta_types::AttrId(0))),
+            a(AggKind::Max(TypeId(0), greta_types::AttrId(0))),
+            a(AggKind::Sum(TypeId(1), greta_types::AttrId(1))),
+        ]);
         fn check<N: TrendNum>(layout: &AggLayout, mk: impl Fn(u64) -> N) {
             let mut st = AggState::<N>::zero(layout);
             st.count = mk(17);
@@ -266,7 +272,7 @@ mod tests {
         let mut st = AggState::<u64>::zero(&layout);
         st.count = 42;
         let v = Vertex {
-            event: Event::new_unchecked(TypeId(3), Time(99), vec![Value::Int(5)]),
+            event: Event::new_unchecked(TypeId(3), Time(99), vec![Value::Int(5)]).into_ref(),
             state: StateId(2),
             seq: 17,
             latest_start: Time(90),

@@ -17,8 +17,8 @@ use crate::agg::{AggState, TrendNum};
 use crate::window::WindowId;
 use greta_query::ast::CmpOp;
 use greta_query::StateId;
-use greta_types::{AttrId, Event, Time};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use greta_types::{shared_heap_size, AttrId, EventRef, Time};
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Bound;
 
 /// Slab index of a vertex.
@@ -44,8 +44,9 @@ impl Ord for OrdF64 {
 /// aggregate per window it falls into (paper §4.2 / §6).
 #[derive(Debug, Clone)]
 pub struct Vertex<N: TrendNum> {
-    /// The matched event.
-    pub event: Event,
+    /// The matched event, shared with the ingest path and every other
+    /// vertex instantiated from it (zero-copy event plane).
+    pub event: EventRef,
     /// Template state this vertex instantiates.
     pub state: StateId,
     /// Arrival sequence within the owning partition graph (selection
@@ -67,10 +68,13 @@ impl<N: TrendNum> Vertex<N> {
             .map(|i| &self.aggs[i].1)
     }
 
-    /// Approximate heap bytes of this vertex.
+    /// Approximate heap bytes of this vertex. The shared event payload is
+    /// amortized over its current holders ([`shared_heap_size`]), so an
+    /// event referenced by many vertices/shards is counted once overall —
+    /// not once per reference.
     pub fn heap_size(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.event.heap_size()
+            + shared_heap_size(&self.event)
             + self
                 .aggs
                 .iter()
@@ -80,9 +84,15 @@ impl<N: TrendNum> Vertex<N> {
 }
 
 /// Slab of vertices with free-list reuse and running byte accounting.
+///
+/// The byte charge of a vertex is recorded at insert time: with shared
+/// `EventRef` payloads, [`Vertex::heap_size`] depends on the Arc strong
+/// count at the moment of the call, so subtracting a *recomputed* size at
+/// removal could drift (or underflow) as sharing changes. Each slot
+/// remembers exactly what it charged.
 #[derive(Debug, Default)]
 pub struct VertexStore<N: TrendNum> {
-    slots: Vec<Option<Vertex<N>>>,
+    slots: Vec<Option<(Vertex<N>, usize)>>,
     free: Vec<VertexId>,
     live: usize,
     bytes: usize,
@@ -101,15 +111,16 @@ impl<N: TrendNum> VertexStore<N> {
 
     /// Insert a vertex, returning its id.
     pub fn insert(&mut self, v: Vertex<N>) -> VertexId {
-        self.bytes += v.heap_size();
+        let charged = v.heap_size();
+        self.bytes += charged;
         self.live += 1;
         match self.free.pop() {
             Some(id) => {
-                self.slots[id as usize] = Some(v);
+                self.slots[id as usize] = Some((v, charged));
                 id
             }
             None => {
-                self.slots.push(Some(v));
+                self.slots.push(Some((v, charged)));
                 (self.slots.len() - 1) as VertexId
             }
         }
@@ -117,13 +128,13 @@ impl<N: TrendNum> VertexStore<N> {
 
     /// Shared access.
     pub fn get(&self, id: VertexId) -> &Vertex<N> {
-        self.slots[id as usize].as_ref().expect("live vertex")
+        &self.slots[id as usize].as_ref().expect("live vertex").0
     }
 
     /// Remove a vertex (pane purge / trend pruning).
     pub fn remove(&mut self, id: VertexId) {
-        if let Some(v) = self.slots[id as usize].take() {
-            self.bytes -= v.heap_size();
+        if let Some((_, charged)) = self.slots[id as usize].take() {
+            self.bytes = self.bytes.saturating_sub(charged);
             self.live -= 1;
             self.free.push(id);
         }
@@ -190,20 +201,22 @@ impl StateTree {
     }
 }
 
-/// One time pane: state-indexed vertex trees (Fig. 11).
+/// One time pane: state-indexed vertex trees (Fig. 11). Trees are a dense
+/// vector indexed by `StateId` (template states are small dense ids), so
+/// the per-event lookup is an array index, not a hash.
 #[derive(Debug)]
 pub struct Pane {
     /// Pane start time (covers `[start, start + pane_len)`).
     pub start: Time,
-    trees: HashMap<StateId, StateTree>,
+    trees: Vec<StateTree>,
     entries: usize,
 }
 
 impl Pane {
-    fn new(start: Time) -> Pane {
+    fn new(start: Time, n_states: usize) -> Pane {
         Pane {
             start,
-            trees: HashMap::new(),
+            trees: (0..n_states).map(|_| StateTree::default()).collect(),
             entries: 0,
         }
     }
@@ -212,7 +225,7 @@ impl Pane {
     pub fn all_ids(&self) -> Vec<VertexId> {
         let mut v: Vec<VertexId> = self
             .trees
-            .values()
+            .iter()
             .flat_map(|t| t.tree.values().copied())
             .collect();
         v.sort_unstable();
@@ -227,14 +240,16 @@ pub struct GraphStorage<N: TrendNum> {
     pub store: VertexStore<N>,
     panes: VecDeque<Pane>,
     pane_len: u64,
-    /// Sort attribute per state (from the range-form edge predicate whose
-    /// previous state this is); `None` sorts by event time.
-    sort_attr: HashMap<StateId, Option<AttrId>>,
+    /// Sort attribute per state, dense by `StateId` (from the range-form
+    /// edge predicate whose previous state this is); `None` sorts by event
+    /// time. Also fixes the number of per-pane trees.
+    sort_attr: Vec<Option<AttrId>>,
 }
 
 impl<N: TrendNum> GraphStorage<N> {
-    /// New storage with the given pane length and per-state sort attributes.
-    pub fn new(pane_len: u64, sort_attr: HashMap<StateId, Option<AttrId>>) -> Self {
+    /// New storage with the given pane length and per-state sort attributes
+    /// (`sort_attr[state.0]`; its length is the template's state count).
+    pub fn new(pane_len: u64, sort_attr: Vec<Option<AttrId>>) -> Self {
         GraphStorage {
             store: VertexStore::new(),
             panes: VecDeque::new(),
@@ -243,16 +258,21 @@ impl<N: TrendNum> GraphStorage<N> {
         }
     }
 
-    fn sort_key(&self, state: StateId, e: &Event) -> f64 {
-        match self.sort_attr.get(&state).copied().flatten() {
+    fn sort_key(&self, state: StateId, e: &EventRef) -> f64 {
+        match self.sort_attr.get(state.0 as usize).copied().flatten() {
             Some(a) => e.attr(a).as_f64(),
             None => e.time.ticks() as f64,
         }
     }
 
+    /// Number of template states (trees per pane).
+    fn n_states(&self) -> usize {
+        self.sort_attr.len()
+    }
+
     /// True when range queries on `state` use the given attribute.
     pub fn indexes_attr(&self, state: StateId, attr: AttrId) -> bool {
-        self.sort_attr.get(&state).copied().flatten() == Some(attr)
+        self.sort_attr.get(state.0 as usize).copied().flatten() == Some(attr)
     }
 
     /// Insert a vertex; returns its id.
@@ -269,7 +289,8 @@ impl<N: TrendNum> GraphStorage<N> {
             None => true,
         };
         if need_new {
-            self.panes.push_back(Pane::new(ps));
+            let n = self.n_states().max(state.0 as usize + 1);
+            self.panes.push_back(Pane::new(ps, n));
         }
         let pane = self
             .panes
@@ -277,7 +298,11 @@ impl<N: TrendNum> GraphStorage<N> {
             .rev()
             .find(|p| p.start <= t && t.ticks() < p.start.ticks() + self.pane_len)
             .expect("pane exists for in-order insert");
-        pane.trees.entry(state).or_default().insert(key, seq, id);
+        if pane.trees.len() <= state.0 as usize {
+            pane.trees
+                .resize_with(state.0 as usize + 1, StateTree::default);
+        }
+        pane.trees[state.0 as usize].insert(key, seq, id);
         pane.entries += 1;
         id
     }
@@ -301,7 +326,7 @@ impl<N: TrendNum> GraphStorage<N> {
             if pane.start.ticks() + self.pane_len <= lo.ticks() {
                 continue;
             }
-            if let Some(tree) = pane.trees.get(&state) {
+            if let Some(tree) = pane.trees.get(state.0 as usize) {
                 tree.visit(range, &mut |id| {
                     let v = self.store.get(id);
                     if v.event.time >= lo && v.event.time < hi {
@@ -315,7 +340,7 @@ impl<N: TrendNum> GraphStorage<N> {
     /// Visit **all** vertices of a state (deferred final aggregation).
     pub fn visit_state(&self, state: StateId, mut f: impl FnMut(VertexId, &Vertex<N>)) {
         for pane in &self.panes {
-            if let Some(tree) = pane.trees.get(&state) {
+            if let Some(tree) = pane.trees.get(state.0 as usize) {
                 tree.visit(None, &mut |id| f(id, self.store.get(id)));
             }
         }
@@ -348,7 +373,7 @@ impl<N: TrendNum> GraphStorage<N> {
             if pane.start > cutoff {
                 break;
             }
-            for tree in pane.trees.values_mut() {
+            for tree in pane.trees.iter_mut() {
                 let doomed: Vec<((OrdF64, u64), VertexId)> = tree
                     .tree
                     .iter()
@@ -394,12 +419,12 @@ impl<N: TrendNum> GraphStorage<N> {
 mod tests {
     use super::*;
     use crate::agg::AggLayout;
-    use greta_types::{TypeId, Value};
+    use greta_types::{Event, TypeId, Value};
 
     fn vertex(t: u64, attr: f64, state: u16, seq: u64) -> Vertex<f64> {
         let layout = AggLayout::default();
         Vertex {
-            event: Event::new_unchecked(TypeId(0), Time(t), vec![Value::Float(attr)]),
+            event: Event::new_unchecked(TypeId(0), Time(t), vec![Value::Float(attr)]).into_ref(),
             state: StateId(state),
             seq,
             latest_start: Time(t),
@@ -408,14 +433,12 @@ mod tests {
     }
 
     fn storage_by_attr() -> GraphStorage<f64> {
-        let mut sort = HashMap::new();
-        sort.insert(StateId(0), Some(AttrId(0)));
-        GraphStorage::new(5, sort)
+        GraphStorage::new(5, vec![Some(AttrId(0))])
     }
 
     #[test]
     fn insert_and_candidates_time_bounds() {
-        let mut s = GraphStorage::new(5, HashMap::new());
+        let mut s = GraphStorage::new(5, Vec::new());
         for t in [1, 3, 7, 12] {
             s.insert(vertex(t, 0.0, 0, t));
         }
@@ -454,7 +477,7 @@ mod tests {
 
     #[test]
     fn state_separation() {
-        let mut s = GraphStorage::new(10, HashMap::new());
+        let mut s = GraphStorage::new(10, Vec::new());
         s.insert(vertex(1, 0.0, 0, 1));
         s.insert(vertex(2, 0.0, 1, 2));
         let mut n0 = 0;
@@ -466,7 +489,7 @@ mod tests {
 
     #[test]
     fn pane_purge_batch_deletes() {
-        let mut s = GraphStorage::new(5, HashMap::new());
+        let mut s = GraphStorage::new(5, Vec::new());
         for t in [1, 3, 7, 12] {
             s.insert(vertex(t, 0.0, 0, t));
         }
@@ -480,7 +503,7 @@ mod tests {
 
     #[test]
     fn vertex_purge_up_to_cutoff() {
-        let mut s = GraphStorage::new(5, HashMap::new());
+        let mut s = GraphStorage::new(5, Vec::new());
         for t in [1, 3, 7] {
             s.insert(vertex(t, 0.0, 0, t));
         }
@@ -491,7 +514,7 @@ mod tests {
 
     #[test]
     fn bytes_accounting_shrinks_on_purge() {
-        let mut s = GraphStorage::new(5, HashMap::new());
+        let mut s = GraphStorage::new(5, Vec::new());
         for t in [1, 2, 3, 8] {
             s.insert(vertex(t, 0.0, 0, t));
         }
@@ -560,7 +583,7 @@ mod tests {
             ) {
                 let mut sorted = times.clone();
                 sorted.sort_unstable();
-                let mut st = GraphStorage::<f64>::new(5, HashMap::new());
+                let mut st = GraphStorage::<f64>::new(5, Vec::new());
                 for (seq, t) in sorted.iter().enumerate() {
                     st.insert(vertex(*t, 0.0, 0, seq as u64));
                 }
@@ -578,6 +601,50 @@ mod tests {
                 prop_assert_eq!(remaining, expect);
             }
         }
+    }
+
+    #[test]
+    fn shared_event_bytes_counted_once_not_per_vertex() {
+        // Two vertices holding the SAME EventRef must together charge the
+        // event payload about once; two vertices over deep copies charge it
+        // twice. Use a long string payload so the difference dominates.
+        let layout = AggLayout::default();
+        let long = "X".repeat(4096);
+        let mk = |e: &EventRef, seq: u64| Vertex::<f64> {
+            event: e.clone(),
+            state: StateId(0),
+            seq,
+            latest_start: Time(1),
+            aggs: vec![(0, AggState::zero(&layout))],
+        };
+        let shared =
+            Event::new_unchecked(TypeId(0), Time(1), vec![Value::from(long.clone())]).into_ref();
+        let mut with_sharing = VertexStore::<f64>::new();
+        // Hold both vertices' refs before charging so the amortized charge
+        // sees the final strong count.
+        let (v1, v2) = (mk(&shared, 1), mk(&shared, 2));
+        with_sharing.insert(v1);
+        with_sharing.insert(v2);
+
+        let mut without_sharing = VertexStore::<f64>::new();
+        for seq in [1, 2] {
+            let copy = Event::new_unchecked(TypeId(0), Time(1), vec![Value::from(long.clone())])
+                .into_ref();
+            without_sharing.insert(mk(&copy, seq));
+        }
+        assert!(
+            with_sharing.bytes() < without_sharing.bytes() * 3 / 4,
+            "shared: {}, deep-copied: {}",
+            with_sharing.bytes(),
+            without_sharing.bytes()
+        );
+        // Removal subtracts the recorded charge exactly: no drift/underflow
+        // even though the strong count changed since insertion.
+        drop(shared);
+        with_sharing.remove(0);
+        with_sharing.remove(1);
+        assert_eq!(with_sharing.bytes(), 0);
+        assert_eq!(with_sharing.len(), 0);
     }
 
     #[test]

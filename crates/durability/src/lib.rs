@@ -37,7 +37,7 @@ pub mod wal;
 pub use error::DurabilityError;
 pub use manifest::Manifest;
 pub use snapshot::SnapshotStore;
-pub use wal::{TailPolicy, Wal};
+pub use wal::{FsyncPolicy, TailPolicy, Wal};
 
 use std::path::PathBuf;
 
@@ -53,21 +53,22 @@ pub struct DurabilityConfig {
     /// Rotate WAL segments once they exceed this many bytes. Rotation
     /// fsyncs the sealed segment.
     pub segment_bytes: u64,
-    /// fsync the WAL after **every** append (durable up to the last event
-    /// at a large throughput cost). Off by default: events since the last
-    /// rotation/checkpoint may be lost on power failure, never corrupted.
-    pub fsync_each_append: bool,
+    /// When the WAL fsyncs appended records (see [`FsyncPolicy`]). The
+    /// default, [`FsyncPolicy::AtCheckpoint`], syncs only at rotation and
+    /// checkpoints: events since then may be lost on power failure, never
+    /// corrupted.
+    pub fsync: FsyncPolicy,
 }
 
 impl DurabilityConfig {
     /// Defaults rooted at `dir`: snapshot every 4 closed windows, 4 MiB
-    /// segments, no per-append fsync.
+    /// segments, fsync at checkpoints/rotations only.
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             snapshot_every_windows: 4,
             segment_bytes: 4 << 20,
-            fsync_each_append: false,
+            fsync: FsyncPolicy::AtCheckpoint,
         }
     }
 }

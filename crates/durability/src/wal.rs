@@ -22,8 +22,34 @@ use crate::error::{io_err, DurabilityError};
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 const FRAME_HEADER: usize = 8; // len + crc
+
+/// When appended records are fsynced (the durability/throughput dial).
+///
+/// Independent of the policy, rotation always fsyncs the sealed segment
+/// and [`Wal::sync`] can be called explicitly (checkpoints do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after **every** append: durable up to the last record, at a
+    /// large throughput cost.
+    EachAppend,
+    /// Group commit: an append fsyncs only when at least this many
+    /// milliseconds passed since the last sync, so bursts share one fsync.
+    /// While appends keep arriving, at most ~one interval of records is
+    /// unsynced; if the stream then goes idle, the tail stays buffered
+    /// until the next append, checkpoint, or rotation — there is no idle
+    /// timer. `GroupCommit(0)` degenerates to [`FsyncPolicy::EachAppend`].
+    GroupCommit(u64),
+    /// fsync only at segment rotation and explicit [`Wal::sync`] calls
+    /// (checkpoints). Loses at most a segment/checkpoint interval of
+    /// records on power failure — or on a process kill, since appends
+    /// buffer in user space until the next flush. The default.
+    #[default]
+    AtCheckpoint,
+}
+
 /// Upper bound on a single record; larger lengths are treated as corruption.
 const MAX_RECORD: u32 = 1 << 30;
 
@@ -140,7 +166,9 @@ pub struct Wal {
     /// Global index the next appended record will get.
     next_index: u64,
     segment_bytes: u64,
-    fsync_each_append: bool,
+    fsync: FsyncPolicy,
+    /// Completion time of the last fsync (group-commit bookkeeping).
+    last_sync: Instant,
     /// Set after any write/flush failure: the BufWriter may hold a partial
     /// frame, so further appends could corrupt the log mid-segment. All
     /// subsequent writes fail until the WAL is reopened (which truncates
@@ -155,7 +183,7 @@ impl Wal {
     pub fn open(
         dir: impl Into<PathBuf>,
         segment_bytes: u64,
-        fsync_each_append: bool,
+        fsync: FsyncPolicy,
     ) -> Result<Wal, DurabilityError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(io_err(format!("create dir {}", dir.display())))?;
@@ -190,7 +218,8 @@ impl Wal {
             segment_len,
             next_index,
             segment_bytes: segment_bytes.max(FRAME_HEADER as u64 + 1),
-            fsync_each_append,
+            fsync,
+            last_sync: Instant::now(),
             poisoned: false,
         })
     }
@@ -206,8 +235,9 @@ impl Wal {
     }
 
     /// Append one record, returning its global index. The record is durable
-    /// once the segment rotates, [`sync`](Self::sync) is called, or
-    /// `fsync_each_append` is set.
+    /// once the segment rotates, [`sync`](Self::sync) is called, or the
+    /// [`FsyncPolicy`] forces a sync (every append, or the group-commit
+    /// interval elapsing).
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, DurabilityError> {
         self.check_poisoned()?;
         let idx = self.next_index;
@@ -222,8 +252,14 @@ impl Wal {
             })?;
         self.next_index += 1;
         self.segment_len += FRAME_HEADER as u64 + payload.len() as u64;
-        if self.fsync_each_append {
-            self.sync()?;
+        match self.fsync {
+            FsyncPolicy::EachAppend => self.sync()?,
+            FsyncPolicy::GroupCommit(ms) => {
+                if self.last_sync.elapsed() >= Duration::from_millis(ms) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::AtCheckpoint => {}
         }
         if self.segment_len >= self.segment_bytes {
             self.rotate()?;
@@ -241,7 +277,9 @@ impl Wal {
         self.writer
             .get_ref()
             .sync_all()
-            .map_err(io_err("fsync WAL segment"))
+            .map_err(io_err("fsync WAL segment"))?;
+        self.last_sync = Instant::now();
+        Ok(())
     }
 
     fn check_poisoned(&self) -> Result<(), DurabilityError> {
@@ -368,7 +406,7 @@ mod tests {
     #[test]
     fn append_replay_roundtrip() {
         let dir = tmpdir("roundtrip");
-        let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+        let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::AtCheckpoint).unwrap();
         for i in 0..100u64 {
             let idx = wal.append(format!("rec-{i}").as_bytes()).unwrap();
             assert_eq!(idx, i);
@@ -388,7 +426,7 @@ mod tests {
     fn rotation_creates_segments_and_reopen_continues_indices() {
         let dir = tmpdir("rotate");
         {
-            let mut wal = Wal::open(&dir, 64, false).unwrap(); // tiny segments
+            let mut wal = Wal::open(&dir, 64, FsyncPolicy::AtCheckpoint).unwrap(); // tiny segments
             for i in 0..50u64 {
                 wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
             }
@@ -400,7 +438,7 @@ mod tests {
             segs.len()
         );
         // Reopen continues where it left off.
-        let mut wal = Wal::open(&dir, 64, false).unwrap();
+        let mut wal = Wal::open(&dir, 64, FsyncPolicy::AtCheckpoint).unwrap();
         assert_eq!(wal.next_index(), 50);
         wal.append(b"after-reopen").unwrap();
         wal.sync().unwrap();
@@ -414,7 +452,7 @@ mod tests {
     fn truncated_tail_is_a_clean_error_and_tolerated_when_asked() {
         let dir = tmpdir("torn");
         {
-            let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+            let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::AtCheckpoint).unwrap();
             for i in 0..10u64 {
                 wal.append(format!("rec-{i}").as_bytes()).unwrap();
             }
@@ -436,7 +474,7 @@ mod tests {
         let recs = collect(&dir, 0, TailPolicy::Tolerate).unwrap();
         assert_eq!(recs.len(), 9);
         // Reopen repairs the tail and appends continue at the right index.
-        let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+        let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::AtCheckpoint).unwrap();
         assert_eq!(wal.next_index(), 9);
         wal.append(b"after-repair").unwrap();
         wal.sync().unwrap();
@@ -449,7 +487,7 @@ mod tests {
     fn bad_checksum_is_a_clean_error_everywhere() {
         let dir = tmpdir("crc");
         {
-            let mut wal = Wal::open(&dir, 1 << 20, false).unwrap();
+            let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::AtCheckpoint).unwrap();
             for i in 0..5u64 {
                 wal.append(format!("rec-{i}").as_bytes()).unwrap();
             }
@@ -466,14 +504,57 @@ mod tests {
             assert!(matches!(err, DurabilityError::BadChecksum { .. }), "{err}");
         }
         // Opening for append also refuses.
-        assert!(Wal::open(&dir, 1 << 20, false).is_err());
+        assert!(Wal::open(&dir, 1 << 20, FsyncPolicy::AtCheckpoint).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_zero_syncs_every_append() {
+        // GroupCommit(0): the interval has always elapsed, so every append
+        // flushes + fsyncs — records are replayable with no explicit sync.
+        let dir = tmpdir("group-commit");
+        let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::GroupCommit(0)).unwrap();
+        for i in 0..5u64 {
+            wal.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        // No wal.sync(), no drop: the frames must already be on disk.
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 5);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_long_interval_defers_to_checkpoint_sync() {
+        // A very long interval behaves like AtCheckpoint until sync().
+        let dir = tmpdir("group-commit-long");
+        let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::GroupCommit(3_600_000)).unwrap();
+        for i in 0..5u64 {
+            wal.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        // Records may still sit in the BufWriter; an explicit sync (what a
+        // checkpoint does) makes them all replayable.
+        wal.sync().unwrap();
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn each_append_policy_is_durable_per_record() {
+        let dir = tmpdir("each-append");
+        let mut wal = Wal::open(&dir, 1 << 20, FsyncPolicy::EachAppend).unwrap();
+        wal.append(b"one").unwrap();
+        let recs = collect(&dir, 0, TailPolicy::Error).unwrap();
+        assert_eq!(recs.len(), 1);
+        drop(wal);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn truncate_segments_before_keeps_needed_tail() {
         let dir = tmpdir("truncate");
-        let mut wal = Wal::open(&dir, 64, false).unwrap();
+        let mut wal = Wal::open(&dir, 64, FsyncPolicy::AtCheckpoint).unwrap();
         for i in 0..60u64 {
             wal.append(format!("payload-{i:04}").as_bytes()).unwrap();
         }

@@ -12,6 +12,7 @@
 
 use crate::ast::{BinOp, CmpOp};
 use greta_types::{AttrId, Event, Value};
+use std::borrow::Cow;
 
 use crate::template::StateId;
 
@@ -46,17 +47,24 @@ pub enum CompiledExpr {
 impl CompiledExpr {
     /// Evaluate to a value. `prev` may be absent for vertex predicates.
     pub fn eval(&self, prev: Option<&Event>, cur: &Event) -> Value {
+        self.eval_ref(prev, cur).into_owned()
+    }
+
+    /// Allocation-free evaluation core: attribute and constant leaves are
+    /// *borrowed* from the event / expression (no `Value::Str` clones on
+    /// the hot path); only computed `Bin` results are owned.
+    fn eval_ref<'a>(&'a self, prev: Option<&'a Event>, cur: &'a Event) -> Cow<'a, Value> {
         match self {
-            CompiledExpr::Const(v) => v.clone(),
-            CompiledExpr::Attr(EventRole::Cur, a) => cur.attr(*a).clone(),
+            CompiledExpr::Const(v) => Cow::Borrowed(v),
+            CompiledExpr::Attr(EventRole::Cur, a) => Cow::Borrowed(cur.attr(*a)),
             CompiledExpr::Attr(EventRole::Prev, a) => match prev {
-                Some(p) => p.attr(*a).clone(),
-                None => Value::Bool(false),
+                Some(p) => Cow::Borrowed(p.attr(*a)),
+                None => Cow::Owned(Value::Bool(false)),
             },
             CompiledExpr::Bin { op, lhs, rhs } => {
-                let l = lhs.eval(prev, cur);
-                let r = rhs.eval(prev, cur);
-                match op {
+                let l = lhs.eval_ref(prev, cur);
+                let r = rhs.eval_ref(prev, cur);
+                Cow::Owned(match op {
                     BinOp::Add => Value::Float(l.as_f64() + r.as_f64()),
                     BinOp::Sub => Value::Float(l.as_f64() - r.as_f64()),
                     BinOp::Mul => Value::Float(l.as_f64() * r.as_f64()),
@@ -65,14 +73,19 @@ impl CompiledExpr {
                     BinOp::And => Value::Bool(truthy(&l) && truthy(&r)),
                     BinOp::Or => Value::Bool(truthy(&l) || truthy(&r)),
                     BinOp::Cmp(c) => Value::Bool(c.eval(l.total_cmp(&r))),
-                }
+                })
             }
         }
     }
 
-    /// Evaluate as a boolean predicate.
+    /// Evaluate as a boolean predicate (no allocation).
     pub fn eval_bool(&self, prev: Option<&Event>, cur: &Event) -> bool {
-        truthy(&self.eval(prev, cur))
+        truthy(&self.eval_ref(prev, cur))
+    }
+
+    /// Evaluate as a number (no allocation).
+    pub fn eval_f64(&self, prev: Option<&Event>, cur: &Event) -> f64 {
+        self.eval_ref(prev, cur).as_f64()
     }
 
     /// True when the expression reads the given role.
@@ -126,7 +139,7 @@ pub struct RangeForm {
 impl RangeForm {
     /// Resolve the concrete bound and operator for a given next event.
     pub fn bound(&self, next: &Event) -> (CmpOp, f64) {
-        let raw = self.bound_expr.eval(None, next).as_f64();
+        let raw = self.bound_expr.eval_f64(None, next);
         let bound = (raw - self.shift) / self.scale;
         let op = if self.scale < 0.0 {
             self.op.flip()

@@ -370,3 +370,123 @@ fn run_parallel_wrapper_still_matches_engine() {
     .unwrap();
     assert_eq!(rows, expect);
 }
+
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random in-order stock-like stream for the Q1 shape: (price, company,
+    /// sector) with monotone times.
+    fn stock_events(reg: &SchemaRegistry, spec: &[(u8, u8, u8)]) -> Vec<Event> {
+        let mut t = 0u64;
+        spec.iter()
+            .map(|(dt, price, company)| {
+                t += 1 + *dt as u64 % 3;
+                EventBuilder::new(reg, "Stock")
+                    .unwrap()
+                    .at(Time(t))
+                    .set("price", (*price % 16) as f64)
+                    .unwrap()
+                    .set("company", (*company % 6) as i64)
+                    .unwrap()
+                    .set("sector", (*company % 3) as i64)
+                    .unwrap()
+                    .build()
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// The `Arc<Event>` refactor must not change a single output row:
+        /// executor output on the Q1 shape is byte-identical to the
+        /// sequential engine's, for 1/2/4 shards.
+        #[test]
+        fn eventref_executor_is_byte_identical_on_q1_shape(
+            spec in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 1..120),
+        ) {
+            let mut reg = SchemaRegistry::new();
+            reg.register_type("Stock", &["price", "company", "sector"]).unwrap();
+            let q = CompiledQuery::parse(
+                "RETURN sector, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company, sector] AND S.price > NEXT(S).price \
+                 GROUP-BY sector WITHIN 40 SLIDE 10",
+                &reg,
+            )
+            .unwrap();
+            let events = stock_events(&reg, &spec);
+            let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+            let expect = sorted(engine.run(&events).unwrap());
+            for shards in [1usize, 2, 4] {
+                let (rows, _) = run_executor(
+                    &q,
+                    &reg,
+                    &events,
+                    ExecutorConfig { shards, ..Default::default() },
+                );
+                prop_assert_eq!(&rows, &expect, "shards={}", shards);
+            }
+        }
+
+        /// Same on the Q2 shape (SEQ with MID events, SUM aggregate, and a
+        /// broadcast-free grouped route).
+        #[test]
+        fn eventref_executor_is_byte_identical_on_q2_shape(
+            spec in proptest::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..120),
+        ) {
+            let mut reg = SchemaRegistry::new();
+            reg.register_type("Start", &["job", "mapper"]).unwrap();
+            reg.register_type("Measurement", &["load", "cpu", "job", "mapper"]).unwrap();
+            reg.register_type("End", &["job", "mapper"]).unwrap();
+            let q = CompiledQuery::parse(
+                "RETURN mapper, SUM(M.cpu) PATTERN SEQ(Start S, Measurement M+, End E) \
+                 WHERE [job, mapper] AND M.load < NEXT(M).load \
+                 GROUP-BY mapper WITHIN 60 SLIDE 20",
+                &reg,
+            )
+            .unwrap();
+            let mut t = 0u64;
+            let events: Vec<Event> = spec
+                .iter()
+                .map(|(dt, kind, v, key)| {
+                    t += 1 + *dt as u64 % 3;
+                    let (job, mapper) = ((*key % 4) as i64, (*key % 2) as i64);
+                    match kind % 4 {
+                        0 => EventBuilder::new(&reg, "Start")
+                            .unwrap()
+                            .at(Time(t))
+                            .set("job", job).unwrap()
+                            .set("mapper", mapper).unwrap()
+                            .build(),
+                        3 => EventBuilder::new(&reg, "End")
+                            .unwrap()
+                            .at(Time(t))
+                            .set("job", job).unwrap()
+                            .set("mapper", mapper).unwrap()
+                            .build(),
+                        _ => EventBuilder::new(&reg, "Measurement")
+                            .unwrap()
+                            .at(Time(t))
+                            .set("load", (*v % 8) as f64).unwrap()
+                            .set("cpu", (*v % 5) as f64).unwrap()
+                            .set("job", job).unwrap()
+                            .set("mapper", mapper).unwrap()
+                            .build(),
+                    }
+                })
+                .collect();
+            let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+            let expect = sorted(engine.run(&events).unwrap());
+            for shards in [1usize, 2, 4] {
+                let (rows, _) = run_executor(
+                    &q,
+                    &reg,
+                    &events,
+                    ExecutorConfig { shards, ..Default::default() },
+                );
+                prop_assert_eq!(&rows, &expect, "shards={}", shards);
+            }
+        }
+    }
+}

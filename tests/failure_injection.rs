@@ -142,17 +142,17 @@ fn reorder_buffer_rescues_moderately_disordered_input() {
     let times = [2u64, 1, 3, 6, 4, 8, 7, 12, 10];
     let mut dropped = 0;
     for t in times {
-        match buf.push(ev(&reg, "A", t)) {
+        match buf.push(ev(&reg, "A", t).into_ref()) {
             Ok(ready) => {
                 for e in ready {
-                    engine.process(&e).unwrap();
+                    engine.process_ref(&e).unwrap();
                 }
             }
             Err(_) => dropped += 1,
         }
     }
     for e in buf.flush() {
-        engine.process(&e).unwrap();
+        engine.process_ref(&e).unwrap();
     }
     assert_eq!(dropped, 0);
     let rows = engine.finish();
