@@ -94,6 +94,12 @@ pub struct GretaEngine<N: TrendNum = f64> {
     watermark: Time,
     saw_event: bool,
     deferred_final: bool,
+    /// Arrival index handed to the graphs for selection semantics.
+    /// Monotone per engine; decoupled from `stats.events` so that
+    /// repartitioning can splice partitions from several engines into one
+    /// without ever assigning a new vertex a sequence number below an
+    /// existing vertex's (the merged engine resumes from the max).
+    seq: u64,
     stats: EngineStats,
     peak: PeakTracker,
     /// Running byte total of partition graph state (updated incrementally
@@ -134,6 +140,7 @@ impl<N: TrendNum> GretaEngine<N> {
             emitted: Vec::new(),
             watermark: Time::ZERO,
             saw_event: false,
+            seq: 0,
             stats: EngineStats::default(),
             peak: PeakTracker::default(),
             live_bytes: 0,
@@ -181,6 +188,7 @@ impl<N: TrendNum> GretaEngine<N> {
         self.watermark = e.time;
         self.close_due(e.time);
         self.stats.events += 1;
+        self.seq += 1;
 
         let is_root_type = self.routing.is_root(e.type_id);
         let is_broadcast = self.routing.is_broadcast(e.type_id);
@@ -278,9 +286,9 @@ impl<N: TrendNum> GretaEngine<N> {
             use_range_index: self.config.use_range_index,
         };
         let part = self.partitions.get_mut(key).expect("partition exists");
-        // Global stream arrival index: contiguous semantics counts *every*
+        // Engine-wide arrival index: contiguous semantics counts *every*
         // stream event as a potential gap (Table 1: "skips none").
-        let seq = self.stats.events;
+        let seq = self.seq;
         let mut end_updates: Vec<(WindowId, AggState<N>)> = Vec::new();
         for alt in part.alts.iter_mut() {
             let (v0, e0, b0) = (alt.vertices_inserted, alt.edges_traversed, alt.bytes());
@@ -412,9 +420,10 @@ impl<N: TrendNum> GretaEngine<N> {
         use crate::state::{encode_agg_state, encode_events, encode_key, encode_window_result};
         use greta_types::codec::{put_u32, put_u64};
         let mut out = Vec::new();
-        out.push(1u8); // engine-state version
+        out.push(2u8); // engine-state version (2: explicit `seq` counter)
         put_u64(&mut out, self.watermark.ticks());
         out.push(self.saw_event as u8);
+        put_u64(&mut out, self.seq);
         put_u64(&mut out, self.stats.events);
         put_u64(&mut out, self.stats.vertices);
         put_u64(&mut out, self.stats.edges);
@@ -477,11 +486,12 @@ impl<N: TrendNum> GretaEngine<N> {
         let mut eng = Self::with_config(query, registry, config)?;
         let r = &mut greta_types::Reader::new(bytes);
         let version = r.u8()?;
-        if version != 1 {
+        if version != 2 {
             return Err(CodecError(format!("unsupported engine-state version {version}")).into());
         }
         eng.watermark = Time(r.u64()?);
         eng.saw_event = r.u8()? != 0;
+        eng.seq = r.u64()?;
         eng.stats.events = r.u64()?;
         eng.stats.vertices = r.u64()?;
         eng.stats.edges = r.u64()?;
@@ -563,6 +573,122 @@ impl<N: TrendNum> GretaEngine<N> {
             })
             .sum();
         Ok(eng)
+    }
+
+    /// Live graph vertices per `GROUP-BY` group: the engine-side load
+    /// signal the executor reports in its per-group stats. Counts vertices
+    /// the partitions currently hold (purged panes are gone), summed over a
+    /// group's partitions, sorted by group for deterministic output.
+    pub fn group_vertices(&self) -> Vec<(PartitionKey, u64)> {
+        let n_group = self.query.group_by.len();
+        let mut by_group: BTreeMap<PartitionKey, u64> = BTreeMap::new();
+        for (key, part) in &self.partitions {
+            let n: u64 = part.alts.iter().map(|a| a.vertices_inserted).sum();
+            *by_group.entry(key.group_prefix(n_group)).or_default() += n;
+        }
+        by_group.into_iter().collect()
+    }
+
+    /// Redistribute the state of several engines across a (possibly
+    /// different) number of engines, moving whole groups: the workhorse of
+    /// both the executor's live shard rebalancing and
+    /// recovery-with-resharding.
+    ///
+    /// `blobs` are [`export_state`](Self::export_state) snapshots of
+    /// engines that together processed one partitioned stream (each group
+    /// owned by exactly one engine, broadcast events seen by all).
+    /// `shard_of_group` maps a `GROUP-BY` prefix to its new owner in
+    /// `0..new_shards`. Returns one ready-to-run engine per new shard (no
+    /// re-serialization roundtrip) such that continuing the stream under
+    /// the new assignment yields byte-identical results to never having
+    /// moved anything:
+    ///
+    /// * partitions and their per-(window, group) incremental aggregates
+    ///   follow their group atomically;
+    /// * every new engine resumes from the **max** watermark / sequence
+    ///   counter, so events released after the cut (which are ≥ every
+    ///   engine's watermark) are accepted everywhere and new vertices never
+    ///   sort below existing ones;
+    /// * the broadcast replay buffer (identical on every source — broadcast
+    ///   events reach all shards) is replicated to every new engine, so
+    ///   partitions created later still observe past negative events;
+    /// * engine counters are carried on the first new engine so the
+    ///   *summed* stats across engines are preserved.
+    pub fn repartition_states(
+        query: &CompiledQuery,
+        registry: &SchemaRegistry,
+        config: EngineConfig,
+        blobs: &[Vec<u8>],
+        new_shards: usize,
+        mut shard_of_group: impl FnMut(&PartitionKey) -> usize,
+    ) -> Result<Vec<Self>, EngineError> {
+        if new_shards == 0 {
+            return Err(EngineError::Config(
+                "repartition_states needs ≥ 1 target shard".into(),
+            ));
+        }
+        let olds = blobs
+            .iter()
+            .map(|b| Self::import_state(query.clone(), registry.clone(), config, b))
+            .collect::<Result<Vec<Self>, _>>()?;
+        let mut news = (0..new_shards)
+            .map(|_| Self::with_config(query.clone(), registry.clone(), config))
+            .collect::<Result<Vec<Self>, _>>()?;
+
+        let watermark = olds.iter().map(|e| e.watermark).max().unwrap_or(Time::ZERO);
+        let saw_event = olds.iter().any(|e| e.saw_event);
+        let seq = olds.iter().map(|e| e.seq).max().unwrap_or(0);
+        let deferred = olds.iter().any(|e| e.deferred_final);
+        let replay_src = olds.iter().max_by_key(|e| e.replay.len());
+        for n in news.iter_mut() {
+            n.watermark = watermark;
+            n.saw_event = saw_event;
+            n.seq = seq;
+            n.deferred_final = deferred;
+            if let Some(src) = replay_src {
+                n.replay = src.replay.clone();
+                n.replay_bytes = src.replay_bytes;
+            }
+        }
+
+        let n_group = query.group_by.len();
+        let mut peak_sum = 0usize;
+        for mut old in olds {
+            let s0 = &mut news[0].stats;
+            s0.events += old.stats.events;
+            s0.vertices += old.stats.vertices;
+            s0.edges += old.stats.edges;
+            s0.results += old.stats.results;
+            peak_sum += old.peak.peak();
+            news[0].emitted.append(&mut old.emitted);
+            for (key, part) in old.partitions.drain() {
+                let dest = shard_of_group(&key.group_prefix(n_group)) % new_shards;
+                news[dest].live_bytes += part.alts.iter().map(AltRuntime::bytes).sum::<usize>();
+                news[dest].partitions.insert(key, part);
+            }
+            for (wid, groups) in std::mem::take(&mut old.results) {
+                for (group, st) in groups {
+                    let dest = shard_of_group(&group) % new_shards;
+                    news[dest]
+                        .results
+                        .entry(wid)
+                        .or_default()
+                        .entry(group)
+                        .or_insert_with(|| AggState::zero(&old.layout))
+                        .merge(&st);
+                }
+            }
+            // Open windows close via the broadcast watermark on every
+            // shard; emitting a window with no local groups is a no-op, so
+            // replicating the union is always safe.
+            for n in news.iter_mut() {
+                n.touched.extend(old.touched.iter().copied());
+            }
+        }
+        // Summed per-shard peaks are an executor-level metric; carry the
+        // total on the first engine so the aggregate never shrinks.
+        news[0].peak.observe(peak_sum);
+        Ok(news)
     }
 }
 
@@ -899,6 +1025,82 @@ mod tests {
             assert_eq!(b.stats().events, a.stats().events + (60 - split) as u64);
             assert_eq!(b.stats().results, oracle.stats().results);
         }
+    }
+
+    #[test]
+    fn repartition_moves_groups_between_engines_exactly() {
+        // Split a grouped stream across 2 engines by grp parity, process a
+        // prefix, repartition the two states onto 3 engines under a
+        // different assignment (grp mod 3), process the suffix under the
+        // new assignment — combined results and counters must match one
+        // uninterrupted engine.
+        let r = reg_ab();
+        let q = CompiledQuery::parse(
+            "RETURN grp, COUNT(*), SUM(A.attr) PATTERN SEQ(A+, NOT E) \
+             GROUP-BY grp WITHIN 20 SLIDE 10",
+            &r,
+        )
+        .unwrap();
+        let events: Vec<Event> = (0..80u64)
+            .map(|t| {
+                let ty = if t % 9 == 5 { "E" } else { "A" };
+                ev(&r, ty, t, ((t * 13) % 7) as f64, (t % 5) as i64)
+            })
+            .collect();
+        let mut oracle = GretaEngine::<u64>::new(q.clone(), r.clone()).unwrap();
+        let expect = oracle.run(&events).unwrap();
+        let grp_of = |e: &Event| match e.attrs.last().unwrap() {
+            greta_types::Value::Int(g) => *g,
+            _ => unreachable!("grp is Int"),
+        };
+
+        let mut rows = Vec::new();
+        let mut olds: Vec<GretaEngine<u64>> = (0..2)
+            .map(|_| GretaEngine::new(q.clone(), r.clone()).unwrap())
+            .collect();
+        for e in &events[..40] {
+            // "E" lacks no attrs here (full key) — route by parity.
+            olds[(grp_of(e) % 2) as usize].process(e).unwrap();
+            for eng in olds.iter_mut() {
+                rows.extend(eng.poll_results());
+            }
+        }
+        let blobs: Vec<Vec<u8>> = olds.iter().map(GretaEngine::export_state).collect();
+        let mut news = GretaEngine::<u64>::repartition_states(
+            &q,
+            &r,
+            EngineConfig::default(),
+            &blobs,
+            3,
+            |g| match &g.0[0] {
+                Some(greta_types::Value::Int(v)) => (*v % 3) as usize,
+                _ => 0,
+            },
+        )
+        .unwrap();
+        for e in &events[40..] {
+            news[(grp_of(e) % 3) as usize].process(e).unwrap();
+            for eng in news.iter_mut() {
+                rows.extend(eng.poll_results());
+            }
+        }
+        let mut total_events = 0;
+        for eng in news.iter_mut() {
+            rows.extend(eng.finish());
+            total_events += eng.stats().events;
+        }
+        rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+        let mut expect = expect;
+        expect.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+        assert_eq!(rows, expect);
+        // Summed counters are preserved across the repartition.
+        assert_eq!(total_events, events.len() as u64);
+        // Per-group vertex reporting sees every group somewhere.
+        let groups: std::collections::BTreeSet<PartitionKey> = news
+            .iter()
+            .flat_map(|e| e.group_vertices().into_iter().map(|(k, _)| k))
+            .collect();
+        assert_eq!(groups.len(), 5);
     }
 
     #[test]

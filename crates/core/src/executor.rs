@@ -58,7 +58,7 @@
 
 use crate::agg::TrendNum;
 use crate::engine::{EngineConfig, EngineStats, GretaEngine};
-use crate::grouping::StreamRouting;
+use crate::grouping::{PartitionKey, RoutingTable, StreamRouting};
 use crate::reorder::ReorderBuffer;
 use crate::results::WindowResult;
 use crate::window::WindowId;
@@ -68,8 +68,8 @@ use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use greta_durability::{DurabilityConfig, Manifest, SnapshotStore, TailPolicy, Wal};
 use greta_query::CompiledQuery;
 use greta_types::codec::{put_u32, put_u64, Reader};
-use greta_types::{CodecError, Event, EventRef, SchemaRegistry, Time};
-use std::collections::BTreeMap;
+use greta_types::{CodecError, Event, EventRef, GroupStats, SchemaRegistry, Time};
+use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
 
 /// What to do with an event that arrives later than the reorder slack
@@ -84,6 +84,40 @@ pub enum LatePolicy {
     Divert,
     /// Fail the `push` with [`EngineError::Late`].
     Error,
+}
+
+/// Knobs of the executor's skew detector (dynamic shard rebalancing).
+///
+/// Real trend workloads are hot-key skewed: one hot sector/segment can pin
+/// a single shard while the rest idle, capping throughput no matter how
+/// many shards exist (the paper's §10.4 scaling model assumes uniform
+/// groups). With rebalancing on, the executor counts routed events per
+/// `GROUP-BY` group and, every `check_every_windows` closed windows,
+/// compares the most-loaded shard against the mean. On imbalance it plans
+/// a greedy longest-processing-time reassignment of the observed groups
+/// and migrates state at a window-close barrier — results stay
+/// byte-identical to any static assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Run the skew check every this many closed windows.
+    pub check_every_windows: u64,
+    /// Trigger when `max shard load ≥ imbalance_ratio × mean shard load`
+    /// (values ≤ 1.0 behave like 1.0; 2.0 means "one shard does double its
+    /// fair share").
+    pub imbalance_ratio: f64,
+    /// Skip the migration when fewer than this many groups would move
+    /// (suppresses churn from marginal plans).
+    pub min_moves: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            check_every_windows: 4,
+            imbalance_ratio: 2.0,
+            min_moves: 1,
+        }
+    }
 }
 
 /// Tuning knobs for [`StreamExecutor`].
@@ -111,6 +145,9 @@ pub struct ExecutorConfig {
     /// Write-ahead log + snapshot configuration; `None` (the default) runs
     /// without any persistence.
     pub durability: Option<DurabilityConfig>,
+    /// Dynamic shard rebalancing for skewed groups; `None` (the default)
+    /// keeps the static hash assignment.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -126,6 +163,7 @@ impl Default for ExecutorConfig {
             batch_size: 64,
             engine: EngineConfig::default(),
             durability: None,
+            rebalance: None,
         }
     }
 }
@@ -162,6 +200,23 @@ pub struct ExecutorStats {
     pub frames: u64,
     /// Durability checkpoints completed.
     pub checkpoints: u64,
+    /// Barrier migrations performed by the skew detector.
+    pub rebalances: u64,
+    /// Groups whose shard assignment changed across all rebalances.
+    pub groups_moved: u64,
+    /// Version of the group → shard routing table (0 = the static hash
+    /// assignment, bumped by every rebalance / resharded recovery).
+    pub routing_epoch: u64,
+    /// Per-group load counters, sorted by group key: events are counted at
+    /// routing time (only when [`ExecutorConfig::rebalance`] is set — this
+    /// is the skew detector's signal), live graph vertices are filled in by
+    /// [`finish`](StreamExecutor::finish) from the shard engines.
+    pub group_stats: Vec<(PartitionKey, GroupStats)>,
+    /// Events delivered per shard (broadcasts count once per shard): the
+    /// load-balance picture. On a skewed stream the pre-rebalance max of
+    /// this vector is the parallel-throughput bottleneck; a successful
+    /// migration flattens it.
+    pub events_per_shard: Vec<u64>,
     /// Late drops/diverts per window, ascending by window id.
     pub late_by_window: Vec<WindowLateCounts>,
     /// Frames queued per shard input channel when
@@ -178,7 +233,7 @@ pub struct ExecutorStats {
     pub peak_memory_bytes: usize,
 }
 
-enum Msg {
+enum Msg<N: TrendNum> {
     /// A batch of in-order shared events for one shard (broadcast frames
     /// carry `Arc` clones of the same allocations).
     Events(Vec<EventRef>),
@@ -187,11 +242,17 @@ enum Msg {
     /// Serialize engine state and reply with `(shard, blob)`. Acts as a
     /// barrier: the state covers exactly the messages queued before it.
     Snapshot(Sender<(usize, Vec<u8>)>),
+    /// Replace the shard's engine with a repartitioned one (the commit step
+    /// of a barrier migration). Channels are FIFO, so every frame routed
+    /// under the new table is processed by the new engine.
+    Install(Box<GretaEngine<N>>),
 }
 
 struct WorkerReport {
     stats: EngineStats,
     peak_bytes: usize,
+    /// Live graph vertices per group (skew reporting).
+    group_vertices: Vec<(PartitionKey, u64)>,
     /// Post-`finish` engine state, exported when durability is on so the
     /// terminal checkpoint reflects a fully-closed stream.
     final_state: Option<Vec<u8>>,
@@ -215,17 +276,22 @@ struct SnapshotParts<N: TrendNum> {
     max_occupancy: usize,
     last_close_idx: Option<u64>,
     late_windows: BTreeMap<WindowId, (u64, u64)>,
+    table: RoutingTable,
+    group_stats: HashMap<PartitionKey, GroupStats>,
+    recent_events: HashMap<PartitionKey, u64>,
+    windows_since_rebalance: u64,
     reorder: ReorderBuffer,
     diverted: Vec<EventRef>,
     pending: Vec<WindowResult<N>>,
     shard_states: Vec<Vec<u8>>,
 }
 
-/// Bumped to 2 with the zero-copy event plane: the group→shard hash
-/// changed (values are hashed straight off the event), so snapshots taken
+/// Bumped to 3 with dynamic rebalancing: snapshots now carry the routing
+/// table and the per-group counters (and per-shard engine blobs moved to
+/// engine-state v2 with an explicit sequence counter), so snapshots taken
 /// by older revisions must be rejected instead of silently mis-sharding
 /// replayed WAL events.
-const SNAPSHOT_VERSION: u8 = 2;
+const SNAPSHOT_VERSION: u8 = 3;
 
 /// The push-based, sharded GRETA runtime. See the [module docs](self).
 ///
@@ -236,10 +302,31 @@ const SNAPSHOT_VERSION: u8 = 2;
 /// drains yields byte-identical output for any shard count.
 pub struct StreamExecutor<N: TrendNum = f64> {
     shards: usize,
+    /// Plan + schemas, kept to rebuild shard engines during barrier
+    /// migrations and resharded recovery.
+    query: CompiledQuery,
+    registry: SchemaRegistry,
+    engine_config: EngineConfig,
     routing: StreamRouting,
+    /// Versioned group → shard overrides; empty = pure hash routing.
+    table: RoutingTable,
+    rebalance: Option<RebalanceConfig>,
+    /// Per-group counters: events bumped at routing time when rebalancing
+    /// is on, vertices filled from worker reports at `finish`.
+    group_stats: HashMap<PartitionKey, GroupStats>,
+    /// Per-group events since the last skew check (taken and cleared by
+    /// every check). The detector works on these interval counts, not the
+    /// lifetime totals, so skew that emerges late in a long stream is
+    /// seen immediately instead of being averaged away by history.
+    recent_events: HashMap<PartitionKey, u64>,
+    /// Windows closed since the last skew check (cadence counter).
+    windows_since_rebalance: u64,
+    /// A skew check is owed; run after the current routing pass so a
+    /// migration barrier never splits a reorder release batch.
+    rebalance_due: bool,
     reorder: ReorderBuffer,
     late_policy: LatePolicy,
-    senders: Vec<Sender<Msg>>,
+    senders: Vec<Sender<Msg<N>>>,
     results_rx: Receiver<WindowResult<N>>,
     workers: Vec<JoinHandle<Result<WorkerReport, EngineError>>>,
     diverted: Vec<EventRef>,
@@ -313,17 +400,20 @@ impl<N: TrendNum> StreamExecutor<N> {
         let engines = (0..shards)
             .map(|_| GretaEngine::with_config(query.clone(), registry.clone(), config.engine))
             .collect::<Result<Vec<_>, _>>()?;
-        Self::assemble(query, &config, routing, engines, durability)
+        Self::assemble(query, registry, &config, routing, engines, durability)
     }
 
     /// Restore an executor from the durability directory in
     /// `config.durability` and replay the WAL tail.
     ///
-    /// The latest checkpoint fixes the shard count (a `config.shards`
-    /// mismatch is an error); `query` and `registry` must match the
-    /// original run's. The recovered executor continues the stream exactly
-    /// where the WAL ends: rows for windows that closed after the last
-    /// checkpoint are (re-)emitted through
+    /// `query` and `registry` must match the original run's, but
+    /// `config.shards` may differ from the checkpoint's: the snapshot's
+    /// per-group engine state is then repartitioned onto the new shard
+    /// count under a fresh routing epoch, so a stream can be recovered
+    /// into a wider (or narrower) executor with byte-identical results.
+    /// The recovered executor continues the stream exactly where the WAL
+    /// ends: rows for windows that closed after the last checkpoint are
+    /// (re-)emitted through
     /// [`poll_results`](Self::poll_results)/[`finish`](Self::finish), rows
     /// for earlier windows are not repeated. If the process crashed before
     /// the first checkpoint, the whole WAL is replayed into fresh state. A
@@ -359,34 +449,45 @@ impl<N: TrendNum> StreamExecutor<N> {
                     record_buf: Vec::new(),
                 });
                 (
-                    Self::assemble(query, &config, routing, engines, durability)?,
+                    Self::assemble(query, registry, &config, routing, engines, durability)?,
                     0,
                 )
             }
             Some(m) => {
                 let (routing, expected) = Self::validated_routing(&query, &registry, &config)?;
-                if expected != m.shards as usize {
-                    return Err(EngineError::Config(format!(
-                        "shard count mismatch: checkpoint was taken with {} shard(s), \
-                         config asks for {expected}",
-                        m.shards
-                    )));
-                }
+                let old_shards = m.shards as usize;
                 let blob = snapshots.read(m.epoch)?;
-                let parts: SnapshotParts<N> =
-                    Self::decode_snapshot(&blob, m.shards as usize, &config)?;
-                let engines = parts
-                    .shard_states
-                    .iter()
-                    .map(|bytes| {
-                        GretaEngine::import_state(
-                            query.clone(),
-                            registry.clone(),
-                            config.engine,
-                            bytes,
-                        )
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
+                let mut parts: SnapshotParts<N> =
+                    Self::decode_snapshot(&blob, old_shards, &config)?;
+                let engines = if expected == old_shards {
+                    parts
+                        .shard_states
+                        .iter()
+                        .map(|bytes| {
+                            GretaEngine::import_state(
+                                query.clone(),
+                                registry.clone(),
+                                config.engine,
+                                bytes,
+                            )
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                } else {
+                    // Resharded recovery: redistribute the per-group
+                    // engine state onto the new shard count. The old
+                    // epoch's pinned assignment is meaningless for a
+                    // different count, so routing restarts from the pure
+                    // hash under a fresh epoch.
+                    parts.table.reset_for_shards();
+                    GretaEngine::<N>::repartition_states(
+                        &query,
+                        &registry,
+                        config.engine,
+                        &parts.shard_states,
+                        expected,
+                        |g| routing.shard_of_group_key(g, expected),
+                    )?
+                };
                 let durability = Some(DurabilityState {
                     config: dcfg.clone(),
                     wal,
@@ -394,11 +495,21 @@ impl<N: TrendNum> StreamExecutor<N> {
                     epoch: m.epoch,
                     record_buf: Vec::new(),
                 });
-                let mut exec = Self::assemble(query, &config, routing, engines, durability)?;
+                let mut exec =
+                    Self::assemble(query, registry, &config, routing, engines, durability)?;
                 exec.stats = parts.stats;
+                if expected != old_shards {
+                    // The old per-shard attribution is meaningless for the
+                    // new count; restart the load picture.
+                    exec.stats.events_per_shard = vec![0; expected];
+                }
                 exec.max_occupancy = parts.max_occupancy;
                 exec.last_close_idx = parts.last_close_idx;
                 exec.late_windows = parts.late_windows;
+                exec.table = parts.table;
+                exec.group_stats = parts.group_stats;
+                exec.recent_events = parts.recent_events;
+                exec.windows_since_rebalance = parts.windows_since_rebalance;
                 exec.reorder = parts.reorder;
                 exec.diverted = parts.diverted;
                 exec.pending = parts.pending;
@@ -438,6 +549,9 @@ impl<N: TrendNum> StreamExecutor<N> {
                 Err(EngineError::Late { .. }) => {}
                 other => other?,
             }
+            if exec.rebalance_due {
+                exec.run_rebalance_check()?;
+            }
             if exec.checkpoint_due {
                 exec.checkpoint()?;
             }
@@ -468,6 +582,7 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// Wire channels and spawn one worker per pre-built engine.
     fn assemble(
         query: CompiledQuery,
+        registry: SchemaRegistry,
         config: &ExecutorConfig,
         routing: StreamRouting,
         engines: Vec<GretaEngine<N>>,
@@ -479,7 +594,7 @@ impl<N: TrendNum> StreamExecutor<N> {
         let mut workers = Vec::with_capacity(shards);
         let export_final = durability.is_some();
         for (shard, engine) in engines.into_iter().enumerate() {
-            let (tx, rx) = channel::bounded::<Msg>(config.channel_capacity.max(1));
+            let (tx, rx) = channel::bounded::<Msg<N>>(config.channel_capacity.max(1));
             senders.push(tx);
             let results_tx = results_tx.clone();
             workers.push(
@@ -492,7 +607,15 @@ impl<N: TrendNum> StreamExecutor<N> {
         drop(results_tx); // workers hold the only senders now
         Ok(StreamExecutor {
             shards,
+            engine_config: config.engine,
+            registry,
             routing,
+            table: RoutingTable::default(),
+            rebalance: config.rebalance,
+            group_stats: HashMap::new(),
+            recent_events: HashMap::new(),
+            windows_since_rebalance: 0,
+            rebalance_due: false,
             reorder: ReorderBuffer::new(config.slack),
             late_policy: config.late_policy,
             senders,
@@ -500,7 +623,10 @@ impl<N: TrendNum> StreamExecutor<N> {
             workers,
             diverted: Vec::new(),
             pending: Vec::new(),
-            stats: ExecutorStats::default(),
+            stats: ExecutorStats {
+                events_per_shard: vec![0; shards],
+                ..Default::default()
+            },
             batch_bufs: (0..shards).map(|_| Vec::new()).collect(),
             release_scratch: Vec::new(),
             batch_size: config.batch_size.max(1),
@@ -509,6 +635,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             last_close_idx: None,
             window_within: query.window.within,
             window_slide: query.window.slide,
+            query,
             durability,
             windows_since_checkpoint: 0,
             checkpoint_due: false,
@@ -519,6 +646,13 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// Number of shard workers actually running.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Version of the group → shard routing table: 0 while the static hash
+    /// assignment is in effect, bumped by every barrier migration (and by a
+    /// resharded recovery).
+    pub fn routing_epoch(&self) -> u64 {
+        self.table.epoch()
     }
 
     /// Offer one event. Events may arrive out of order within the
@@ -548,6 +682,11 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
         self.stats.pushed += 1;
         self.ingest(e)?;
+        if self.rebalance_due {
+            // Before a due checkpoint, so the checkpoint records the
+            // post-migration table and state.
+            self.run_rebalance_check()?;
+        }
         if self.checkpoint_due {
             self.checkpoint()?;
         }
@@ -635,6 +774,9 @@ impl<N: TrendNum> StreamExecutor<N> {
                     s.edges += report.stats.edges;
                     s.results += report.stats.results;
                     self.stats.peak_memory_bytes += report.peak_bytes;
+                    for (group, vertices) in report.group_vertices {
+                        self.group_stats.entry(group).or_default().vertices += vertices;
+                    }
                     final_states.push(report.final_state);
                 }
                 Ok(Err(e)) => first_err = first_err.or(Some(e)),
@@ -665,6 +807,14 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// is sampled at the moment of the call.
     pub fn stats(&self) -> ExecutorStats {
         let mut s = self.stats.clone();
+        s.routing_epoch = self.table.epoch();
+        let mut groups: Vec<(PartitionKey, GroupStats)> = self
+            .group_stats
+            .iter()
+            .map(|(k, st)| (k.clone(), *st))
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        s.group_stats = groups;
         s.late_by_window = self
             .late_windows
             .iter()
@@ -685,14 +835,38 @@ impl<N: TrendNum> StreamExecutor<N> {
         std::mem::take(&mut self.diverted)
     }
 
+    /// Shard owning the event's group under the current routing epoch
+    /// (`None` = broadcast). With rebalancing on, also bumps the group's
+    /// event counter — the skew detector's signal.
+    fn dest_shard(&mut self, e: &EventRef) -> Option<usize> {
+        if self.routing.is_broadcast(e.type_id) {
+            return None;
+        }
+        if self.rebalance.is_none() && self.table.is_empty() {
+            // Static-assignment fast path: hash straight off the event.
+            return self.routing.shard_of(e, self.shards);
+        }
+        let group = self.routing.group_key(e);
+        let shard = self
+            .table
+            .shard_for(&group)
+            .unwrap_or_else(|| self.routing.shard_of_group_key(&group, self.shards));
+        if self.rebalance.is_some() {
+            *self.recent_events.entry(group.clone()).or_insert(0) += 1;
+            self.group_stats.entry(group).or_default().events += 1;
+        }
+        Some(shard)
+    }
+
     fn route_all(&mut self, released: &mut Vec<EventRef>) -> Result<(), EngineError> {
         for e in released.drain(..) {
             self.stats.released += 1;
             let wm = e.time;
-            match self.routing.shard_of(&e, self.shards) {
+            match self.dest_shard(&e) {
                 None => {
                     self.stats.broadcasts += 1;
                     for i in 0..self.shards {
+                        self.stats.events_per_shard[i] += 1;
                         self.batch_bufs[i].push(e.clone());
                         if self.batch_bufs[i].len() >= self.batch_size {
                             self.flush_shard(i)?;
@@ -700,6 +874,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                     }
                 }
                 Some(shard) => {
+                    self.stats.events_per_shard[shard] += 1;
                     self.batch_bufs[shard].push(e);
                     if self.batch_bufs[shard].len() >= self.batch_size {
                         self.flush_shard(shard)?;
@@ -741,6 +916,16 @@ impl<N: TrendNum> StreamExecutor<N> {
                 // Defer to the end of the current routing pass: a snapshot
                 // cut mid-release would lose the not-yet-routed remainder.
                 self.checkpoint_due = true;
+            }
+        }
+        if let Some(r) = &self.rebalance {
+            if self.shards > 1 {
+                self.windows_since_rebalance += closed;
+                if self.windows_since_rebalance >= r.check_every_windows.max(1) {
+                    // Deferred like checkpoints: the migration barrier must
+                    // not split a reorder release batch.
+                    self.rebalance_due = true;
+                }
             }
         }
         Ok(())
@@ -789,11 +974,17 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.checkpoint_due = false;
         self.windows_since_checkpoint = 0;
         self.flush_all_batches()?;
+        let shard_states = self.collect_shard_states()?;
+        self.persist_snapshot(&shard_states)
+    }
 
-        // Barrier: every message queued before the Snapshot request is
-        // processed before the shard replies, so the combined state is the
-        // exact cut at `stats.pushed` WAL records (events still in the
-        // reorder buffer are serialized on the ingest side below).
+    /// Barrier-snapshot every shard engine: every message queued before the
+    /// Snapshot request is processed before the shard replies, so the
+    /// combined state is the exact cut at `stats.pushed` pushed events
+    /// (events still in the reorder buffer live on the ingest side). Rows
+    /// emitted before the barrier are drained into `pending`. Callers must
+    /// flush batched frames first.
+    fn collect_shard_states(&mut self) -> Result<Vec<Vec<u8>>, EngineError> {
         let (reply_tx, reply_rx) = channel::bounded::<(usize, Vec<u8>)>(self.shards);
         for i in 0..self.senders.len() {
             self.send(i, Msg::Snapshot(reply_tx.clone()))?;
@@ -822,11 +1013,132 @@ impl<N: TrendNum> StreamExecutor<N> {
             }
         }
         // Rows emitted before the barrier are all in flight by now; pull
-        // them into `pending` so the snapshot can carry the un-polled ones.
+        // them into `pending` so a snapshot can carry the un-polled ones.
         while let Ok(row) = self.results_rx.try_recv() {
             self.pending.push(row);
         }
-        self.persist_snapshot(&shard_states)
+        Ok(shard_states)
+    }
+
+    /// Run the skew detector and, on imbalance, migrate group state to a
+    /// new assignment at the current window-close barrier.
+    ///
+    /// Detection: the per-group event counts *since the last check* are
+    /// summed per shard under the current table; the check fires when the
+    /// most-loaded shard carries at least
+    /// [`RebalanceConfig::imbalance_ratio`] times the mean. Interval
+    /// counts (not lifetime totals) mean skew that emerges late in a long
+    /// stream is seen within one check period instead of being averaged
+    /// away by balanced history. The plan is a greedy
+    /// longest-processing-time pass over the interval's groups (hottest
+    /// first onto the least-loaded shard) — deterministic, so a recovered
+    /// executor replays identical migrations. Only groups whose planned
+    /// shard differs from what the table-plus-hash already yields are
+    /// pinned, so the override table stays proportional to actual moves.
+    /// Plans moving fewer than [`RebalanceConfig::min_moves`] groups are
+    /// discarded (the old pins are kept).
+    fn run_rebalance_check(&mut self) -> Result<(), EngineError> {
+        self.rebalance_due = false;
+        self.windows_since_rebalance = 0;
+        let Some(cfg) = self.rebalance else {
+            return Ok(());
+        };
+        if self.shards <= 1 || self.recent_events.is_empty() {
+            return Ok(());
+        }
+        let recent = std::mem::take(&mut self.recent_events);
+        // Hottest-first, key-tie-broken: deterministic across runs.
+        let mut groups: Vec<(&PartitionKey, u64)> = recent.iter().map(|(k, &n)| (k, n)).collect();
+        groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let total: u64 = groups.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return Ok(());
+        }
+        let table = &self.table;
+        let routing = &self.routing;
+        let shards = self.shards;
+        let current = |k: &PartitionKey| {
+            table
+                .shard_for(k)
+                .unwrap_or_else(|| routing.shard_of_group_key(k, shards))
+        };
+        let mut loads = vec![0u64; shards];
+        for (k, n) in &groups {
+            loads[current(k)] += n;
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / shards as f64;
+        if (max_load as f64) < cfg.imbalance_ratio.max(1.0) * mean {
+            return Ok(());
+        }
+        let mut new_loads = vec![0u64; shards];
+        let mut overrides = HashMap::new();
+        let mut moves = 0usize;
+        for (k, n) in &groups {
+            let dest = new_loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            new_loads[dest] += *n;
+            if dest != current(k) {
+                moves += 1;
+            }
+            // A pin that agrees with the hash fallback is a no-op: leave
+            // it out so the table (and every snapshot carrying it) stays
+            // proportional to the groups actually displaced.
+            if dest != routing.shard_of_group_key(k, shards) {
+                overrides.insert((*k).clone(), dest as u32);
+            }
+        }
+        if moves < cfg.min_moves.max(1) {
+            return Ok(());
+        }
+        self.migrate(overrides, moves)
+    }
+
+    /// Barrier migration to a new group → shard assignment:
+    ///
+    /// 1. flush buffered frames and barrier-snapshot every shard engine
+    ///    (drains all in-flight work — the stream is cut at a point where
+    ///    no event is between the router and an engine);
+    /// 2. install the new table under a bumped routing epoch;
+    /// 3. repartition the snapshots so each group's graphs, incremental
+    ///    aggregates, and replay context follow it to its new owner;
+    /// 4. send each shard its rebuilt engine. Channels are FIFO and
+    ///    nothing is routed between the barrier and the install, so every
+    ///    frame routed under epoch `e+1` is processed by an epoch-`e+1`
+    ///    engine — results stay byte-identical to any static assignment.
+    fn migrate(
+        &mut self,
+        overrides: HashMap<PartitionKey, u32>,
+        moves: usize,
+    ) -> Result<(), EngineError> {
+        self.flush_all_batches()?;
+        let shard_states = self.collect_shard_states()?;
+        self.table.install(overrides);
+        let table = self.table.clone();
+        let routing = self.routing.clone();
+        let shards = self.shards;
+        let engines = GretaEngine::<N>::repartition_states(
+            &self.query,
+            &self.registry,
+            self.engine_config,
+            &shard_states,
+            shards,
+            |g| {
+                table
+                    .shard_for(g)
+                    .unwrap_or_else(|| routing.shard_of_group_key(g, shards))
+            },
+        )?;
+        for (i, engine) in engines.into_iter().enumerate() {
+            self.send(i, Msg::Install(Box::new(engine)))?;
+        }
+        self.stats.rebalances += 1;
+        self.stats.groups_moved += moves as u64;
+        Ok(())
     }
 
     /// Serialize, write, and commit a snapshot of the current cut: fsync
@@ -883,6 +1195,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             self.stats.watermarks,
             self.stats.frames,
             self.stats.checkpoints,
+            self.stats.rebalances,
+            self.stats.groups_moved,
             self.max_occupancy as u64,
         ] {
             put_u64(&mut out, v);
@@ -893,6 +1207,26 @@ impl<N: TrendNum> StreamExecutor<N> {
             put_u64(&mut out, wid);
             put_u64(&mut out, dropped);
             put_u64(&mut out, diverted);
+        }
+        self.table.encode(&mut out);
+        let mut gkeys: Vec<&PartitionKey> = self.group_stats.keys().collect();
+        gkeys.sort();
+        put_u32(&mut out, gkeys.len() as u32);
+        for k in gkeys {
+            crate::state::encode_key(k, &mut out);
+            self.group_stats[k].encode(&mut out);
+        }
+        put_u64(&mut out, self.windows_since_rebalance);
+        let mut rkeys: Vec<&PartitionKey> = self.recent_events.keys().collect();
+        rkeys.sort();
+        put_u32(&mut out, rkeys.len() as u32);
+        for k in rkeys {
+            crate::state::encode_key(k, &mut out);
+            put_u64(&mut out, self.recent_events[k]);
+        }
+        put_u32(&mut out, self.stats.events_per_shard.len() as u32);
+        for v in &self.stats.events_per_shard {
+            put_u64(&mut out, *v);
         }
         self.reorder.export_state(&mut out);
         encode_events(self.diverted.iter(), &mut out);
@@ -960,6 +1294,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             watermarks: r.u64()?,
             frames: r.u64()?,
             checkpoints: r.u64()?,
+            rebalances: r.u64()?,
+            groups_moved: r.u64()?,
             ..Default::default()
         };
         let max_occupancy = r.u64()? as usize;
@@ -971,6 +1307,26 @@ impl<N: TrendNum> StreamExecutor<N> {
             let dropped = r.u64()?;
             let diverted = r.u64()?;
             late_windows.insert(wid, (dropped, diverted));
+        }
+        let table = RoutingTable::decode(r, expect_shards)?;
+        let n_groups = r.seq_len(20)?;
+        let mut group_stats = HashMap::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let key = crate::state::decode_key(r)?;
+            group_stats.insert(key, GroupStats::decode(r)?);
+        }
+        let windows_since_rebalance = r.u64()?;
+        let n_recent = r.seq_len(12)?;
+        let mut recent_events = HashMap::with_capacity(n_recent);
+        for _ in 0..n_recent {
+            let key = crate::state::decode_key(r)?;
+            recent_events.insert(key, r.u64()?);
+        }
+        let n_shard_loads = r.seq_len(8)?;
+        let mut stats = stats;
+        stats.events_per_shard = Vec::with_capacity(n_shard_loads);
+        for _ in 0..n_shard_loads {
+            stats.events_per_shard.push(r.u64()?);
         }
         let reorder = ReorderBuffer::import_state(slack, r)?;
         let diverted = decode_events(r)?;
@@ -1000,6 +1356,10 @@ impl<N: TrendNum> StreamExecutor<N> {
             max_occupancy,
             last_close_idx,
             late_windows,
+            table,
+            group_stats,
+            recent_events,
+            windows_since_rebalance,
             reorder,
             diverted,
             pending,
@@ -1012,7 +1372,7 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// the pending buffer (the pushing thread is the only result consumer,
     /// so parking in a blocking `send` while workers wait to emit rows
     /// would deadlock the pipeline).
-    fn send(&mut self, shard: usize, msg: Msg) -> Result<(), EngineError> {
+    fn send(&mut self, shard: usize, msg: Msg<N>) -> Result<(), EngineError> {
         let mut msg = msg;
         loop {
             match self.senders[shard].try_send(msg) {
@@ -1089,13 +1449,14 @@ impl<N: TrendNum> Drop for StreamExecutor<N> {
 fn worker_loop<N: TrendNum>(
     mut engine: GretaEngine<N>,
     shard: usize,
-    rx: Receiver<Msg>,
+    rx: Receiver<Msg<N>>,
     results_tx: Sender<WindowResult<N>>,
     export_final: bool,
 ) -> Result<WorkerReport, EngineError> {
     let report = |engine: &GretaEngine<N>| WorkerReport {
         stats: engine.stats(),
         peak_bytes: engine.peak_memory_bytes().max(engine.memory_bytes()),
+        group_vertices: engine.group_vertices(),
         final_state: None,
     };
     for msg in rx.iter() {
@@ -1111,6 +1472,12 @@ fn worker_loop<N: TrendNum>(
                 // the exported state and the emitted rows never overlap.
                 let _ = reply.send((shard, engine.export_state()));
                 continue;
+            }
+            Msg::Install(next) => {
+                // Barrier-migration commit: adopt the repartitioned engine
+                // (its imported state may carry rows to emit — fall through
+                // to the drain below).
+                engine = *next;
             }
         }
         for row in engine.poll_results() {
@@ -1552,6 +1919,175 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Dynamic rebalancing
+    // ------------------------------------------------------------------
+
+    /// A 90/10 hot-key stream over `hot` hot groups and a tail of cold
+    /// ones: 90% of events round-robin the hot groups, 10% spread wide.
+    fn skewed_setup(n: usize, hot: i64, cold: i64) -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+        let mut reg = SchemaRegistry::new();
+        reg.register_type("M", &["grp", "load"]).unwrap();
+        let q = CompiledQuery::parse(
+            "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+             GROUP-BY grp WITHIN 40 SLIDE 20",
+            &reg,
+        )
+        .unwrap();
+        let events: Vec<Event> = (0..n as u64)
+            .map(|t| {
+                let grp = if t % 10 < 9 {
+                    (t % hot as u64) as i64 // hot minority
+                } else {
+                    hot + (t % cold as u64) as i64 // cold tail
+                };
+                EventBuilder::new(&reg, "M")
+                    .unwrap()
+                    .at(Time(t))
+                    .set("grp", grp)
+                    .unwrap()
+                    .set("load", ((t * 31) % 17) as f64)
+                    .unwrap()
+                    .build()
+            })
+            .collect();
+        (reg, q, events)
+    }
+
+    fn aggressive_rebalance() -> RebalanceConfig {
+        RebalanceConfig {
+            check_every_windows: 2,
+            imbalance_ratio: 1.2,
+            min_moves: 1,
+        }
+    }
+
+    #[test]
+    fn skewed_stream_triggers_rebalance_and_results_stay_identical() {
+        let (reg, q, events) = skewed_setup(400, 3, 23);
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 4,
+                rebalance: Some(aggressive_rebalance()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            rows.extend(exec.poll_results());
+        }
+        rows.extend(exec.finish().unwrap());
+        assert_eq!(sorted(rows), expect);
+        let stats = exec.stats();
+        assert!(
+            stats.rebalances >= 1,
+            "3 hot groups over 4 shards must trigger the detector"
+        );
+        assert_eq!(stats.routing_epoch, stats.rebalances);
+        assert!(stats.groups_moved >= 1);
+        // Per-group event counters survive the migrations: they must sum
+        // to exactly the non-broadcast events released.
+        let counted: u64 = stats.group_stats.iter().map(|(_, s)| s.events).sum();
+        assert_eq!(counted, stats.released);
+        // Engine-side vertex counters are reported per group at finish.
+        assert!(stats.group_stats.iter().any(|(_, s)| s.vertices > 0));
+    }
+
+    #[test]
+    fn balanced_stream_never_rebalances() {
+        // Uniform groups: the detector must stay quiet even with an
+        // aggressive cadence.
+        let (reg, q, events) = grouped_setup();
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 2,
+                rebalance: Some(RebalanceConfig {
+                    check_every_windows: 1,
+                    imbalance_ratio: 3.0,
+                    min_moves: 1,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+        }
+        exec.finish().unwrap();
+        let stats = exec.stats();
+        assert_eq!(stats.rebalances, 0);
+        assert_eq!(stats.routing_epoch, 0);
+    }
+
+    #[test]
+    fn min_moves_suppresses_marginal_migrations() {
+        let (reg, q, events) = skewed_setup(400, 3, 23);
+        let mut exec = StreamExecutor::<u64>::new(
+            q,
+            reg,
+            ExecutorConfig {
+                shards: 4,
+                rebalance: Some(RebalanceConfig {
+                    min_moves: usize::MAX, // no plan can clear this bar
+                    ..aggressive_rebalance()
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+        }
+        exec.finish().unwrap();
+        assert_eq!(exec.stats().rebalances, 0);
+    }
+
+    #[test]
+    fn rebalance_composes_with_durability_and_recovery() {
+        // Crash after a rebalance: the snapshot carries the routing table
+        // and group counters, and the recovered run stays byte-identical.
+        let (reg, q, events) = skewed_setup(400, 3, 23);
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
+        let dir = tmpdir("rebalance-recover");
+        let mk_cfg = || ExecutorConfig {
+            shards: 4,
+            rebalance: Some(aggressive_rebalance()),
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        let mut committed = Vec::new();
+        let (rebalances_before, epoch_before) = {
+            let mut exec = StreamExecutor::<u64>::new(q.clone(), reg.clone(), mk_cfg()).unwrap();
+            for e in &events[..250] {
+                exec.push(e.clone()).unwrap();
+                committed.extend(exec.poll_results());
+            }
+            exec.checkpoint().unwrap();
+            let s = exec.stats();
+            (s.rebalances, s.routing_epoch)
+        }; // crash
+        assert!(rebalances_before >= 1, "prefix must already have migrated");
+        let mut exec = StreamExecutor::<u64>::recover(q.clone(), reg.clone(), mk_cfg()).unwrap();
+        assert_eq!(exec.routing_epoch(), epoch_before);
+        for e in &events[250..] {
+            exec.push(e.clone()).unwrap();
+            committed.extend(exec.poll_results());
+        }
+        committed.extend(exec.finish().unwrap());
+        assert_eq!(sorted(committed), expect);
+        assert!(exec.stats().rebalances >= rebalances_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ------------------------------------------------------------------
     // Durability
     // ------------------------------------------------------------------
 
@@ -1685,15 +2221,19 @@ mod tests {
     }
 
     #[test]
-    fn new_refuses_dir_with_existing_state_and_recover_checks_shards() {
+    fn new_refuses_dir_with_existing_state_and_recover_reshards() {
         let (reg, q, events) = grouped_setup();
+        let mut engine = GretaEngine::<u64>::new(q.clone(), reg.clone()).unwrap();
+        let expect = sorted(engine.run(&events).unwrap());
         let dir = tmpdir("refuse");
+        let mut committed = Vec::new();
         {
             let mut exec =
                 StreamExecutor::<u64>::new(q.clone(), reg.clone(), durable_config(&dir, 2))
                     .unwrap();
             for e in &events[..120] {
                 exec.push(e.clone()).unwrap();
+                committed.extend(exec.poll_results());
             }
             exec.checkpoint().unwrap();
         }
@@ -1702,11 +2242,20 @@ mod tests {
             .err()
             .expect("new() must refuse a dir with recoverable state");
         assert!(matches!(err, EngineError::Config(_)), "{err}");
-        // recover() with a different shard count is refused.
-        let err = StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 5))
-            .err()
-            .expect("recover() must refuse a shard-count mismatch");
-        assert!(matches!(err, EngineError::Config(_)), "{err}");
+        // recover() into a *different* shard count repartitions the
+        // snapshot's per-group state under a fresh routing epoch — results
+        // stay byte-identical to the uninterrupted run.
+        let mut exec =
+            StreamExecutor::<u64>::recover(q.clone(), reg.clone(), durable_config(&dir, 5))
+                .unwrap();
+        assert_eq!(exec.shards(), 5);
+        assert!(exec.routing_epoch() > 0, "resharding bumps the epoch");
+        for e in &events[120..] {
+            exec.push(e.clone()).unwrap();
+            committed.extend(exec.poll_results());
+        }
+        committed.extend(exec.finish().unwrap());
+        assert_eq!(sorted(committed), expect);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

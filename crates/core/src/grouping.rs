@@ -5,9 +5,10 @@
 
 use crate::EngineError;
 use greta_query::CompiledQuery;
-use greta_types::{AttrId, Event, SchemaRegistry, TypeId, Value};
+use greta_types::codec::{put_u32, put_u64};
+use greta_types::{AttrId, CodecError, Event, Reader, SchemaRegistry, TypeId, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// A partition / group key: attribute values in `partition_attrs` order.
@@ -178,6 +179,91 @@ impl KeyExtractor {
     }
 }
 
+/// A versioned group → shard routing table (one *routing epoch*).
+///
+/// The default table is empty: every group falls back to the deterministic
+/// hash ([`StreamRouting::shard_of_group_key`]), which is the static
+/// assignment the paper's parallel evaluation (§10.4) assumes. When the
+/// executor's skew detector migrates hot groups, it installs explicit
+/// per-group overrides and bumps the epoch; events of groups without an
+/// override keep hashing. Epochs only grow — a snapshot taken under epoch
+/// `e` can never be confused with state from an earlier assignment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingTable {
+    epoch: u64,
+    overrides: HashMap<PartitionKey, u32>,
+}
+
+impl RoutingTable {
+    /// Routing-table version: 0 until the first install, then monotone.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of groups with an explicit (non-hash) assignment.
+    pub fn len(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// True when every group still routes by hash.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Explicit shard of `group`, if the table pins one.
+    pub fn shard_for(&self, group: &PartitionKey) -> Option<usize> {
+        self.overrides.get(group).map(|&s| s as usize)
+    }
+
+    /// Replace the overrides and advance the epoch. Returns the new epoch.
+    pub fn install(&mut self, overrides: HashMap<PartitionKey, u32>) -> u64 {
+        self.overrides = overrides;
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Drop every override (back to pure hashing) and advance the epoch —
+    /// used when recovery repartitions a snapshot onto a different shard
+    /// count, where the old pinned assignment is meaningless.
+    pub fn reset_for_shards(&mut self) -> u64 {
+        self.overrides.clear();
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Append the binary encoding (`epoch`, override count, `key → shard`
+    /// pairs sorted by key for a deterministic blob).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.epoch);
+        let mut keys: Vec<&PartitionKey> = self.overrides.keys().collect();
+        keys.sort();
+        put_u32(out, keys.len() as u32);
+        for k in keys {
+            crate::state::encode_key(k, out);
+            put_u32(out, self.overrides[k]);
+        }
+    }
+
+    /// Decode a table encoded by [`RoutingTable::encode`], rejecting shard
+    /// indices outside `0..shards`.
+    pub fn decode(r: &mut Reader<'_>, shards: usize) -> Result<RoutingTable, CodecError> {
+        let epoch = r.u64()?;
+        let n = r.seq_len(8)?;
+        let mut overrides = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = crate::state::decode_key(r)?;
+            let shard = r.u32()?;
+            if shard as usize >= shards {
+                return Err(CodecError(format!(
+                    "routing table pins a group to shard {shard}, but only {shards} exist"
+                )));
+            }
+            overrides.insert(key, shard);
+        }
+        Ok(RoutingTable { epoch, overrides })
+    }
+}
+
 /// Unified routing view of a compiled query, shared by [`GretaEngine`]
 /// (partition creation/broadcast), [`run_parallel`] and the
 /// [`StreamExecutor`] so all layers classify events identically:
@@ -321,6 +407,25 @@ impl StreamRouting {
         }
         Some((h.finish() % shards.max(1) as u64) as usize)
     }
+
+    /// Hash a *materialized* group key to a shard, bit-identical to the
+    /// off-event path of [`shard_of`](Self::shard_of): a key produced by
+    /// [`group_key`](Self::group_key) lands on the same shard whichever
+    /// entry point hashed it. This is the fallback assignment for groups a
+    /// [`RoutingTable`] does not pin.
+    pub fn shard_of_group_key(&self, key: &PartitionKey, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        for v in &key.0 {
+            match v {
+                Some(v) => {
+                    h.write_u8(1);
+                    v.hash(&mut h);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        (h.finish() % shards.max(1) as u64) as usize
+    }
 }
 
 #[cfg(test)]
@@ -438,5 +543,54 @@ mod tests {
         }
         // GROUP-BY projection keeps only the leading `segment`.
         assert_eq!(routing.group_key(&p).0.len(), 1);
+    }
+
+    #[test]
+    fn materialized_group_key_hashes_to_same_shard_as_event() {
+        let (reg, q) = q3_setup();
+        let routing = StreamRouting::new(&q, &reg);
+        for (vehicle, segment) in [(1, 1), (7, 3), (200, 15), (0, 0)] {
+            let p = EventBuilder::new(&reg, "Position")
+                .unwrap()
+                .set("vehicle", vehicle)
+                .unwrap()
+                .set("segment", segment)
+                .unwrap()
+                .build();
+            for shards in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    routing.shard_of(&p, shards),
+                    Some(routing.shard_of_group_key(&routing.group_key(&p), shards)),
+                    "vehicle={vehicle} segment={segment} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_table_overrides_epoch_and_codec() {
+        let mut table = RoutingTable::default();
+        assert!(table.is_empty());
+        assert_eq!(table.epoch(), 0);
+        let g = |v: i64| PartitionKey(vec![Some(Value::Int(v))]);
+        let mut overrides = HashMap::new();
+        overrides.insert(g(1), 3u32);
+        overrides.insert(g(2), 0u32);
+        assert_eq!(table.install(overrides), 1);
+        assert_eq!(table.shard_for(&g(1)), Some(3));
+        assert_eq!(table.shard_for(&g(2)), Some(0));
+        assert_eq!(table.shard_for(&g(9)), None); // falls back to hash
+        assert_eq!(table.len(), 2);
+
+        let mut buf = Vec::new();
+        table.encode(&mut buf);
+        let got = RoutingTable::decode(&mut greta_types::Reader::new(&buf), 4).unwrap();
+        assert_eq!(got, table);
+        // A pin outside the shard range is rejected.
+        assert!(RoutingTable::decode(&mut greta_types::Reader::new(&buf), 3).is_err());
+
+        assert_eq!(table.reset_for_shards(), 2);
+        assert!(table.is_empty());
+        assert_eq!(table.epoch(), 2);
     }
 }

@@ -50,8 +50,8 @@ pub mod window;
 pub use agg::{AggLayout, AggState, TrendNum};
 pub use engine::{EngineConfig, EngineStats, GretaEngine};
 pub use error::EngineError;
-pub use executor::{ExecutorConfig, ExecutorStats, LatePolicy, StreamExecutor};
-pub use grouping::{PartitionKey, StreamRouting};
+pub use executor::{ExecutorConfig, ExecutorStats, LatePolicy, RebalanceConfig, StreamExecutor};
+pub use grouping::{PartitionKey, RoutingTable, StreamRouting};
 pub use memory::MemoryFootprint;
 pub use reorder::ReorderBuffer;
 pub use results::{OutValue, WindowResult};

@@ -23,7 +23,10 @@ pub struct Manifest {
     pub epoch: u64,
     /// First WAL record index *not* covered by the snapshot.
     pub wal_index: u64,
-    /// Shard count the snapshot was taken with.
+    /// Shard count the snapshot was taken with. Descriptive, not binding:
+    /// recovery may repartition the snapshot's per-group state onto a
+    /// different shard count (`StreamExecutor::recover` resharding); the
+    /// field tells it how many per-shard state blobs the snapshot holds.
     pub shards: u32,
 }
 

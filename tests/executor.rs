@@ -426,6 +426,24 @@ mod props {
                     ExecutorConfig { shards, ..Default::default() },
                 );
                 prop_assert_eq!(&rows, &expect, "shards={}", shards);
+                // Mid-stream rebalances (aggressive detector) must not
+                // change a single output row either.
+                let (rows, stats) = run_executor(
+                    &q,
+                    &reg,
+                    &events,
+                    ExecutorConfig {
+                        shards,
+                        rebalance: Some(greta::core::RebalanceConfig {
+                            check_every_windows: 1,
+                            imbalance_ratio: 1.0,
+                            min_moves: 1,
+                        }),
+                        ..Default::default()
+                    },
+                );
+                prop_assert_eq!(&rows, &expect, "rebalancing, shards={}", shards);
+                prop_assert_eq!(stats.routing_epoch, stats.rebalances);
             }
         }
 
@@ -486,6 +504,21 @@ mod props {
                     ExecutorConfig { shards, ..Default::default() },
                 );
                 prop_assert_eq!(&rows, &expect, "shards={}", shards);
+                let (rows, _) = run_executor(
+                    &q,
+                    &reg,
+                    &events,
+                    ExecutorConfig {
+                        shards,
+                        rebalance: Some(greta::core::RebalanceConfig {
+                            check_every_windows: 1,
+                            imbalance_ratio: 1.0,
+                            min_moves: 1,
+                        }),
+                        ..Default::default()
+                    },
+                );
+                prop_assert_eq!(&rows, &expect, "rebalancing, shards={}", shards);
             }
         }
     }

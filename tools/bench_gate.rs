@@ -1,0 +1,616 @@
+//! CI bench-regression gate (ISSUE 4 satellite).
+//!
+//! Compares fresh quick-mode bench medians (JSONL emitted by the vendored
+//! criterion via `GRETA_BENCH_JSON`) against the committed baselines in
+//! `BENCH_executor.json`, and fails (exit 1) when any matched benchmark is
+//! more than `--max-regression-pct` slower in ns/event. Usage:
+//!
+//! ```text
+//! GRETA_BENCH_JSON=fresh.jsonl cargo bench -p greta-bench \
+//!     --bench executor_throughput -- --quick executor_throughput broadcast_heavy
+//! cargo run --release -p greta-bench --bin bench_gate -- \
+//!     --baseline BENCH_executor.json --fresh fresh.jsonl --out gate_report.json
+//! ```
+//!
+//! `--inject-slowdown-pct N` inflates every fresh measurement by N% — CI's
+//! red-path self-test ("the gate must go red on an injected 15% slowdown")
+//! without having to pessimize real code.
+//!
+//! Only benchmark ids present in **both** files are compared (the baseline
+//! also carries the per-iteration event count used to turn a median into
+//! ns/event); zero matches is itself an error, so a renamed bench cannot
+//! silently disarm the gate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value parser (the workspace is offline: no serde).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek()? != want {
+            return Err(format!(
+                "expected '{}' at offset {}, found '{}'",
+                want as char, self.i, self.s[self.i] as char
+            ));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(text.as_bytes()) {
+            self.i += text.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.s.get(self.i).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(c) => {
+                            // \uXXXX and friends: keep the raw escape —
+                            // bench ids never need it.
+                            out.push('\\');
+                            out.push(c as char);
+                        }
+                        None => return Err("unterminated escape".into()),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|e| format!("invalid UTF-8: {e}"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                c => return Err(format!("expected ',' or ']' , found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                c => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate logic
+// ---------------------------------------------------------------------
+
+/// One committed baseline: per-iteration event count + ns/event median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Baseline {
+    events: f64,
+    ns_per_event: f64,
+}
+
+/// Parse `BENCH_executor.json`: `benches[].id`, `events`, and the newest
+/// recorded median (`current.ns_per_event`, falling back to
+/// `post_eventref.ns_per_event`).
+fn parse_baselines(text: &str) -> Result<BTreeMap<String, Baseline>, String> {
+    let root = Parser::parse(text)?;
+    let benches = root
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("baseline file has no \"benches\" array")?;
+    let mut out = BTreeMap::new();
+    for b in benches {
+        let id = b
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("bench entry without id")?;
+        let events = b
+            .get("events")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{id}: no events count"))?;
+        let ns = b
+            .get("current")
+            .or_else(|| b.get("post_eventref"))
+            .and_then(|m| m.get("ns_per_event"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{id}: no current/post_eventref ns_per_event"))?;
+        out.insert(
+            id.to_string(),
+            Baseline {
+                events,
+                ns_per_event: ns,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// One fresh measurement: median and min ns per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fresh {
+    median_ns: f64,
+    min_ns: f64,
+}
+
+/// Parse criterion's JSONL (`{"id":…,"median_ns":…,"min_ns":…}` per line)
+/// into id → measurement. Later lines win (re-runs supersede).
+fn parse_fresh(text: &str) -> Result<BTreeMap<String, Fresh>, String> {
+    let mut out = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Parser::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: no id", ln + 1))?;
+        let median_ns = v
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: no median_ns", ln + 1))?;
+        let min_ns = v.get("min_ns").and_then(Json::as_f64).unwrap_or(median_ns);
+        out.insert(id.to_string(), Fresh { median_ns, min_ns });
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Verdict {
+    id: String,
+    base_ns_per_event: f64,
+    fresh_ns_per_event: f64,
+    delta_pct: f64,
+    /// Delta computed from the fastest sample instead of the median.
+    min_delta_pct: f64,
+    regressed: bool,
+}
+
+/// Compare fresh medians against baselines; `inject_pct` inflates fresh
+/// values (red-path self-test), `max_regression_pct` is the gate.
+///
+/// A benchmark only counts as regressed when **both** the median and the
+/// minimum sample are past the threshold: scheduler noise inflates medians
+/// on loaded CI runners but can only ever slow samples down, so a clean
+/// minimum with a spiked median is noise, while a real slowdown moves the
+/// whole distribution including the floor.
+fn compare(
+    baselines: &BTreeMap<String, Baseline>,
+    fresh: &BTreeMap<String, Fresh>,
+    inject_pct: f64,
+    max_regression_pct: f64,
+) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    let inflate = 1.0 + inject_pct / 100.0;
+    for (id, base) in baselines {
+        let Some(f) = fresh.get(id) else {
+            continue;
+        };
+        let per_event = |ns: f64| ns / base.events.max(1.0) * inflate;
+        let delta = |ns: f64| (per_event(ns) - base.ns_per_event) / base.ns_per_event * 100.0;
+        let delta_pct = delta(f.median_ns);
+        let min_delta_pct = delta(f.min_ns);
+        // Epsilon so "exactly the threshold" reliably trips despite
+        // floating-point representation (1.15 is not representable).
+        let past = |d: f64| d > max_regression_pct - 1e-6;
+        out.push(Verdict {
+            id: id.clone(),
+            base_ns_per_event: base.ns_per_event,
+            fresh_ns_per_event: per_event(f.median_ns),
+            delta_pct,
+            min_delta_pct,
+            regressed: past(delta_pct) && past(min_delta_pct),
+        });
+    }
+    out
+}
+
+fn render_report(verdicts: &[Verdict], max_regression_pct: f64, inject_pct: f64) -> String {
+    let mut out = String::from("{\n  \"gate\": \"bench_gate\",\n");
+    let _ = writeln!(out, "  \"max_regression_pct\": {max_regression_pct},");
+    let _ = writeln!(out, "  \"injected_slowdown_pct\": {inject_pct},");
+    let _ = writeln!(
+        out,
+        "  \"regressed\": {},",
+        verdicts.iter().any(|v| v.regressed)
+    );
+    out.push_str("  \"benches\": [\n");
+    for (i, v) in verdicts.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"id\": \"{}\", \"baseline_ns_per_event\": {:.1}, \
+             \"fresh_ns_per_event\": {:.1}, \"delta_pct\": {:.1}, \
+             \"min_delta_pct\": {:.1}, \"regressed\": {}}}",
+            v.id,
+            v.base_ns_per_event,
+            v.fresh_ns_per_event,
+            v.delta_pct,
+            v.min_delta_pct,
+            v.regressed
+        );
+        out.push_str(if i + 1 < verdicts.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_path = String::from("BENCH_executor.json");
+    let mut fresh_paths: Vec<String> = Vec::new();
+    let mut fresh_from_baseline = false;
+    let mut out_path: Option<String> = None;
+    let mut max_regression_pct = 15.0f64;
+    let mut inject_pct = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--baseline" => baseline_path = take("--baseline")?,
+            "--fresh" => fresh_paths.push(take("--fresh")?),
+            // Hermetic self-test: synthesize fresh medians from the
+            // baseline itself, so (with --inject-slowdown-pct) the red
+            // path can be exercised independent of machine speed.
+            "--fresh-from-baseline" => fresh_from_baseline = true,
+            "--out" => out_path = Some(take("--out")?),
+            "--max-regression-pct" => {
+                max_regression_pct = take("--max-regression-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression-pct: {e}"))?
+            }
+            "--inject-slowdown-pct" => {
+                inject_pct = take("--inject-slowdown-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --inject-slowdown-pct: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if fresh_paths.is_empty() && !fresh_from_baseline {
+        return Err("no --fresh file given (or --fresh-from-baseline)".into());
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let baselines = parse_baselines(&baseline_text)?;
+    let mut fresh = BTreeMap::new();
+    if fresh_from_baseline {
+        for (id, b) in &baselines {
+            let ns = b.ns_per_event * b.events;
+            fresh.insert(
+                id.clone(),
+                Fresh {
+                    median_ns: ns,
+                    min_ns: ns,
+                },
+            );
+        }
+    }
+    for p in &fresh_paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        fresh.extend(parse_fresh(&text)?);
+    }
+
+    let verdicts = compare(&baselines, &fresh, inject_pct, max_regression_pct);
+    if verdicts.is_empty() {
+        return Err(format!(
+            "no benchmark id matched between {baseline_path} and {fresh_paths:?} — \
+             the gate would be vacuous",
+        ));
+    }
+    println!(
+        "{:<45} {:>12} {:>12} {:>8} {:>9}",
+        "benchmark", "base ns/ev", "fresh ns/ev", "delta", "min-delta"
+    );
+    for v in &verdicts {
+        println!(
+            "{:<45} {:>12.1} {:>12.1} {:>+7.1}% {:>+8.1}%{}",
+            v.id,
+            v.base_ns_per_event,
+            v.fresh_ns_per_event,
+            v.delta_pct,
+            v.min_delta_pct,
+            if v.regressed { "  ← REGRESSION" } else { "" }
+        );
+    }
+    if let Some(p) = out_path {
+        std::fs::write(&p, render_report(&verdicts, max_regression_pct, inject_pct))
+            .map_err(|e| format!("write {p}: {e}"))?;
+        println!("report written to {p}");
+    }
+    let regressed = verdicts.iter().any(|v| v.regressed);
+    if regressed {
+        eprintln!(
+            "bench gate FAILED: at least one benchmark is >{max_regression_pct}% \
+             slower than the committed baseline"
+        );
+    } else {
+        println!(
+            "bench gate passed ({} benches within {max_regression_pct}% of baseline)",
+            verdicts.len()
+        );
+    }
+    Ok(!regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "benches": [
+        {"id": "a/1", "events": 2000, "post_eventref": {"ns_per_event": 1000.0}},
+        {"id": "a/2", "events": 2000,
+         "post_eventref": {"ns_per_event": 900.0},
+         "current": {"ns_per_event": 800.0}},
+        {"id": "unmatched", "events": 10, "current": {"ns_per_event": 5.0}}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_baselines_preferring_current() {
+        let b = parse_baselines(BASELINE).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b["a/1"].ns_per_event, 1000.0);
+        assert_eq!(b["a/2"].ns_per_event, 800.0); // current wins
+        assert_eq!(b["a/1"].events, 2000.0);
+    }
+
+    #[test]
+    fn parses_fresh_jsonl_last_line_wins() {
+        let fresh = parse_fresh(
+            "{\"id\":\"a/1\",\"median_ns\":1.0,\"samples\":3}\n\
+             \n\
+             {\"id\":\"a/1\",\"median_ns\":2.0,\"min_ns\":1.5,\"samples\":3}\n",
+        )
+        .unwrap();
+        assert_eq!(fresh["a/1"].median_ns, 2.0);
+        assert_eq!(fresh["a/1"].min_ns, 1.5);
+        // Without min_ns the median doubles as the floor.
+        let nomin = parse_fresh("{\"id\":\"b\",\"median_ns\":3.0}\n").unwrap();
+        assert_eq!(nomin["b"].min_ns, 3.0);
+    }
+
+    #[test]
+    fn green_within_threshold_red_beyond() {
+        let b = parse_baselines(BASELINE).unwrap();
+        let at = |ns: f64| Fresh {
+            median_ns: ns,
+            min_ns: ns,
+        };
+        let mut fresh = BTreeMap::new();
+        // a/1: 1000 ns/event baseline × 2000 events → 2.0 ms median is par.
+        fresh.insert("a/1".to_string(), at(2_000_000.0 * 1.10)); // +10%: ok
+        fresh.insert("a/2".to_string(), at(1_600_000.0 * 1.20)); // +20%: red
+        let v = compare(&b, &fresh, 0.0, 15.0);
+        assert_eq!(v.len(), 2, "unmatched baseline must be skipped");
+        assert!(!v[0].regressed, "{v:?}");
+        assert!(v[1].regressed, "{v:?}");
+        assert!((v[0].delta_pct - 10.0).abs() < 0.5);
+        assert!((v[1].delta_pct - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn injected_slowdown_flips_the_gate_red() {
+        let b = parse_baselines(BASELINE).unwrap();
+        let mut fresh = BTreeMap::new();
+        fresh.insert(
+            "a/1".to_string(),
+            Fresh {
+                median_ns: 2_000_000.0,
+                min_ns: 2_000_000.0,
+            },
+        ); // exactly at baseline
+        let ok = compare(&b, &fresh, 0.0, 15.0);
+        assert!(!ok[0].regressed);
+        assert!(!compare(&b, &fresh, 14.9, 15.0)[0].regressed);
+        // Exactly the threshold trips too (epsilon guards the CI
+        // self-test `--fresh-from-baseline --inject-slowdown-pct 15`).
+        assert!(compare(&b, &fresh, 15.0, 15.0)[0].regressed);
+        let red = compare(&b, &fresh, 16.0, 15.0);
+        assert!(red[0].regressed, "16% injected slowdown must trip the gate");
+    }
+
+    #[test]
+    fn report_is_parseable_json() {
+        let b = parse_baselines(BASELINE).unwrap();
+        let mut fresh = BTreeMap::new();
+        fresh.insert(
+            "a/1".to_string(),
+            Fresh {
+                median_ns: 2_000_000.0,
+                min_ns: 1_900_000.0,
+            },
+        );
+        let v = compare(&b, &fresh, 0.0, 15.0);
+        let report = render_report(&v, 15.0, 0.0);
+        let parsed = Parser::parse(&report).unwrap();
+        assert_eq!(parsed.get("regressed"), Some(&Json::Bool(false)));
+        assert_eq!(
+            parsed.get("benches").and_then(Json::as_arr).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_escapes_and_garbage() {
+        let v = Parser::parse(r#"{"a": [1, -2.5e3, "x\"y", null, true], "b": {}}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).unwrap()[2],
+            Json::Str("x\"y".into())
+        );
+        assert!(Parser::parse("{\"a\": }").is_err());
+        assert!(Parser::parse("[1, 2").is_err());
+        assert!(Parser::parse("{} trailing").is_err());
+    }
+}
