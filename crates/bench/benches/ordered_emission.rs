@@ -1,0 +1,128 @@
+//! Cost of ordered streaming emission (ISSUE 5 acceptance bench).
+//!
+//! `EmissionMode::WindowOrdered` adds a cross-shard min-watermark merge in
+//! front of the caller: rows park per window until every shard's frontier
+//! passes, then release in canonical `(window, group)` order. This group
+//! measures that tax against `Unordered` on the Q1-shaped grouped stream
+//! at 1 and 4 shards, plus the ordered + rebalancing composition (the
+//! frontier must survive barrier migrations). Correctness is asserted
+//! outside the timed loop: the ordered poll concatenation must equal the
+//! sorted unordered output byte for byte, with no sort at finish.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_core::{EmissionMode, ExecutorConfig, RebalanceConfig, StreamExecutor, WindowResult};
+use greta_query::CompiledQuery;
+use greta_types::{Event, EventBuilder, SchemaRegistry, Time};
+
+const EVENTS: usize = 2000;
+
+fn setup() -> (SchemaRegistry, CompiledQuery, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("M", &["grp", "load"]).expect("schema");
+    let query = CompiledQuery::parse(
+        "RETURN grp, COUNT(*), SUM(S.load) PATTERN M S+ WHERE S.load < NEXT(S).load \
+         GROUP-BY grp WITHIN 500 SLIDE 125",
+        &reg,
+    )
+    .expect("query compiles");
+    let events: Vec<Event> = (0..EVENTS as u64)
+        .map(|t| {
+            EventBuilder::new(&reg, "M")
+                .expect("type")
+                .at(Time(t))
+                .set("grp", (t % 24) as i64)
+                .expect("grp")
+                .set("load", ((t * 31) % 97) as f64)
+                .expect("load")
+                .build()
+        })
+        .collect();
+    (reg, query, events)
+}
+
+fn config(shards: usize, emission: EmissionMode, rebalance: bool) -> ExecutorConfig {
+    ExecutorConfig {
+        shards,
+        emission,
+        rebalance: rebalance.then_some(RebalanceConfig {
+            check_every_windows: 2,
+            imbalance_ratio: 1.3,
+            min_moves: 1,
+        }),
+        ..Default::default()
+    }
+}
+
+fn drive(
+    query: &CompiledQuery,
+    reg: &SchemaRegistry,
+    events: &[Event],
+    config: ExecutorConfig,
+) -> Vec<WindowResult<f64>> {
+    let mut exec =
+        StreamExecutor::<f64>::new(query.clone(), reg.clone(), config).expect("executor");
+    let mut rows = Vec::new();
+    for e in events {
+        exec.push(e.clone()).expect("in-order");
+        rows.extend(exec.poll_results());
+    }
+    rows.extend(exec.finish().expect("finish"));
+    rows
+}
+
+fn bench_ordered_emission(c: &mut Criterion) {
+    let (reg, query, events) = setup();
+
+    // Acceptance outside the timed loop: the ordered stream is the sorted
+    // unordered output, byte for byte, and monotone as delivered.
+    {
+        let mut unordered = drive(
+            &query,
+            &reg,
+            &events,
+            config(4, EmissionMode::Unordered, false),
+        );
+        greta_core::sort_canonical(&mut unordered);
+        let ordered = drive(
+            &query,
+            &reg,
+            &events,
+            config(4, EmissionMode::WindowOrdered, false),
+        );
+        assert!(
+            ordered
+                .windows(2)
+                .all(|w| w[0].order_key() <= w[1].order_key()),
+            "ordered emission delivered out of order"
+        );
+        assert_eq!(ordered, unordered, "ordered != sorted unordered");
+    }
+
+    let mut g = c.benchmark_group("ordered_emission");
+    g.sample_size(10);
+    for (label, shards, emission) in [
+        ("unordered-1", 1, EmissionMode::Unordered),
+        ("ordered-1", 1, EmissionMode::WindowOrdered),
+        ("unordered-4", 4, EmissionMode::Unordered),
+        ("ordered-4", 4, EmissionMode::WindowOrdered),
+    ] {
+        g.bench_with_input(BenchmarkId::new("mode", label), &label, |b, _| {
+            b.iter(|| drive(&query, &reg, &events, config(shards, emission, false)))
+        });
+    }
+    // The frontier across barrier migrations: ordered + skew detector.
+    g.bench_function("mode/ordered-rebalance-4", |b| {
+        b.iter(|| {
+            drive(
+                &query,
+                &reg,
+                &events,
+                config(4, EmissionMode::WindowOrdered, true),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ordered_emission);
+criterion_main!(benches);

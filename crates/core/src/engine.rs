@@ -394,6 +394,47 @@ impl<N: TrendNum> GretaEngine<N> {
         std::mem::take(&mut self.emitted)
     }
 
+    /// The engine's *emission frontier*: the smallest window id this
+    /// engine may still emit a result row for. Every window below it has
+    /// either been closed (its rows are in the emitted buffer or already
+    /// drained) or was never touched — the executor's ordered-emission
+    /// merge releases a window once every shard's frontier has passed it.
+    ///
+    /// Two bounds compose: the watermark bound (windows whose close time
+    /// the watermark passed cannot receive events) and the first still-open
+    /// *touched* window. The second matters after a state import or
+    /// barrier-migration install, where the inherited watermark (the max
+    /// across source engines) may already be past the close time of a
+    /// window whose `close_due` simply has not run yet.
+    pub fn emission_frontier(&self) -> WindowId {
+        let wm_bound = if !self.saw_event {
+            0
+        } else {
+            let w = &self.query.window;
+            let t = self.watermark.ticks();
+            if t < w.within {
+                0
+            } else {
+                (t - w.within) / w.slide.max(1) + 1
+            }
+        };
+        match self.touched.first() {
+            Some(&w) => wm_bound.min(w),
+            None => wm_bound,
+        }
+    }
+
+    /// Close every window already due at the current watermark. A no-op on
+    /// a live engine (`close_due` runs on every event/watermark); after a
+    /// barrier-migration install or a state import the inherited watermark
+    /// can already be past some windows' close times, and this emits them
+    /// without waiting for the next message.
+    pub fn close_overdue(&mut self) {
+        if self.saw_event {
+            self.close_due(self.watermark);
+        }
+    }
+
     /// Flush: close all remaining windows and drain every result.
     pub fn finish(&mut self) -> Vec<WindowResult<N>> {
         self.close_due(Time::MAX);

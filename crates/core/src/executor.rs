@@ -55,12 +55,19 @@
 //! * **Emission**: closed-window results flow through a bounded channel;
 //!   [`StreamExecutor::poll_results`] drains it without blocking,
 //!   [`StreamExecutor::finish`] flushes the pipeline and joins the workers.
+//!   With [`ExecutorConfig::emission`] set to
+//!   [`EmissionMode::WindowOrdered`], a cross-shard min-watermark merge
+//!   ([`ResultMerge`]) in front of the caller makes the polled stream
+//!   window-monotone in canonical `(window, group)` order — byte-identical
+//!   to the sorted unordered output, buffering bounded by open windows, no
+//!   sort at finish.
 
 use crate::agg::TrendNum;
 use crate::engine::{EngineConfig, EngineStats, GretaEngine};
-use crate::grouping::{PartitionKey, RoutingTable, StreamRouting};
-use crate::reorder::ReorderBuffer;
-use crate::results::WindowResult;
+use crate::grouping::{group_key_hash, shard_of_hash, PartitionKey, RoutingTable, StreamRouting};
+use crate::reorder::{ReorderBuffer, ResultMerge};
+use crate::results::{sort_canonical, WindowResult};
+use crate::sketch::GroupSketch;
 use crate::window::WindowId;
 use crate::EngineError;
 use crate::MemoryFootprint;
@@ -84,6 +91,28 @@ pub enum LatePolicy {
     Divert,
     /// Fail the `push` with [`EngineError::Late`].
     Error,
+}
+
+/// Ordering guarantee of the executor's result stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmissionMode {
+    /// Rows stream out as shards close windows: per-shard order, arbitrary
+    /// interleaving across shards. Lowest latency; sort the concatenation
+    /// of all drains (or rely on [`finish`](StreamExecutor::finish), which
+    /// sorts its remainder) for the canonical order.
+    #[default]
+    Unordered,
+    /// Rows stream out **window-monotone** in canonical `(window, group)`
+    /// order: a cross-shard min-watermark merge
+    /// ([`ResultMerge`](crate::reorder::ResultMerge)) holds each window's
+    /// rows until every shard's emission frontier has passed it. Buffering
+    /// is bounded by the number of open windows; the concatenation of all
+    /// [`poll_results`](StreamExecutor::poll_results) drains plus the
+    /// [`finish`](StreamExecutor::finish) remainder is byte-identical to
+    /// the sorted `Unordered` output, with no sort-at-finish. Latency cost:
+    /// a window's rows wait for the slowest shard to pass it (at most one
+    /// window-close boundary behind `Unordered`).
+    WindowOrdered,
 }
 
 /// Knobs of the executor's skew detector (dynamic shard rebalancing).
@@ -148,6 +177,13 @@ pub struct ExecutorConfig {
     /// Dynamic shard rebalancing for skewed groups; `None` (the default)
     /// keeps the static hash assignment.
     pub rebalance: Option<RebalanceConfig>,
+    /// Result-stream ordering guarantee (default:
+    /// [`EmissionMode::Unordered`]).
+    pub emission: EmissionMode,
+    /// Maximum groups tracked in [`ExecutorStats::group_stats`] (top-K +
+    /// decayed-counter sketch; `0` = unbounded exact counting). Bounds the
+    /// skew detector's memory on high-cardinality `GROUP-BY` streams.
+    pub group_stats_capacity: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -164,6 +200,8 @@ impl Default for ExecutorConfig {
             engine: EngineConfig::default(),
             durability: None,
             rebalance: None,
+            emission: EmissionMode::default(),
+            group_stats_capacity: 1024,
         }
     }
 }
@@ -200,6 +238,13 @@ pub struct ExecutorStats {
     pub frames: u64,
     /// Durability checkpoints completed.
     pub checkpoints: u64,
+    /// Barrier snapshots taken across the shard workers (checkpoint cuts
+    /// and migration cuts; a fused rebalance + checkpoint barrier counts
+    /// once).
+    pub barrier_snapshots: u64,
+    /// Coinciding rebalance + checkpoint barriers served by one fused
+    /// snapshot (each saved a full extra barrier drain).
+    pub fused_barriers: u64,
     /// Barrier migrations performed by the skew detector.
     pub rebalances: u64,
     /// Groups whose shard assignment changed across all rebalances.
@@ -210,7 +255,10 @@ pub struct ExecutorStats {
     /// Per-group load counters, sorted by group key: events are counted at
     /// routing time (only when [`ExecutorConfig::rebalance`] is set — this
     /// is the skew detector's signal), live graph vertices are filled in by
-    /// [`finish`](StreamExecutor::finish) from the shard engines.
+    /// [`finish`](StreamExecutor::finish) from the shard engines. Bounded
+    /// to the [`ExecutorConfig::group_stats_capacity`] heaviest groups
+    /// (space-saving sketch: counts of tracked groups never under-estimate,
+    /// light groups may be evicted on high-cardinality streams).
     pub group_stats: Vec<(PartitionKey, GroupStats)>,
     /// Events delivered per shard (broadcasts count once per shard): the
     /// load-balance picture. On a skewed stream the pre-rebalance max of
@@ -248,6 +296,23 @@ enum Msg<N: TrendNum> {
     Install(Box<GretaEngine<N>>),
 }
 
+/// What shard workers put on the result channel.
+enum OutMsg<N: TrendNum> {
+    /// One result row, stamped with the emitting shard and its per-shard
+    /// emission sequence number (strictly increasing; the ordered merge's
+    /// sanity check).
+    Row {
+        shard: u32,
+        seq: u64,
+        row: WindowResult<N>,
+    },
+    /// The shard's emission frontier advanced: it will never emit a row
+    /// for a window below `next_window`. Sent after the rows it covers
+    /// (per-sender FIFO), so the merge never releases a window ahead of
+    /// its rows.
+    Frontier { shard: u32, next_window: WindowId },
+}
+
 struct WorkerReport {
     stats: EngineStats,
     peak_bytes: usize,
@@ -277,21 +342,22 @@ struct SnapshotParts<N: TrendNum> {
     last_close_idx: Option<u64>,
     late_windows: BTreeMap<WindowId, (u64, u64)>,
     table: RoutingTable,
-    group_stats: HashMap<PartitionKey, GroupStats>,
-    recent_events: HashMap<PartitionKey, u64>,
+    group_stats: GroupSketch,
+    recent_events: GroupSketch,
     windows_since_rebalance: u64,
     reorder: ReorderBuffer,
     diverted: Vec<EventRef>,
     pending: Vec<WindowResult<N>>,
+    merge: Option<ResultMerge<N>>,
     shard_states: Vec<Vec<u8>>,
 }
 
-/// Bumped to 3 with dynamic rebalancing: snapshots now carry the routing
-/// table and the per-group counters (and per-shard engine blobs moved to
-/// engine-state v2 with an explicit sequence counter), so snapshots taken
-/// by older revisions must be rejected instead of silently mis-sharding
-/// replayed WAL events.
-const SNAPSHOT_VERSION: u8 = 3;
+/// Bumped to 4 with ordered emission: snapshots now record the emission
+/// mode, the ordered-merge frontier state (so a recovered run resumes the
+/// same window-monotone stream), the sketch floors of the bounded
+/// per-group counters, and the barrier counters. Snapshots taken by older
+/// revisions are rejected instead of being silently misread.
+const SNAPSHOT_VERSION: u8 = 4;
 
 /// The push-based, sharded GRETA runtime. See the [module docs](self).
 ///
@@ -312,13 +378,14 @@ pub struct StreamExecutor<N: TrendNum = f64> {
     table: RoutingTable,
     rebalance: Option<RebalanceConfig>,
     /// Per-group counters: events bumped at routing time when rebalancing
-    /// is on, vertices filled from worker reports at `finish`.
-    group_stats: HashMap<PartitionKey, GroupStats>,
+    /// is on, vertices filled from worker reports at `finish`. Bounded to
+    /// the `group_stats_capacity` heaviest groups.
+    group_stats: GroupSketch,
     /// Per-group events since the last skew check (taken and cleared by
     /// every check). The detector works on these interval counts, not the
     /// lifetime totals, so skew that emerges late in a long stream is
     /// seen immediately instead of being averaged away by history.
-    recent_events: HashMap<PartitionKey, u64>,
+    recent_events: GroupSketch,
     /// Windows closed since the last skew check (cadence counter).
     windows_since_rebalance: u64,
     /// A skew check is owed; run after the current routing pass so a
@@ -327,12 +394,17 @@ pub struct StreamExecutor<N: TrendNum = f64> {
     reorder: ReorderBuffer,
     late_policy: LatePolicy,
     senders: Vec<Sender<Msg<N>>>,
-    results_rx: Receiver<WindowResult<N>>,
+    results_rx: Receiver<OutMsg<N>>,
     workers: Vec<JoinHandle<Result<WorkerReport, EngineError>>>,
     diverted: Vec<EventRef>,
-    /// Rows drained off the result channel while a shard queue was full;
-    /// returned by the next `poll_results`/`finish`.
+    /// Rows ready for the caller: under unordered emission, whatever was
+    /// drained off the result channel (e.g. while a shard queue was full);
+    /// under [`EmissionMode::WindowOrdered`], rows the merge released — in
+    /// canonical order. Returned by the next `poll_results`/`finish`.
     pending: Vec<WindowResult<N>>,
+    /// Cross-shard min-watermark merge; `Some` iff the emission mode is
+    /// [`EmissionMode::WindowOrdered`].
+    merge: Option<ResultMerge<N>>,
     stats: ExecutorStats,
     /// Per-shard event frames not yet sent.
     batch_bufs: Vec<Vec<EventRef>>,
@@ -513,6 +585,15 @@ impl<N: TrendNum> StreamExecutor<N> {
                 exec.reorder = parts.reorder;
                 exec.diverted = parts.diverted;
                 exec.pending = parts.pending;
+                if let Some(mut merge) = parts.merge {
+                    if expected != old_shards {
+                        // Fresh workers report their own frontiers; the
+                        // released watermark (and buffered rows) carry over
+                        // so the ordered stream resumes without repeats.
+                        merge.reset_for_shards(expected);
+                    }
+                    exec.merge = Some(merge);
+                }
                 (exec, m.wal_index)
             }
         };
@@ -593,6 +674,7 @@ impl<N: TrendNum> StreamExecutor<N> {
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let export_final = durability.is_some();
+        let ordered = config.emission == EmissionMode::WindowOrdered;
         for (shard, engine) in engines.into_iter().enumerate() {
             let (tx, rx) = channel::bounded::<Msg<N>>(config.channel_capacity.max(1));
             senders.push(tx);
@@ -600,7 +682,9 @@ impl<N: TrendNum> StreamExecutor<N> {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("greta-shard-{shard}"))
-                    .spawn(move || worker_loop::<N>(engine, shard, rx, results_tx, export_final))
+                    .spawn(move || {
+                        worker_loop::<N>(engine, shard, rx, results_tx, export_final, ordered)
+                    })
                     .map_err(|e| EngineError::Worker(e.to_string()))?,
             );
         }
@@ -612,8 +696,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             routing,
             table: RoutingTable::default(),
             rebalance: config.rebalance,
-            group_stats: HashMap::new(),
-            recent_events: HashMap::new(),
+            group_stats: GroupSketch::new(config.group_stats_capacity),
+            recent_events: GroupSketch::new(config.group_stats_capacity),
             windows_since_rebalance: 0,
             rebalance_due: false,
             reorder: ReorderBuffer::new(config.slack),
@@ -623,6 +707,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             workers,
             diverted: Vec::new(),
             pending: Vec::new(),
+            merge: (config.emission == EmissionMode::WindowOrdered)
+                .then(|| ResultMerge::new(shards)),
             stats: ExecutorStats {
                 events_per_shard: vec![0; shards],
                 ..Default::default()
@@ -730,21 +816,52 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
     }
 
+    /// Absorb one worker message: under unordered emission rows go
+    /// straight to the ready buffer (frontier stamps are dropped); under
+    /// [`EmissionMode::WindowOrdered`] rows park in the merge and frontier
+    /// advances release complete windows into the ready buffer in
+    /// canonical order.
+    fn absorb(&mut self, msg: OutMsg<N>) {
+        match (&mut self.merge, msg) {
+            (None, OutMsg::Row { row, .. }) => self.pending.push(row),
+            (None, OutMsg::Frontier { .. }) => {}
+            (Some(m), OutMsg::Row { shard, seq, row }) => m.offer(shard as usize, seq, row),
+            (Some(m), OutMsg::Frontier { shard, next_window }) => {
+                m.advance(shard as usize, next_window, &mut self.pending)
+            }
+        }
+    }
+
+    /// Drain the result channel without blocking; true if anything came.
+    fn drain_ready(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(msg) = self.results_rx.try_recv() {
+            self.absorb(msg);
+            any = true;
+        }
+        any
+    }
+
     /// Drain every result row emitted so far, without blocking. Windows are
     /// emitted as the watermark passes their end, so results stream while
-    /// events are still being pushed.
+    /// events are still being pushed. Under
+    /// [`EmissionMode::WindowOrdered`] the drained rows are
+    /// window-monotone in canonical `(window, group)` order, across calls:
+    /// concatenating every drain with the [`finish`](Self::finish)
+    /// remainder reproduces the sorted unordered output byte for byte.
     pub fn poll_results(&mut self) -> Vec<WindowResult<N>> {
-        let mut out = std::mem::take(&mut self.pending);
-        while let Ok(row) = self.results_rx.try_recv() {
-            out.push(row);
-        }
-        out
+        self.drain_ready();
+        std::mem::take(&mut self.pending)
     }
 
     /// End of stream: flush the reorder buffer, close all remaining
     /// windows, take a final checkpoint (durability on), join the workers,
-    /// and return the remaining rows sorted by `(window, group)`. Also
-    /// finalizes [`stats`](Self::stats). Idempotent.
+    /// and return the remaining rows in canonical `(window, group)` order.
+    /// Also finalizes [`stats`](Self::stats). Idempotent.
+    ///
+    /// Under [`EmissionMode::WindowOrdered`] the remainder comes straight
+    /// off the merge — already ordered, nothing to sort (the fast path);
+    /// under [`EmissionMode::Unordered`] the remainder is sorted here.
     pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
         if self.finished {
             return Ok(Vec::new());
@@ -759,10 +876,14 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.batch_bufs.clear();
         // Drain concurrently with the workers' final flush: recv() ends
         // when every worker has dropped its result sender.
-        let mut rows = std::mem::take(&mut self.pending);
-        while let Ok(row) = self.results_rx.recv() {
-            rows.push(row);
+        while let Ok(msg) = self.results_rx.recv() {
+            self.absorb(msg);
         }
+        if let Some(m) = &mut self.merge {
+            // Every worker terminated: no window can receive further rows.
+            m.close(&mut self.pending);
+        }
+        let mut rows = std::mem::take(&mut self.pending);
         let mut first_err = route_result.err();
         let mut final_states: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.workers.len());
         for w in self.workers.drain(..) {
@@ -775,7 +896,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                     s.results += report.stats.results;
                     self.stats.peak_memory_bytes += report.peak_bytes;
                     for (group, vertices) in report.group_vertices {
-                        self.group_stats.entry(group).or_default().vertices += vertices;
+                        self.group_stats.add_vertices(&group, vertices);
                     }
                     final_states.push(report.final_state);
                 }
@@ -798,7 +919,15 @@ impl<N: TrendNum> StreamExecutor<N> {
         if let Some(e) = first_err {
             return Err(e);
         }
-        rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+        if self.merge.is_none() {
+            sort_canonical(&mut rows);
+        } else {
+            debug_assert!(
+                rows.windows(2)
+                    .all(|w| w[0].order_key() <= w[1].order_key()),
+                "ordered emission produced an out-of-order finish remainder"
+            );
+        }
         Ok(rows)
     }
 
@@ -808,13 +937,7 @@ impl<N: TrendNum> StreamExecutor<N> {
     pub fn stats(&self) -> ExecutorStats {
         let mut s = self.stats.clone();
         s.routing_epoch = self.table.epoch();
-        let mut groups: Vec<(PartitionKey, GroupStats)> = self
-            .group_stats
-            .iter()
-            .map(|(k, st)| (k.clone(), *st))
-            .collect();
-        groups.sort_by(|a, b| a.0.cmp(&b.0));
-        s.group_stats = groups;
+        s.group_stats = self.group_stats.top_sorted();
         s.late_by_window = self
             .late_windows
             .iter()
@@ -837,7 +960,9 @@ impl<N: TrendNum> StreamExecutor<N> {
 
     /// Shard owning the event's group under the current routing epoch
     /// (`None` = broadcast). With rebalancing on, also bumps the group's
-    /// event counter — the skew detector's signal.
+    /// event counter — the skew detector's signal. Every path works off
+    /// the event's routing hash: no group key is materialized per event
+    /// (only once, when a group is first tracked by the sketch).
     fn dest_shard(&mut self, e: &EventRef) -> Option<usize> {
         if self.routing.is_broadcast(e.type_id) {
             return None;
@@ -846,14 +971,15 @@ impl<N: TrendNum> StreamExecutor<N> {
             // Static-assignment fast path: hash straight off the event.
             return self.routing.shard_of(e, self.shards);
         }
-        let group = self.routing.group_key(e);
+        let h = self.routing.group_hash(e);
         let shard = self
             .table
-            .shard_for(&group)
-            .unwrap_or_else(|| self.routing.shard_of_group_key(&group, self.shards));
+            .shard_for_hash(h)
+            .unwrap_or_else(|| shard_of_hash(h, self.shards));
         if self.rebalance.is_some() {
-            *self.recent_events.entry(group.clone()).or_insert(0) += 1;
-            self.group_stats.entry(group).or_default().events += 1;
+            let routing = &self.routing;
+            self.recent_events.bump_events(h, || routing.group_key(e));
+            self.group_stats.bump_events(h, || routing.group_key(e));
         }
         Some(shard)
     }
@@ -985,6 +1111,7 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// emitted before the barrier are drained into `pending`. Callers must
     /// flush batched frames first.
     fn collect_shard_states(&mut self) -> Result<Vec<Vec<u8>>, EngineError> {
+        self.stats.barrier_snapshots += 1;
         let (reply_tx, reply_rx) = channel::bounded::<(usize, Vec<u8>)>(self.shards);
         for i in 0..self.senders.len() {
             self.send(i, Msg::Snapshot(reply_tx.clone()))?;
@@ -1000,23 +1127,17 @@ impl<N: TrendNum> StreamExecutor<N> {
                 }
                 Err(TryRecvError::Empty) => {
                     // Workers may be blocked emitting rows; keep draining.
-                    let mut drained = false;
-                    while let Ok(row) = self.results_rx.try_recv() {
-                        self.pending.push(row);
-                        drained = true;
-                    }
-                    if !drained {
+                    if !self.drain_ready() {
                         std::thread::yield_now();
                     }
                 }
                 Err(TryRecvError::Disconnected) => return Err(self.reap_after_failure()),
             }
         }
-        // Rows emitted before the barrier are all in flight by now; pull
-        // them into `pending` so a snapshot can carry the un-polled ones.
-        while let Ok(row) = self.results_rx.try_recv() {
-            self.pending.push(row);
-        }
+        // Rows (and frontier stamps) emitted before the barrier are all in
+        // flight by now; pull them in so a snapshot carries the un-polled
+        // rows and the merge's frontier reflects the cut.
+        self.drain_ready();
         Ok(shard_states)
     }
 
@@ -1046,21 +1167,21 @@ impl<N: TrendNum> StreamExecutor<N> {
         if self.shards <= 1 || self.recent_events.is_empty() {
             return Ok(());
         }
-        let recent = std::mem::take(&mut self.recent_events);
-        // Hottest-first, key-tie-broken: deterministic across runs.
-        let mut groups: Vec<(&PartitionKey, u64)> = recent.iter().map(|(k, &n)| (k, n)).collect();
-        groups.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        // Hottest-first, key-tie-broken: deterministic across runs (the
+        // sketch's evictions are deterministic too, so a recovered
+        // executor replays identical plans).
+        let groups: Vec<(PartitionKey, u64)> = self.recent_events.take_hottest_first();
         let total: u64 = groups.iter().map(|(_, n)| n).sum();
         if total == 0 {
             return Ok(());
         }
         let table = &self.table;
-        let routing = &self.routing;
         let shards = self.shards;
         let current = |k: &PartitionKey| {
+            let h = group_key_hash(k);
             table
-                .shard_for(k)
-                .unwrap_or_else(|| routing.shard_of_group_key(k, shards))
+                .shard_for_hash(h)
+                .unwrap_or_else(|| shard_of_hash(h, shards))
         };
         let mut loads = vec![0u64; shards];
         for (k, n) in &groups {
@@ -1088,8 +1209,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             // A pin that agrees with the hash fallback is a no-op: leave
             // it out so the table (and every snapshot carrying it) stays
             // proportional to the groups actually displaced.
-            if dest != routing.shard_of_group_key(k, shards) {
-                overrides.insert((*k).clone(), dest as u32);
+            if dest != shard_of_hash(group_key_hash(k), shards) {
+                overrides.insert(k.clone(), dest as u32);
             }
         }
         if moves < cfg.min_moves.max(1) {
@@ -1110,6 +1231,12 @@ impl<N: TrendNum> StreamExecutor<N> {
     ///    nothing is routed between the barrier and the install, so every
     ///    frame routed under epoch `e+1` is processed by an epoch-`e+1`
     ///    engine — results stay byte-identical to any static assignment.
+    ///
+    /// When a cadence checkpoint is owed at the same window close, the two
+    /// barriers are **fused**: the repartitioned engine states *are* the
+    /// post-migration cut, so they are serialized and persisted directly
+    /// instead of running a second back-to-back barrier snapshot right
+    /// after the install.
     fn migrate(
         &mut self,
         overrides: HashMap<PartitionKey, u32>,
@@ -1119,7 +1246,6 @@ impl<N: TrendNum> StreamExecutor<N> {
         let shard_states = self.collect_shard_states()?;
         self.table.install(overrides);
         let table = self.table.clone();
-        let routing = self.routing.clone();
         let shards = self.shards;
         let engines = GretaEngine::<N>::repartition_states(
             &self.query,
@@ -1128,16 +1254,32 @@ impl<N: TrendNum> StreamExecutor<N> {
             &shard_states,
             shards,
             |g| {
+                let h = group_key_hash(g);
                 table
-                    .shard_for(g)
-                    .unwrap_or_else(|| routing.shard_of_group_key(g, shards))
+                    .shard_for_hash(h)
+                    .unwrap_or_else(|| shard_of_hash(h, shards))
             },
         )?;
+        self.stats.rebalances += 1;
+        self.stats.groups_moved += moves as u64;
+        // Fused rebalance + checkpoint barrier: the repartitioned engines
+        // *are* the exact post-migration cut (the new table and counters
+        // are already in `self`), so when a cadence checkpoint is owed
+        // they are serialized directly — no second barrier drain.
+        let fused_blobs: Option<Vec<Vec<u8>>> = (self.checkpoint_due && self.durability.is_some())
+            .then(|| engines.iter().map(GretaEngine::export_state).collect());
         for (i, engine) in engines.into_iter().enumerate() {
             self.send(i, Msg::Install(Box::new(engine)))?;
         }
-        self.stats.rebalances += 1;
-        self.stats.groups_moved += moves as u64;
+        if let Some(blobs) = fused_blobs {
+            // Persist only after every install is queued: a snapshot I/O
+            // failure then surfaces as a plain checkpoint error against a
+            // fully committed migration, never a half-installed table.
+            self.checkpoint_due = false;
+            self.windows_since_checkpoint = 0;
+            self.stats.fused_barriers += 1;
+            self.persist_snapshot(&blobs)?;
+        }
         Ok(())
     }
 
@@ -1186,6 +1328,10 @@ impl<N: TrendNum> StreamExecutor<N> {
             LatePolicy::Divert => 1,
             LatePolicy::Error => 2,
         });
+        out.push(match self.merge {
+            None => 0,
+            Some(_) => 1,
+        });
         for v in [
             self.stats.pushed,
             self.stats.released,
@@ -1195,6 +1341,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             self.stats.watermarks,
             self.stats.frames,
             self.stats.checkpoints,
+            self.stats.barrier_snapshots,
+            self.stats.fused_barriers,
             self.stats.rebalances,
             self.stats.groups_moved,
             self.max_occupancy as u64,
@@ -1209,21 +1357,9 @@ impl<N: TrendNum> StreamExecutor<N> {
             put_u64(&mut out, diverted);
         }
         self.table.encode(&mut out);
-        let mut gkeys: Vec<&PartitionKey> = self.group_stats.keys().collect();
-        gkeys.sort();
-        put_u32(&mut out, gkeys.len() as u32);
-        for k in gkeys {
-            crate::state::encode_key(k, &mut out);
-            self.group_stats[k].encode(&mut out);
-        }
+        self.group_stats.encode(&mut out);
         put_u64(&mut out, self.windows_since_rebalance);
-        let mut rkeys: Vec<&PartitionKey> = self.recent_events.keys().collect();
-        rkeys.sort();
-        put_u32(&mut out, rkeys.len() as u32);
-        for k in rkeys {
-            crate::state::encode_key(k, &mut out);
-            put_u64(&mut out, self.recent_events[k]);
-        }
+        self.recent_events.encode(&mut out);
         put_u32(&mut out, self.stats.events_per_shard.len() as u32);
         for v in &self.stats.events_per_shard {
             put_u64(&mut out, *v);
@@ -1233,6 +1369,9 @@ impl<N: TrendNum> StreamExecutor<N> {
         put_u32(&mut out, self.pending.len() as u32);
         for row in &self.pending {
             encode_window_result(row, &mut out);
+        }
+        if let Some(m) = &self.merge {
+            m.export_state(&mut out);
         }
         put_u32(&mut out, shard_states.len() as u32);
         for blob in shard_states {
@@ -1285,6 +1424,18 @@ impl<N: TrendNum> StreamExecutor<N> {
                 config.late_policy
             )));
         }
+        let emission = match r.u8()? {
+            0 => EmissionMode::Unordered,
+            1 => EmissionMode::WindowOrdered,
+            t => return Err(CodecError(format!("bad EmissionMode tag {t}")).into()),
+        };
+        if emission != config.emission {
+            return Err(EngineError::Config(format!(
+                "emission-mode mismatch: checkpoint was taken with {emission:?}, \
+                 config asks for {:?}",
+                config.emission
+            )));
+        }
         let stats = ExecutorStats {
             pushed: r.u64()?,
             released: r.u64()?,
@@ -1294,6 +1445,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             watermarks: r.u64()?,
             frames: r.u64()?,
             checkpoints: r.u64()?,
+            barrier_snapshots: r.u64()?,
+            fused_barriers: r.u64()?,
             rebalances: r.u64()?,
             groups_moved: r.u64()?,
             ..Default::default()
@@ -1309,19 +1462,9 @@ impl<N: TrendNum> StreamExecutor<N> {
             late_windows.insert(wid, (dropped, diverted));
         }
         let table = RoutingTable::decode(r, expect_shards)?;
-        let n_groups = r.seq_len(20)?;
-        let mut group_stats = HashMap::with_capacity(n_groups);
-        for _ in 0..n_groups {
-            let key = crate::state::decode_key(r)?;
-            group_stats.insert(key, GroupStats::decode(r)?);
-        }
+        let group_stats = GroupSketch::decode(config.group_stats_capacity, r)?;
         let windows_since_rebalance = r.u64()?;
-        let n_recent = r.seq_len(12)?;
-        let mut recent_events = HashMap::with_capacity(n_recent);
-        for _ in 0..n_recent {
-            let key = crate::state::decode_key(r)?;
-            recent_events.insert(key, r.u64()?);
-        }
+        let recent_events = GroupSketch::decode(config.group_stats_capacity, r)?;
         let n_shard_loads = r.seq_len(8)?;
         let mut stats = stats;
         stats.events_per_shard = Vec::with_capacity(n_shard_loads);
@@ -1335,6 +1478,10 @@ impl<N: TrendNum> StreamExecutor<N> {
         for _ in 0..n_pending {
             pending.push(decode_window_result(r)?);
         }
+        let merge = match emission {
+            EmissionMode::Unordered => None,
+            EmissionMode::WindowOrdered => Some(ResultMerge::import_state(r)?),
+        };
         let n_states = r.seq_len(4)?;
         if n_states != shards {
             return Err(CodecError(format!(
@@ -1363,6 +1510,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             reorder,
             diverted,
             pending,
+            merge,
             shard_states,
         })
     }
@@ -1379,12 +1527,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                 Ok(()) => return Ok(()),
                 Err(TrySendError::Full(back)) => {
                     msg = back;
-                    let mut drained = false;
-                    while let Ok(row) = self.results_rx.try_recv() {
-                        self.pending.push(row);
-                        drained = true;
-                    }
-                    if !drained {
+                    if !self.drain_ready() {
                         std::thread::yield_now();
                     }
                 }
@@ -1401,11 +1544,10 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.finished = true;
         let mut err = EngineError::Worker("shard input channel closed".into());
         let mut found = false;
-        for w in self.workers.drain(..) {
+        let workers: Vec<_> = self.workers.drain(..).collect();
+        for w in workers {
             while !w.is_finished() {
-                while let Ok(row) = self.results_rx.try_recv() {
-                    self.pending.push(row);
-                }
+                self.drain_ready();
                 std::thread::yield_now();
             }
             match w.join() {
@@ -1450,8 +1592,9 @@ fn worker_loop<N: TrendNum>(
     mut engine: GretaEngine<N>,
     shard: usize,
     rx: Receiver<Msg<N>>,
-    results_tx: Sender<WindowResult<N>>,
+    results_tx: Sender<OutMsg<N>>,
     export_final: bool,
+    ordered: bool,
 ) -> Result<WorkerReport, EngineError> {
     let report = |engine: &GretaEngine<N>| WorkerReport {
         stats: engine.stats(),
@@ -1459,6 +1602,12 @@ fn worker_loop<N: TrendNum>(
         group_vertices: engine.group_vertices(),
         final_state: None,
     };
+    // Per-shard emission counter and last frontier sent: rows are stamped
+    // `(shard, seq)`, and a frontier message follows whenever the engine's
+    // emission frontier advanced — after the rows it covers, so the
+    // ordered merge can never release a window ahead of its rows.
+    let mut seq = 0u64;
+    let mut frontier = 0;
     for msg in rx.iter() {
         match msg {
             Msg::Events(batch) => {
@@ -1474,24 +1623,60 @@ fn worker_loop<N: TrendNum>(
                 continue;
             }
             Msg::Install(next) => {
-                // Barrier-migration commit: adopt the repartitioned engine
-                // (its imported state may carry rows to emit — fall through
-                // to the drain below).
+                // Barrier-migration commit: adopt the repartitioned engine.
+                // Its inherited watermark (the max across source engines)
+                // may already be past some windows' close times — close
+                // them now so their rows flow out with this drain instead
+                // of waiting for the next message.
                 engine = *next;
+                engine.close_overdue();
             }
         }
         for row in engine.poll_results() {
-            if results_tx.send(row).is_err() {
+            seq += 1;
+            if results_tx
+                .send(OutMsg::Row {
+                    shard: shard as u32,
+                    seq,
+                    row,
+                })
+                .is_err()
+            {
                 // Executor dropped without finish(): stop quietly.
                 return Ok(report(&engine));
             }
         }
+        if ordered {
+            let next = engine.emission_frontier();
+            if next > frontier {
+                frontier = next;
+                if results_tx
+                    .send(OutMsg::Frontier {
+                        shard: shard as u32,
+                        next_window: next,
+                    })
+                    .is_err()
+                {
+                    return Ok(report(&engine));
+                }
+            }
+        }
     }
     for row in engine.finish() {
-        if results_tx.send(row).is_err() {
+        seq += 1;
+        if results_tx
+            .send(OutMsg::Row {
+                shard: shard as u32,
+                seq,
+                row,
+            })
+            .is_err()
+        {
             break;
         }
     }
+    // No explicit final frontier: the executor treats this worker's
+    // channel disconnect as frontier = ∞.
     let mut rep = report(&engine);
     if export_final {
         rep.final_state = Some(engine.export_state());

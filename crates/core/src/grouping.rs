@@ -179,6 +179,43 @@ impl KeyExtractor {
     }
 }
 
+/// Feed one group-key slot (present value or sub-key hole) into the
+/// routing hash. The single definition both [`group_key_hash`] (off a
+/// materialized key) and [`StreamRouting::group_hash`] (straight off an
+/// event) encode through — they can never drift apart.
+#[inline]
+fn hash_group_slot(h: &mut DefaultHasher, v: Option<&Value>) {
+    match v {
+        Some(v) => {
+            h.write_u8(1);
+            v.hash(h);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+/// The deterministic 64-bit hash of a materialized group key. This is the
+/// *routing hash*: [`StreamRouting::group_hash`] produces bit-identical
+/// values straight off an event (no key materialization), and both the
+/// static shard assignment and [`RoutingTable`] override lookups key on
+/// it, so the hot routing path never has to allocate a [`PartitionKey`].
+pub fn group_key_hash(key: &PartitionKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    for v in &key.0 {
+        hash_group_slot(&mut h, v.as_ref());
+    }
+    h.finish()
+}
+
+/// The static (fallback) shard assignment of a routing hash: the
+/// deterministic `hash % shards` every group without a [`RoutingTable`]
+/// pin routes by. Single definition shared by the event router, the
+/// rebalance planner, and state repartitioning — they can never drift.
+#[inline]
+pub fn shard_of_hash(h: u64, shards: usize) -> usize {
+    (h % shards.max(1) as u64) as usize
+}
+
 /// A versioned group → shard routing table (one *routing epoch*).
 ///
 /// The default table is empty: every group falls back to the deterministic
@@ -188,10 +225,17 @@ impl KeyExtractor {
 /// per-group overrides and bumps the epoch; events of groups without an
 /// override keep hashing. Epochs only grow — a snapshot taken under epoch
 /// `e` can never be confused with state from an earlier assignment.
+///
+/// Lookups go through the group's [routing hash](group_key_hash), so the
+/// executor can resolve an event's shard without materializing its key
+/// (`by_hash` is rebuilt from `overrides` on every install/decode — the
+/// two can never drift).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoutingTable {
     epoch: u64,
     overrides: HashMap<PartitionKey, u32>,
+    /// `group_key_hash(key)` → shard, derived from `overrides`.
+    by_hash: HashMap<u64, u32>,
 }
 
 impl RoutingTable {
@@ -210,13 +254,28 @@ impl RoutingTable {
         self.overrides.is_empty()
     }
 
-    /// Explicit shard of `group`, if the table pins one.
+    /// Explicit shard of `group`, if the table pins one. Resolved through
+    /// the group's routing hash, identically to
+    /// [`shard_for_hash`](Self::shard_for_hash) — every lookup path sees
+    /// the same assignment.
     pub fn shard_for(&self, group: &PartitionKey) -> Option<usize> {
-        self.overrides.get(group).map(|&s| s as usize)
+        self.shard_for_hash(group_key_hash(group))
+    }
+
+    /// Explicit shard pinned for the group with routing hash `h`, if any —
+    /// the allocation-free lookup the executor's hot path uses with a hash
+    /// computed straight off the event.
+    #[inline]
+    pub fn shard_for_hash(&self, h: u64) -> Option<usize> {
+        self.by_hash.get(&h).map(|&s| s as usize)
     }
 
     /// Replace the overrides and advance the epoch. Returns the new epoch.
     pub fn install(&mut self, overrides: HashMap<PartitionKey, u32>) -> u64 {
+        self.by_hash = overrides
+            .iter()
+            .map(|(k, &s)| (group_key_hash(k), s))
+            .collect();
         self.overrides = overrides;
         self.epoch += 1;
         self.epoch
@@ -227,6 +286,7 @@ impl RoutingTable {
     /// count, where the old pinned assignment is meaningless.
     pub fn reset_for_shards(&mut self) -> u64 {
         self.overrides.clear();
+        self.by_hash.clear();
         self.epoch += 1;
         self.epoch
     }
@@ -260,7 +320,15 @@ impl RoutingTable {
             }
             overrides.insert(key, shard);
         }
-        Ok(RoutingTable { epoch, overrides })
+        let by_hash = overrides
+            .iter()
+            .map(|(k, &s)| (group_key_hash(k), s))
+            .collect();
+        Ok(RoutingTable {
+            epoch,
+            overrides,
+            by_hash,
+        })
     }
 }
 
@@ -378,6 +446,29 @@ impl StreamRouting {
         self.extractor.key_prefix_of(e, self.n_group)
     }
 
+    /// Routing hash of the event's `GROUP-BY` group, computed straight off
+    /// the event — bit-identical to [`group_key_hash`] of the materialized
+    /// [`group_key`](Self::group_key), with no allocation. This one value
+    /// drives the static shard assignment (`hash % shards`), the
+    /// [`RoutingTable`] override lookup, and the skew detector's per-group
+    /// counters.
+    pub fn group_hash(&self, e: &Event) -> u64 {
+        let mut h = DefaultHasher::new();
+        match self.extractor.slots_of(e.type_id) {
+            Some(slots) => {
+                for s in slots.iter().take(self.n_group) {
+                    hash_group_slot(&mut h, s.map(|a| e.attr(a)));
+                }
+            }
+            None => {
+                for _ in 0..self.n_group.min(self.extractor.n_attrs) {
+                    hash_group_slot(&mut h, None);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Shard owning the event's group, or `None` when the event must be
     /// broadcast. Deterministic for a given key and shard count, so the
     /// same stream always shards identically. The group values are hashed
@@ -386,26 +477,7 @@ impl StreamRouting {
         if self.is_broadcast(e.type_id) {
             return None;
         }
-        let mut h = DefaultHasher::new();
-        match self.extractor.slots_of(e.type_id) {
-            Some(slots) => {
-                for s in slots.iter().take(self.n_group) {
-                    match s {
-                        Some(a) => {
-                            h.write_u8(1);
-                            e.attr(*a).hash(&mut h);
-                        }
-                        None => h.write_u8(0),
-                    }
-                }
-            }
-            None => {
-                for _ in 0..self.n_group.min(self.extractor.n_attrs) {
-                    h.write_u8(0);
-                }
-            }
-        }
-        Some((h.finish() % shards.max(1) as u64) as usize)
+        Some(shard_of_hash(self.group_hash(e), shards))
     }
 
     /// Hash a *materialized* group key to a shard, bit-identical to the
@@ -414,17 +486,7 @@ impl StreamRouting {
     /// entry point hashed it. This is the fallback assignment for groups a
     /// [`RoutingTable`] does not pin.
     pub fn shard_of_group_key(&self, key: &PartitionKey, shards: usize) -> usize {
-        let mut h = DefaultHasher::new();
-        for v in &key.0 {
-            match v {
-                Some(v) => {
-                    h.write_u8(1);
-                    v.hash(&mut h);
-                }
-                None => h.write_u8(0),
-            }
-        }
-        (h.finish() % shards.max(1) as u64) as usize
+        shard_of_hash(group_key_hash(key), shards)
     }
 }
 
@@ -564,6 +626,14 @@ mod tests {
                     "vehicle={vehicle} segment={segment} shards={shards}"
                 );
             }
+            // The off-event routing hash is bit-identical to hashing the
+            // materialized key: counters and table lookups keyed on either
+            // can never disagree.
+            assert_eq!(
+                routing.group_hash(&p),
+                group_key_hash(&routing.group_key(&p)),
+                "vehicle={vehicle} segment={segment}"
+            );
         }
     }
 
@@ -581,6 +651,9 @@ mod tests {
         assert_eq!(table.shard_for(&g(2)), Some(0));
         assert_eq!(table.shard_for(&g(9)), None); // falls back to hash
         assert_eq!(table.len(), 2);
+        // Hash-keyed lookups see the same pins as key lookups.
+        assert_eq!(table.shard_for_hash(group_key_hash(&g(1))), Some(3));
+        assert_eq!(table.shard_for_hash(group_key_hash(&g(9))), None);
 
         let mut buf = Vec::new();
         table.encode(&mut buf);

@@ -43,6 +43,7 @@ pub mod parallel;
 pub mod reorder;
 pub mod results;
 pub mod semantics;
+pub mod sketch;
 mod state;
 pub mod storage;
 pub mod window;
@@ -50,10 +51,13 @@ pub mod window;
 pub use agg::{AggLayout, AggState, TrendNum};
 pub use engine::{EngineConfig, EngineStats, GretaEngine};
 pub use error::EngineError;
-pub use executor::{ExecutorConfig, ExecutorStats, LatePolicy, RebalanceConfig, StreamExecutor};
-pub use grouping::{PartitionKey, RoutingTable, StreamRouting};
+pub use executor::{
+    EmissionMode, ExecutorConfig, ExecutorStats, LatePolicy, RebalanceConfig, StreamExecutor,
+};
+pub use grouping::{group_key_hash, shard_of_hash, PartitionKey, RoutingTable, StreamRouting};
 pub use memory::MemoryFootprint;
-pub use reorder::ReorderBuffer;
-pub use results::{OutValue, WindowResult};
+pub use reorder::{ReorderBuffer, ResultMerge};
+pub use results::{sort_canonical, OutValue, WindowResult};
 pub use semantics::Semantics;
+pub use sketch::GroupSketch;
 pub use window::{window_close_time, windows_of, WindowId};

@@ -1,12 +1,27 @@
-//! Out-of-order arrival adapter.
+//! Out-of-order adapters for both ends of the pipeline.
 //!
-//! The paper assumes in-order streams and points to out-of-order processing
-//! architectures ([17, 18] in §2) for the general case. This module
-//! provides the standard *slack buffer* from that line of work: events are
-//! held for `slack` ticks and released in time-stamp order; anything
-//! arriving later than the already-released watermark is reported as a
-//! [`late event`](ReorderBuffer::push) instead of corrupting the graph.
+//! **Ingestion** ([`ReorderBuffer`]): the paper assumes in-order streams
+//! and points to out-of-order processing architectures ([17, 18] in §2)
+//! for the general case. This module provides the standard *slack buffer*
+//! from that line of work: events are held for `slack` ticks and released
+//! in time-stamp order; anything arriving later than the already-released
+//! watermark is reported as a [`late event`](ReorderBuffer::push) instead
+//! of corrupting the graph.
+//!
+//! **Emission** ([`ResultMerge`]): the mirror image on the output side.
+//! Shard workers emit closed-window rows independently, so the raw result
+//! stream interleaves windows across shards. The merge holds each shard's
+//! rows until *every* shard's emission frontier (the smallest window it
+//! may still emit — [`GretaEngine::emission_frontier`]) has passed the
+//! window, then releases the window's rows in canonical `(window, group)`
+//! order. Buffering is bounded by the number of open windows, not the
+//! stream length — no sort-at-finish, no full materialization.
+//!
+//! [`GretaEngine::emission_frontier`]: crate::engine::GretaEngine::emission_frontier
 
+use crate::agg::TrendNum;
+use crate::results::WindowResult;
+use crate::window::WindowId;
 use greta_types::{Event, EventRef, Time};
 use std::collections::BTreeMap;
 
@@ -135,6 +150,172 @@ impl ReorderBuffer {
     }
 }
 
+/// Cross-shard min-watermark merge for ordered result emission. See the
+/// [module docs](self).
+///
+/// Rows are stamped by their emitting shard; per-shard *frontiers* record
+/// the smallest window each shard may still emit. Windows strictly below
+/// the minimum frontier across all shards are complete — their rows are
+/// released in canonical `(window, group)` order and the released
+/// watermark (`released_to`) advances monotonically. Frontier updates
+/// arrive from window-close watermark broadcasts and from barrier drains
+/// (checkpoint / migration), and survive routing-epoch bumps: a barrier
+/// migration swaps the engines behind the shards but never rewinds a
+/// frontier, because the repartitioned engines resume from the *max*
+/// source watermark.
+#[derive(Debug, Clone)]
+pub struct ResultMerge<N: TrendNum> {
+    /// Per-shard emission frontier: shard `s` will never emit a row for a
+    /// window below `frontiers[s]`. Only ever advances.
+    frontiers: Vec<WindowId>,
+    /// Windows below this are fully released (the output watermark).
+    released_to: WindowId,
+    /// Pending rows of still-open windows, keyed by window.
+    buffered: BTreeMap<WindowId, Vec<WindowResult<N>>>,
+    /// Last per-shard row sequence seen (emission-order sanity check).
+    last_seq: Vec<u64>,
+}
+
+impl<N: TrendNum> ResultMerge<N> {
+    /// A merge over `shards` emitting shards, all frontiers at window 0.
+    pub fn new(shards: usize) -> ResultMerge<N> {
+        ResultMerge {
+            frontiers: vec![0; shards],
+            released_to: 0,
+            buffered: BTreeMap::new(),
+            last_seq: vec![0; shards],
+        }
+    }
+
+    /// Buffer one stamped row from `shard`. `seq` is the shard's emission
+    /// counter (strictly increasing per shard).
+    pub fn offer(&mut self, shard: usize, seq: u64, row: WindowResult<N>) {
+        debug_assert!(
+            row.window >= self.released_to,
+            "shard {shard} emitted window {} after it was released (released_to {})",
+            row.window,
+            self.released_to
+        );
+        debug_assert!(
+            seq > self.last_seq[shard],
+            "shard {shard} row seq went backwards ({seq} ≤ {})",
+            self.last_seq[shard]
+        );
+        self.last_seq[shard] = seq;
+        self.buffered.entry(row.window).or_default().push(row);
+    }
+
+    /// Advance `shard`'s frontier to `next_window` (stale updates are
+    /// ignored — frontiers only grow) and append every newly complete
+    /// window's rows to `out` in canonical order.
+    pub fn advance(&mut self, shard: usize, next_window: WindowId, out: &mut Vec<WindowResult<N>>) {
+        if next_window > self.frontiers[shard] {
+            self.frontiers[shard] = next_window;
+            self.release(out);
+        }
+    }
+
+    /// End of stream: every shard has terminated, so no window can receive
+    /// further rows. Releases everything still buffered, in order.
+    pub fn close(&mut self, out: &mut Vec<WindowResult<N>>) {
+        for f in &mut self.frontiers {
+            *f = WindowId::MAX;
+        }
+        self.release(out);
+    }
+
+    fn release(&mut self, out: &mut Vec<WindowResult<N>>) {
+        let min = self.frontiers.iter().copied().min().unwrap_or(0);
+        while let Some(entry) = self.buffered.first_entry() {
+            if *entry.key() >= min {
+                break;
+            }
+            let mut rows = entry.remove();
+            // Groups are disjoint across shards and each shard emits its
+            // window's rows group-sorted, so a per-window sort by group
+            // yields exactly the canonical order (keys are unique).
+            rows.sort_by(|a, b| a.group.cmp(&b.group));
+            out.append(&mut rows);
+        }
+        self.released_to = self.released_to.max(min);
+    }
+
+    /// The smallest window any shard may still emit (the output watermark).
+    pub fn min_frontier(&self) -> WindowId {
+        self.frontiers.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Rows currently buffered (bounded by open windows × groups).
+    pub fn buffered_rows(&self) -> usize {
+        self.buffered.values().map(Vec::len).sum()
+    }
+
+    /// Append the binary encoding: per-shard frontiers, the released
+    /// watermark, and the buffered rows per window (rows written in
+    /// group-sorted order for a deterministic blob). Per-shard sequence
+    /// checks restart from zero on import — recovered workers renumber
+    /// from scratch.
+    pub fn export_state(&self, out: &mut Vec<u8>) {
+        use greta_types::codec::{put_u32, put_u64};
+        put_u32(out, self.frontiers.len() as u32);
+        for f in &self.frontiers {
+            put_u64(out, *f);
+        }
+        put_u64(out, self.released_to);
+        put_u32(out, self.buffered.len() as u32);
+        for (wid, rows) in &self.buffered {
+            put_u64(out, *wid);
+            let mut sorted: Vec<&WindowResult<N>> = rows.iter().collect();
+            sorted.sort_by(|a, b| a.group.cmp(&b.group));
+            put_u32(out, sorted.len() as u32);
+            for row in sorted {
+                crate::state::encode_window_result(row, out);
+            }
+        }
+    }
+
+    /// Rebuild a merge from state written by
+    /// [`export_state`](Self::export_state).
+    pub fn import_state(
+        r: &mut greta_types::Reader<'_>,
+    ) -> Result<ResultMerge<N>, greta_types::CodecError> {
+        let n_shards = r.seq_len(8)?;
+        let mut frontiers = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            frontiers.push(r.u64()?);
+        }
+        let released_to = r.u64()?;
+        let n_windows = r.seq_len(12)?;
+        let mut buffered = BTreeMap::new();
+        for _ in 0..n_windows {
+            let wid = r.u64()?;
+            let n_rows = r.seq_len(9)?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(crate::state::decode_window_result(r)?);
+            }
+            buffered.insert(wid, rows);
+        }
+        let last_seq = vec![0; n_shards];
+        Ok(ResultMerge {
+            frontiers,
+            released_to,
+            buffered,
+            last_seq,
+        })
+    }
+
+    /// Re-target the merge at a different shard count (resharded
+    /// recovery): buffered rows and the released watermark are kept, but
+    /// the per-shard frontiers restart at the released watermark — the new
+    /// workers report their own frontiers from the repartitioned engines,
+    /// which resume at or past every source engine's watermark.
+    pub fn reset_for_shards(&mut self, shards: usize) {
+        self.frontiers = vec![self.released_to; shards];
+        self.last_seq = vec![0; shards];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +399,81 @@ mod tests {
         assert_eq!(buf.buffered(), 2);
         buf.flush();
         assert_eq!(buf.buffered(), 0);
+    }
+
+    mod merge {
+        use super::super::ResultMerge;
+        use crate::grouping::PartitionKey;
+        use crate::results::{OutValue, WindowResult};
+        use greta_types::Value;
+
+        fn row(w: u64, g: i64) -> WindowResult<u64> {
+            WindowResult {
+                window: w,
+                group: PartitionKey(vec![Some(Value::Int(g))]),
+                values: vec![OutValue::Count(1)],
+            }
+        }
+
+        #[test]
+        fn releases_only_below_min_frontier_in_order() {
+            let mut m = ResultMerge::<u64>::new(2);
+            let mut out = Vec::new();
+            m.offer(0, 1, row(0, 3));
+            m.offer(1, 1, row(0, 1));
+            m.offer(0, 2, row(1, 3));
+            m.advance(0, 2, &mut out);
+            assert!(out.is_empty(), "shard 1 still at window 0");
+            m.advance(1, 1, &mut out);
+            // Window 0 complete: both rows, group-sorted.
+            let got: Vec<(u64, i64)> = out
+                .iter()
+                .map(|r| match &r.group.0[0] {
+                    Some(Value::Int(g)) => (r.window, *g),
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(got, vec![(0, 1), (0, 3)]);
+            assert_eq!(m.min_frontier(), 1);
+            assert_eq!(m.buffered_rows(), 1);
+            m.close(&mut out);
+            assert_eq!(out.len(), 3);
+            assert_eq!(out[2].window, 1);
+        }
+
+        #[test]
+        fn stale_frontier_updates_are_ignored() {
+            let mut m = ResultMerge::<u64>::new(1);
+            let mut out = Vec::new();
+            m.advance(0, 5, &mut out);
+            m.advance(0, 3, &mut out); // stale: must not rewind
+            assert_eq!(m.min_frontier(), 5);
+        }
+
+        #[test]
+        fn codec_roundtrip_and_reshard_reset() {
+            let mut m = ResultMerge::<u64>::new(3);
+            let mut out = Vec::new();
+            m.offer(0, 1, row(4, 2));
+            m.offer(2, 1, row(5, 7));
+            m.advance(0, 4, &mut out);
+            m.advance(1, 4, &mut out);
+            m.advance(2, 4, &mut out);
+            let mut buf = Vec::new();
+            m.export_state(&mut buf);
+            let mut got = ResultMerge::<u64>::import_state(&mut greta_types::Reader::new(&buf))
+                .expect("roundtrip");
+            assert_eq!(got.min_frontier(), 4);
+            assert_eq!(got.buffered_rows(), 2);
+            // Resharding restarts frontiers at the released watermark but
+            // keeps the buffered rows.
+            got.reset_for_shards(5);
+            assert_eq!(got.min_frontier(), 4);
+            assert_eq!(got.buffered_rows(), 2);
+            let mut rest = Vec::new();
+            got.close(&mut rest);
+            assert_eq!(rest.len(), 2);
+            assert_eq!((rest[0].window, rest[1].window), (4, 5));
+        }
     }
 }

@@ -46,6 +46,24 @@ pub struct WindowResult<N: TrendNum> {
     pub values: Vec<OutValue<N>>,
 }
 
+impl<N: TrendNum> WindowResult<N> {
+    /// The row's stable result key, `(window, group)` — the canonical
+    /// emission order. `(window, group)` identifies a row uniquely (each
+    /// group is owned by exactly one shard and a window emits one row per
+    /// group), so sorting by this key is a total order over any run's
+    /// output, whatever the shard count.
+    pub fn order_key(&self) -> (WindowId, &PartitionKey) {
+        (self.window, &self.group)
+    }
+}
+
+/// Sort rows into the canonical `(window, group)` emission order — what
+/// [`finish`](crate::executor::StreamExecutor::finish) returns under
+/// unordered emission and what `WindowOrdered` streams incrementally.
+pub fn sort_canonical<N: TrendNum>(rows: &mut [WindowResult<N>]) {
+    rows.sort_by(|a, b| a.window.cmp(&b.window).then_with(|| a.group.cmp(&b.group)));
+}
+
 /// Render a final [`AggState`] into the query's output values.
 pub fn render_aggregates<N: TrendNum>(
     state: &AggState<N>,

@@ -1,0 +1,336 @@
+//! Bounded per-group load accounting: a top-K *space-saving* sketch with
+//! decayed counters.
+//!
+//! The executor's skew detector counts routed events per `GROUP-BY` group.
+//! On a high-cardinality stream (millions of groups) an exact map grows
+//! without bound even though the detector only ever acts on the heaviest
+//! groups. [`GroupSketch`] keeps at most ~1.5 × `capacity` tracked groups:
+//! when the table overflows, the lightest entries are evicted in one batch
+//! and their largest count becomes the *floor* — the classic space-saving
+//! over-estimate that newly seen groups inherit, so a heavy group can
+//! never hide by being evicted just before it turns hot. Eviction is
+//! batched (amortized `O(log K)` per newly seen group) and fully
+//! deterministic (ties broken by group key), which keeps recovered
+//! executors replaying the exact detector decisions of the original run.
+//!
+//! Entries are keyed by the 64-bit [routing
+//! hash](crate::grouping::group_key_hash) so the hot path never
+//! materializes a [`PartitionKey`]; the key itself is interned once, the
+//! first time a group is tracked.
+
+use crate::grouping::{group_key_hash, PartitionKey};
+use greta_types::codec::{put_u32, put_u64, Reader};
+use greta_types::{CodecError, GroupStats};
+use std::collections::HashMap;
+
+/// Bounded per-group counters (events routed, graph vertices), evicting
+/// the lightest groups once more than 1.5 × `capacity` are tracked. See
+/// the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct GroupSketch {
+    /// Maximum tracked groups after a compaction; `0` = unbounded (exact).
+    capacity: usize,
+    /// Space-saving floor: the largest event count ever evicted. New
+    /// groups start from it, so `count(g) ≥ true count of g` always.
+    floor: u64,
+    /// Routing hash → (interned key, counters).
+    entries: HashMap<u64, (PartitionKey, GroupStats)>,
+}
+
+impl GroupSketch {
+    /// A sketch keeping at most `capacity` groups across compactions
+    /// (`0` = unbounded, exact counting).
+    pub fn new(capacity: usize) -> GroupSketch {
+        GroupSketch {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of groups currently tracked (may transiently exceed
+    /// `capacity` by up to 50% between compactions).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no group is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current over-estimate floor (0 until the first eviction).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Count one routed event for the group with routing hash `h`;
+    /// `mk_key` materializes the group key only when the group is seen for
+    /// the first time (the steady-state path is allocation-free).
+    pub fn bump_events(&mut self, h: u64, mk_key: impl FnOnce() -> PartitionKey) {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(h) {
+            Entry::Occupied(mut e) => e.get_mut().1.events += 1,
+            Entry::Vacant(v) => {
+                let stats = GroupStats {
+                    events: self.floor + 1,
+                    vertices: 0,
+                };
+                v.insert((mk_key(), stats));
+                self.compact_if_needed();
+            }
+        }
+    }
+
+    /// Add engine-reported live vertices to a group (the `finish`-time
+    /// load signal). Untracked groups are admitted at the floor so vertex
+    /// reporting cannot resurrect unbounded growth.
+    pub fn add_vertices(&mut self, key: &PartitionKey, n: u64) {
+        use std::collections::hash_map::Entry;
+        let h = group_key_hash(key);
+        match self.entries.entry(h) {
+            Entry::Occupied(mut e) => e.get_mut().1.vertices += n,
+            Entry::Vacant(v) => {
+                let stats = GroupStats {
+                    events: self.floor,
+                    vertices: n,
+                };
+                v.insert((key.clone(), stats));
+                self.compact_if_needed();
+            }
+        }
+    }
+
+    /// Evict down to `capacity` once the table exceeds 1.5 × `capacity`:
+    /// keep the heaviest groups (ties broken by key, so compactions are
+    /// deterministic and replay identically after recovery) and raise the
+    /// floor to the largest evicted count.
+    fn compact_if_needed(&mut self) {
+        if self.capacity == 0 || self.entries.len() <= self.capacity + self.capacity / 2 {
+            return;
+        }
+        let evicted: Vec<(u64, u64)> = {
+            let mut all: Vec<(u64, u64, &PartitionKey)> = self
+                .entries
+                .iter()
+                .map(|(&h, (k, st))| (st.events, h, k))
+                .collect();
+            all.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(b.2)));
+            all[self.capacity..]
+                .iter()
+                .map(|&(events, h, _)| (events, h))
+                .collect()
+        };
+        for (events, h) in evicted {
+            self.floor = self.floor.max(events);
+            self.entries.remove(&h);
+        }
+    }
+
+    /// The top `capacity` tracked groups (all of them when unbounded),
+    /// sorted by group key — the executor's public
+    /// [`group_stats`](crate::executor::ExecutorStats::group_stats) view,
+    /// never larger than the configured K.
+    pub fn top_sorted(&self) -> Vec<(PartitionKey, GroupStats)> {
+        let mut all: Vec<(PartitionKey, GroupStats)> = self
+            .entries
+            .values()
+            .map(|(k, st)| (k.clone(), *st))
+            .collect();
+        if self.capacity != 0 && all.len() > self.capacity {
+            all.sort_by(|a, b| b.1.events.cmp(&a.1.events).then_with(|| a.0.cmp(&b.0)));
+            all.truncate(self.capacity);
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Drain the sketch: every tracked group with its event count, hottest
+    /// first (key-tie-broken — deterministic), resetting counts *and* the
+    /// floor. The skew detector calls this once per check interval.
+    pub fn take_hottest_first(&mut self) -> Vec<(PartitionKey, u64)> {
+        let mut out: Vec<(PartitionKey, u64)> = self
+            .entries
+            .drain()
+            .map(|(_, (k, st))| (k, st.events))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        self.floor = 0;
+        out
+    }
+
+    /// Append the binary encoding: floor, then `(key, stats)` entries
+    /// sorted by key (deterministic blobs for byte-identical snapshots).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.floor);
+        let mut entries: Vec<(&PartitionKey, &GroupStats)> =
+            self.entries.values().map(|(k, st)| (k, st)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        put_u32(out, entries.len() as u32);
+        for (key, stats) in entries {
+            crate::state::encode_key(key, out);
+            stats.encode(out);
+        }
+    }
+
+    /// Rebuild a sketch with the given `capacity` from state written by
+    /// [`encode`](Self::encode) (entries are re-hashed from their keys).
+    /// If `capacity` is smaller than the snapshot's entry count (recovery
+    /// under a tighter bound), the sketch compacts immediately — the
+    /// configured bound holds from the first moment, not only after the
+    /// next newly seen group.
+    pub fn decode(capacity: usize, r: &mut Reader<'_>) -> Result<GroupSketch, CodecError> {
+        let floor = r.u64()?;
+        let n = r.seq_len(17)?;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let key = crate::state::decode_key(r)?;
+            let stats = GroupStats::decode(r)?;
+            entries.insert(group_key_hash(&key), (key, stats));
+        }
+        let mut sketch = GroupSketch {
+            capacity,
+            floor,
+            entries,
+        };
+        sketch.compact_if_needed();
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greta_types::Value;
+
+    fn key(v: i64) -> PartitionKey {
+        PartitionKey(vec![Some(Value::Int(v))])
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = GroupSketch::new(16);
+        for i in 0..10i64 {
+            for _ in 0..=i {
+                s.bump_events(group_key_hash(&key(i)), || key(i));
+            }
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.floor(), 0);
+        let total: u64 = s.top_sorted().iter().map(|(_, st)| st.events).sum();
+        assert_eq!(total, (1..=10).sum::<u64>());
+    }
+
+    #[test]
+    fn overflow_keeps_heavy_groups_and_raises_floor() {
+        // Space-saving keeps a heavy hitter distinguishable as long as its
+        // count exceeds the error bound (~tail / capacity): 1000 singleton
+        // groups over capacity 64 bounds the floor well below 100.
+        let mut s = GroupSketch::new(64);
+        // 4 heavy hitters with 100 events each…
+        for i in 0..4i64 {
+            for _ in 0..100 {
+                s.bump_events(group_key_hash(&key(i)), || key(i));
+            }
+        }
+        // …then a long tail of 1000 singletons.
+        for i in 100..1100i64 {
+            s.bump_events(group_key_hash(&key(i)), || key(i));
+        }
+        assert!(s.len() <= 96, "len {} exceeds 1.5×capacity", s.len());
+        assert!(s.floor() >= 1, "evictions must raise the floor");
+        assert!(s.floor() < 100, "floor {} swallowed the hitters", s.floor());
+        let top = s.top_sorted();
+        assert!(top.len() <= 64);
+        for i in 0..4i64 {
+            let got = top.iter().find(|(k, _)| *k == key(i));
+            let st = got.expect("heavy hitter evicted").1;
+            // Space-saving over-estimates, never under-estimates.
+            assert!(st.events >= 100, "group {i} undercounted: {}", st.events);
+        }
+    }
+
+    #[test]
+    fn counts_sum_is_exact_without_eviction() {
+        // Below capacity the sketch is an exact counter: the executor's
+        // "group counters sum to released events" invariant holds.
+        let mut s = GroupSketch::new(1024);
+        let mut n = 0u64;
+        for i in 0..50i64 {
+            for _ in 0..(i % 7 + 1) {
+                s.bump_events(group_key_hash(&key(i)), || key(i));
+                n += 1;
+            }
+        }
+        let total: u64 = s.top_sorted().iter().map(|(_, st)| st.events).sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn vertices_attach_without_unbounded_growth() {
+        let mut s = GroupSketch::new(4);
+        for i in 0..100i64 {
+            s.add_vertices(&key(i), (i % 3) as u64 + 1);
+        }
+        assert!(s.len() <= 6);
+        assert!(s.top_sorted().len() <= 4);
+    }
+
+    #[test]
+    fn take_hottest_first_is_sorted_and_resets() {
+        let mut s = GroupSketch::new(0);
+        for (g, n) in [(1i64, 5u64), (2, 9), (3, 5)] {
+            for _ in 0..n {
+                s.bump_events(group_key_hash(&key(g)), || key(g));
+            }
+        }
+        let got = s.take_hottest_first();
+        assert_eq!(
+            got,
+            vec![(key(2), 9), (key(1), 5), (key(3), 5)],
+            "hottest first, key-tie-broken"
+        );
+        assert!(s.is_empty());
+        assert_eq!(s.floor(), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_floor_and_entries() {
+        let mut s = GroupSketch::new(8);
+        for i in 0..20i64 {
+            for _ in 0..=(i % 5) {
+                s.bump_events(group_key_hash(&key(i)), || key(i));
+            }
+        }
+        s.add_vertices(&key(1), 7);
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let got = GroupSketch::decode(8, &mut Reader::new(&buf)).unwrap();
+        assert_eq!(got.floor(), s.floor());
+        assert_eq!(got.top_sorted(), s.top_sorted());
+        // Truncated blob fails cleanly.
+        assert!(GroupSketch::decode(8, &mut Reader::new(&buf[..buf.len() / 2])).is_err());
+    }
+
+    #[test]
+    fn decode_under_tighter_capacity_compacts_immediately() {
+        // Recovery with a smaller group_stats_capacity than the snapshot's
+        // entry count must enforce the new bound at decode time, not only
+        // after the next newly seen group.
+        let mut s = GroupSketch::new(0); // unbounded: track 100 groups
+        for i in 0..100i64 {
+            for _ in 0..=(i % 9) {
+                s.bump_events(group_key_hash(&key(i)), || key(i));
+            }
+        }
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let got = GroupSketch::decode(16, &mut Reader::new(&buf)).unwrap();
+        assert!(got.len() <= 16, "decode kept {} entries", got.len());
+        assert!(got.floor() >= 1, "compaction must set the floor");
+    }
+}

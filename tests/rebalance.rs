@@ -377,6 +377,141 @@ fn ungrouped_query_ignores_rebalance_config() {
 }
 
 #[test]
+fn coinciding_rebalance_and_checkpoint_barriers_are_fused() {
+    // Regression (ISSUE 5 satellite): a window close that owes both a
+    // migration and a cadence checkpoint used to run two back-to-back
+    // barrier snapshots; the coincidence is now detected and served by one
+    // fused snapshot. `barrier_snapshots` counts actual worker barriers:
+    // each standalone checkpoint and each migration costs one, a fused
+    // pair costs one total (the final finish() checkpoint snapshots the
+    // workers' own exports — no barrier at all).
+    let (reg, q) = setup();
+    let hot = colliding_groups(&reg, &q, 4, 3);
+    let events = skewed_events(&reg, 600, &hot, 29);
+    let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+    let expect = sorted(engine.run(&events).unwrap());
+    let dir = tmpdir("fused-barrier");
+    let mut durability = DurabilityConfig::new(&dir);
+    durability.snapshot_every_windows = 2; // same cadence as the detector
+    let mut exec = StreamExecutor::<f64>::new(
+        q.clone(),
+        reg.clone(),
+        ExecutorConfig {
+            shards: 4,
+            rebalance: Some(RebalanceConfig {
+                check_every_windows: 2,
+                imbalance_ratio: 1.2,
+                min_moves: 1,
+            }),
+            durability: Some(durability),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for e in &events {
+        exec.push(e.clone()).unwrap();
+        rows.extend(exec.poll_results());
+    }
+    let stats = exec.stats(); // before finish: no terminal checkpoint yet
+    assert!(stats.rebalances >= 1, "stream must migrate");
+    assert!(
+        stats.fused_barriers >= 1,
+        "coinciding cadences must fuse at least one barrier pair \
+         (rebalances={}, checkpoints={})",
+        stats.rebalances,
+        stats.checkpoints
+    );
+    assert_eq!(
+        stats.barrier_snapshots,
+        stats.rebalances + stats.checkpoints - stats.fused_barriers,
+        "each fused coincidence must save exactly one barrier snapshot"
+    );
+    rows.extend(exec.finish().unwrap());
+    assert_eq!(sorted(rows), expect);
+    // The fused snapshot is a real checkpoint: recovery resumes from it.
+    let mut recovered = StreamExecutor::<f64>::recover(
+        q,
+        reg,
+        ExecutorConfig {
+            shards: 4,
+            rebalance: Some(RebalanceConfig {
+                check_every_windows: 2,
+                imbalance_ratio: 1.2,
+                min_moves: 1,
+            }),
+            durability: Some({
+                let mut d = DurabilityConfig::new(&dir);
+                d.snapshot_every_windows = 2;
+                d
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(recovered.finish().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_stats_stay_bounded_on_high_cardinality_streams() {
+    // Regression (ISSUE 5 satellite): the per-group counters used to grow
+    // one map entry per distinct group forever. They are now a top-K +
+    // decayed-counter sketch bounded by ExecutorConfig::group_stats_capacity.
+    let (reg, q) = setup();
+    // 2500 distinct groups, each a handful of events — far past any cap.
+    let events: Vec<Event> = (0..5000u64)
+        .map(|t| {
+            EventBuilder::new(&reg, "M")
+                .unwrap()
+                .at(Time(t))
+                .set("grp", (t % 2500) as i64)
+                .unwrap()
+                .set("load", ((t * 31) % 17) as f64)
+                .unwrap()
+                .build()
+        })
+        .collect();
+    for cap in [64usize, 1024] {
+        let (rows, stats) = run(
+            &q,
+            &reg,
+            &events,
+            ExecutorConfig {
+                shards: 2,
+                rebalance: Some(aggressive()),
+                group_stats_capacity: cap,
+                ..Default::default()
+            },
+        );
+        assert!(
+            stats.group_stats.len() <= cap,
+            "cap {cap}: {} groups reported",
+            stats.group_stats.len()
+        );
+        assert!(!rows.is_empty());
+        // Tracked counts never under-estimate (space-saving property), so
+        // the reported sum can only meet or exceed an exact per-group
+        // count for the tracked survivors.
+        assert!(stats.group_stats.iter().all(|(_, s)| s.events >= 1));
+    }
+    // Results are unaffected by the sketch capacity (it only shapes the
+    // detector's signal, never the routing of a already-pinned group).
+    let a = run(
+        &q,
+        &reg,
+        &events,
+        ExecutorConfig {
+            shards: 2,
+            group_stats_capacity: 16,
+            ..Default::default()
+        },
+    );
+    let mut engine = GretaEngine::<f64>::new(q.clone(), reg.clone()).unwrap();
+    assert_eq!(a.0, sorted(engine.run(&events).unwrap()));
+}
+
+#[test]
 fn late_policy_error_still_surfaces_during_rebalanced_runs() {
     // The rebalance hook in push() must not swallow the Late error path.
     let (reg, q) = setup();
