@@ -1,0 +1,118 @@
+//! Loopback cost of the network front-end (ISSUE 7 bench).
+//!
+//! One iteration submits a fresh Q1 session over a loopback TCP
+//! connection, ingests the stock stream in batches through the binary
+//! protocol (each ack is a WAL-free group commit carrying the
+//! backpressure signal), and drains. Against the in-process
+//! `executor_throughput` numbers this isolates the wire tax: framing,
+//! codec, one thread hop into the session loop, and the ack round-trip
+//! per batch. Groups run at 1 and 4 shards so the gate catches a
+//! regression in either the protocol path or its interaction with the
+//! sharded runtime. Correctness is asserted outside the timed loop: the
+//! rows a loopback subscription delivers must equal the in-process run
+//! byte for byte.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greta_core::{EmissionMode, ExecutorConfig, StreamExecutor, WindowResult};
+use greta_query::CompiledQuery;
+use greta_server::{Client, GretaServer, SessionOptions};
+use greta_types::{Event, SchemaRegistry};
+use greta_workloads::{StockConfig, StockGen};
+
+const EVENTS: usize = 2000;
+const BATCH: usize = 256;
+
+const Q1: &str = "RETURN sector, COUNT(*) PATTERN Stock S+ \
+                  WHERE [company, sector] AND S.price > NEXT(S).price \
+                  GROUP-BY sector WITHIN 500 SLIDE 250";
+
+fn setup() -> (SchemaRegistry, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = StockGen::new(
+        StockConfig {
+            events: EVENTS,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .expect("stock generator");
+    let events = gen.generate();
+    (reg, events)
+}
+
+fn options(shards: u32) -> SessionOptions {
+    SessionOptions {
+        shards,
+        ..Default::default()
+    }
+}
+
+/// Submit + ingest + drain one session over an existing loopback address.
+fn drive(addr: std::net::SocketAddr, reg: &SchemaRegistry, events: &[Event], shards: u32) {
+    let mut client = Client::connect(addr).expect("connect");
+    let session = client.submit(Q1, reg, options(shards)).expect("submit");
+    for chunk in events.chunks(BATCH) {
+        client.ingest(session, chunk.to_vec()).expect("ingest");
+    }
+    client.drain(session).expect("drain");
+}
+
+fn in_process(reg: &SchemaRegistry, events: &[Event], shards: usize) -> Vec<WindowResult<f64>> {
+    let query = CompiledQuery::parse(Q1, reg).expect("query compiles");
+    let mut exec = StreamExecutor::<f64>::new(
+        query,
+        reg.clone(),
+        ExecutorConfig {
+            shards,
+            emission: EmissionMode::WindowOrdered,
+            ..Default::default()
+        },
+    )
+    .expect("executor");
+    let mut rows = Vec::new();
+    for e in events {
+        exec.push(e.clone()).expect("in-order");
+        rows.extend(exec.poll_results());
+    }
+    rows.extend(exec.finish().expect("finish"));
+    rows
+}
+
+fn bench_server_ingest(c: &mut Criterion) {
+    let (reg, events) = setup();
+    let server = GretaServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Acceptance outside the timed loop: a loopback subscription streams
+    // the same rows the in-process executor produces, byte for byte.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let session = client.submit(Q1, &reg, options(4)).expect("submit");
+        let sub = Client::connect(addr)
+            .expect("connect")
+            .subscribe(session)
+            .expect("subscribe");
+        for chunk in events.chunks(BATCH) {
+            client.ingest(session, chunk.to_vec()).expect("ingest");
+        }
+        client.drain(session).expect("drain");
+        let wire = sub.collect_rows().expect("rows");
+        assert!(!wire.is_empty(), "no rows over the wire");
+        assert_eq!(wire, in_process(&reg, &events, 4), "wire != in-process");
+    }
+
+    let mut g = c.benchmark_group("server_ingest");
+    g.sample_size(10);
+    for shards in [1u32, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("loopback", shards),
+            &shards,
+            |b, &shards| b.iter(|| drive(addr, &reg, &events, shards)),
+        );
+    }
+    g.finish();
+    server.shutdown().expect("shutdown");
+}
+
+criterion_group!(benches, bench_server_ingest);
+criterion_main!(benches);

@@ -275,6 +275,22 @@ pub struct ExecutorStats {
     /// Rows waiting in the result channel when
     /// [`stats`](StreamExecutor::stats) was called.
     pub result_occupancy: usize,
+    /// Ordered-merge released watermark: windows strictly below this id
+    /// have been fully released to the caller in canonical order. Only
+    /// advances under [`EmissionMode::WindowOrdered`] (0 otherwise). This
+    /// is the progress signal a downstream consumer — a cascaded executor
+    /// DAG, a network subscription — can rely on: everything below it is
+    /// final.
+    pub merge_released_to: WindowId,
+    /// Per-shard ordered-merge frontier lag: how many windows each shard's
+    /// emission frontier trails the *most advanced* shard's. A persistently
+    /// laggy entry is the shard holding the ordered stream back (rows of
+    /// windows between the frontiers are parked in the merge). Empty under
+    /// [`EmissionMode::Unordered`].
+    pub merge_frontier_lag: Vec<u64>,
+    /// Rows parked in the ordered merge waiting for slow shards (bounded
+    /// by open windows × groups). 0 under [`EmissionMode::Unordered`].
+    pub merge_buffered_rows: usize,
     /// Aggregated per-shard engine counters (populated by `finish`).
     pub engine: EngineStats,
     /// Summed per-shard peak memory in bytes (populated by `finish`).
@@ -857,12 +873,31 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// End of stream: flush the reorder buffer, close all remaining
     /// windows, take a final checkpoint (durability on), join the workers,
     /// and return the remaining rows in canonical `(window, group)` order.
-    /// Also finalizes [`stats`](Self::stats). Idempotent.
+    /// Also finalizes [`stats`](Self::stats). Idempotent. Equivalent to
+    /// [`drain`](Self::drain) — this is the historical name.
+    pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
+        self.drain()
+    }
+
+    /// Graceful stop, the serving-layer entry point: stop accepting input,
+    /// flush the reorder buffer, close all remaining windows (flushing the
+    /// ordered merge under [`EmissionMode::WindowOrdered`]), take a
+    /// terminal checkpoint (durability on), join the workers, and return
+    /// the remaining rows in canonical `(window, group)` order — without
+    /// consuming `self`, so a server can still read
+    /// [`stats`](Self::stats) and [`take_diverted`](Self::take_diverted)
+    /// afterwards. Idempotent; byte-identical to
+    /// [`finish`](Self::finish).
+    ///
+    /// With durability on, the terminal checkpoint is taken *after* every
+    /// window closed: [`recover`](Self::recover) from the same directory
+    /// resumes with the full history in its counters and nothing to
+    /// re-emit (regression-tested).
     ///
     /// Under [`EmissionMode::WindowOrdered`] the remainder comes straight
     /// off the merge — already ordered, nothing to sort (the fast path);
     /// under [`EmissionMode::Unordered`] the remainder is sorted here.
-    pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
+    pub fn drain(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
         if self.finished {
             return Ok(Vec::new());
         }
@@ -950,7 +985,53 @@ impl<N: TrendNum> StreamExecutor<N> {
         s.channel_occupancy = self.senders.iter().map(Sender::len).collect();
         s.max_channel_occupancy = self.max_occupancy;
         s.result_occupancy = self.results_rx.len();
+        if let Some(m) = &self.merge {
+            s.merge_released_to = m.released_to();
+            let frontiers = m.frontiers();
+            let max = frontiers.iter().copied().max().unwrap_or(0);
+            s.merge_frontier_lag = frontiers.iter().map(|&f| max - f).collect();
+            s.merge_buffered_rows = m.buffered_rows();
+        }
         s
+    }
+
+    /// Highest time stamp released from the reorder buffer so far (the
+    /// ingest watermark): any event pushed with a smaller stamp is late.
+    /// `None` until the first release.
+    pub fn watermark(&self) -> Option<Time> {
+        self.reorder.watermark()
+    }
+
+    /// Whether this executor runs with a write-ahead log
+    /// ([`ExecutorConfig::durability`]): when true, every event accepted
+    /// by [`push`](Self::push) was appended to the WAL before routing.
+    pub fn durability_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Number of records appended to the WAL so far. Appended is not
+    /// yet durable under [`greta_durability::FsyncPolicy`]s that buffer
+    /// between syncs — use [`sync_wal`](Self::sync_wal) for the
+    /// watermark an ingest acknowledgement can carry. `None` without
+    /// durability.
+    pub fn durable_index(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.next_index())
+    }
+
+    /// Flush and fsync the WAL, then return the durable record index:
+    /// every event whose `push` returned before the call is now
+    /// recoverable by [`recover`](Self::recover) regardless of the
+    /// configured [`greta_durability::FsyncPolicy`]. This is the
+    /// group-commit point a
+    /// server acknowledges a batch at. `Ok(None)` without durability.
+    pub fn sync_wal(&mut self) -> Result<Option<u64>, EngineError> {
+        match self.durability.as_mut() {
+            None => Ok(None),
+            Some(d) => {
+                d.wal.sync().map_err(EngineError::from)?;
+                Ok(Some(d.wal.next_index()))
+            }
+        }
     }
 
     /// Take the events diverted under [`LatePolicy::Divert`] so far.

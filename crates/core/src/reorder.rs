@@ -245,6 +245,22 @@ impl<N: TrendNum> ResultMerge<N> {
         self.frontiers.iter().copied().min().unwrap_or(0)
     }
 
+    /// Windows strictly below this are fully released to the caller — the
+    /// ordered stream's *released watermark*. This is the progress signal a
+    /// downstream consumer (a cascaded executor, a network subscription)
+    /// needs: everything below it is final and totally ordered.
+    pub fn released_to(&self) -> WindowId {
+        self.released_to
+    }
+
+    /// The per-shard emission frontiers (shard `s` will never emit a row
+    /// for a window below `frontiers()[s]`). The spread between the max
+    /// and min entry is the merge's buffering pressure: rows of windows
+    /// between them are parked waiting for the slowest shard.
+    pub fn frontiers(&self) -> &[WindowId] {
+        &self.frontiers
+    }
+
     /// Rows currently buffered (bounded by open windows × groups).
     pub fn buffered_rows(&self) -> usize {
         self.buffered.values().map(Vec::len).sum()

@@ -55,6 +55,20 @@ impl<N: TrendNum> WindowResult<N> {
     pub fn order_key(&self) -> (WindowId, &PartitionKey) {
         (self.window, &self.group)
     }
+
+    /// Append the binary encoding of this row (`window, group, values`) —
+    /// the same framing durability snapshots use, public so result rows
+    /// can cross process boundaries (the network front-end streams them).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        crate::state::encode_window_result(self, out);
+    }
+
+    /// Decode a row written by [`encode`](Self::encode).
+    pub fn decode(
+        r: &mut greta_types::Reader<'_>,
+    ) -> Result<WindowResult<N>, greta_types::CodecError> {
+        crate::state::decode_window_result(r)
+    }
 }
 
 /// Sort rows into the canonical `(window, group)` emission order — what

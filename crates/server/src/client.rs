@@ -1,0 +1,181 @@
+//! Blocking binary-protocol client: the counterpart of the server's
+//! connection loop, used by the integration tests, the load-test
+//! binary, and any embedding that wants to talk to a remote executor.
+
+use crate::protocol::{self, IngestAck, ProtoError, Request, Response, SessionOptions};
+use greta_core::WindowResult;
+use greta_types::{Event, SchemaRegistry};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures: transport/protocol errors or an `Error` frame
+/// from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Wire-level failure.
+    Proto(ProtoError),
+    /// The server answered with an `Error` frame.
+    Server(String),
+    /// The server answered with a frame the request does not expect.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::from(e))
+    }
+}
+
+/// One binary-protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and send the protocol preamble.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        protocol::write_preamble(&mut stream).map_err(ProtoError::from)?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        protocol::write_request(&mut self.stream, req)?;
+        let resp = protocol::read_response(&mut self.stream)?;
+        if let Response::Error { msg } = resp {
+            return Err(ClientError::Server(msg));
+        }
+        Ok(resp)
+    }
+
+    /// Submit a query; returns the new session id.
+    pub fn submit(
+        &mut self,
+        query: &str,
+        registry: &SchemaRegistry,
+        options: SessionOptions,
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::Submit {
+            query: query.to_string(),
+            registry: registry.clone(),
+            options,
+        })? {
+            Response::SubmitOk { session } => Ok(session),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Bind this connection to an existing session.
+    pub fn attach(&mut self, session: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Attach { session })? {
+            Response::SubmitOk { session } => Ok(session),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Push one batch of events; the ack carries the backpressure
+    /// signal — callers should pause when [`IngestAck::busy`] is set.
+    pub fn ingest(&mut self, session: u64, events: Vec<Event>) -> Result<IngestAck, ClientError> {
+        match self.call(&Request::Ingest { session, events })? {
+            Response::Ack(a) => Ok(a),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Gracefully drain a session (terminal checkpoint, subscriptions
+    /// ended).
+    pub fn drain(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Drain { session })? {
+            Response::DrainOk { .. } => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain every session and stop the server accepting new work.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the Prometheus metrics text over the binary protocol.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsText { text } => Ok(text),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Turn this connection into a result subscription. Rows stream in
+    /// wire order (canonical `(window, group)` order under the default
+    /// `WindowOrdered` emission) until the session drains.
+    pub fn subscribe(mut self, session: u64) -> Result<Subscription, ClientError> {
+        protocol::write_request(&mut self.stream, &Request::Subscribe { session })?;
+        Ok(Subscription {
+            stream: self.stream,
+            done: false,
+        })
+    }
+}
+
+/// A streaming result subscription (see [`Client::subscribe`]).
+pub struct Subscription {
+    stream: TcpStream,
+    done: bool,
+}
+
+impl Subscription {
+    /// Receive the next batch of rows; `Ok(None)` once the session has
+    /// drained and the stream ended.
+    pub fn next_rows(&mut self) -> Result<Option<Vec<WindowResult<f64>>>, ClientError> {
+        if self.done {
+            return Ok(None);
+        }
+        match protocol::read_response(&mut self.stream)? {
+            Response::Rows { rows, .. } => Ok(Some(rows)),
+            Response::End { .. } => {
+                self.done = true;
+                Ok(None)
+            }
+            Response::Error { msg } => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Collect every remaining row until the stream ends.
+    pub fn collect_rows(mut self) -> Result<Vec<WindowResult<f64>>, ClientError> {
+        let mut all = Vec::new();
+        while let Some(batch) = self.next_rows()? {
+            all.extend(batch);
+        }
+        Ok(all)
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal HTTP/1.1 handler for `GET /metrics` and `GET /healthz`.
+//!
+//! Enough of HTTP for a Prometheus scraper and a liveness probe: one
+//! request per connection, `Connection: close`, no keep-alive, request
+//! head capped at 8 KiB.
+
+use crate::server::Shared;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Serve one HTTP request on `stream` and close.
+pub(crate) fn handle(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.http_requests.fetch_add(1, Ordering::Relaxed);
+    let head = match read_head(&mut stream) {
+        Some(h) => h,
+        None => return,
+    };
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.metrics_text(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Read until the blank line ending the request head (or give up).
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    while buf.len() < MAX_HEAD_BYTES {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    String::from_utf8(buf).ok()
+}

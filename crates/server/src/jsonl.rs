@@ -1,0 +1,253 @@
+//! Newline-delimited JSON mode: one request object per line in, one
+//! response object per line out. Reuses `greta_workloads::io::json` for
+//! event/schema/value encoding so a JSON client and a JSONL file replay
+//! produce byte-identical events.
+//!
+//! Requests:
+//! `{"submit":{"query":…,"schemas":[…],"options":{…}}}` ·
+//! `{"attach":{"session":N}}` · `{"ingest":{"session":N,"events":[…]}}` ·
+//! `{"subscribe":{"session":N}}` · `{"drain":{"session":N}}` ·
+//! `{"stats":{}}` · `{"shutdown":{}}` · `{"ping":{}}`
+//!
+//! Responses: `{"submitted":{…}}` · `{"ack":{…}}` · a stream of
+//! `{"rows":{…}}` then `{"end":{…}}` for subscriptions ·
+//! `{"drained":{…}}` · `{"stats":{"text":…}}` · `{"shutdown":"ok"}` ·
+//! `{"pong":{}}` · `{"error":"…"}`.
+
+use crate::protocol::{IngestAck, SessionOptions};
+use crate::server::Shared;
+use crate::session::SubMsg;
+use greta_core::{EmissionMode, LatePolicy, OutValue, WindowResult};
+use greta_types::{Event, Schema, SchemaRegistry, Value};
+use greta_workloads::io::json::{self, Json};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Serve a JSON-line connection until it closes.
+pub(crate) fn handle(stream: TcpStream, shared: &Arc<Shared>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let reply = match serve_line(&mut writer, shared, &line) {
+            Ok(reply) => reply,
+            Err(msg) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                format!("{{\"error\":{}}}", json::str_lit(&msg))
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Handle one request line; subscription row streaming writes directly
+/// to `writer`, everything else returns the reply line.
+fn serve_line(writer: &mut TcpStream, shared: &Arc<Shared>, line: &str) -> Result<String, String> {
+    let req = json::parse(line)?;
+    let obj = req.as_object().ok_or("request must be an object")?;
+    let (verb, body) = obj.first().ok_or("empty request object")?;
+    match verb.as_str() {
+        "submit" => {
+            let query = body
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or("submit lacks `query`")?;
+            let schemas = body
+                .get("schemas")
+                .and_then(Json::as_array)
+                .ok_or("submit lacks `schemas`")?;
+            let mut reg = SchemaRegistry::new();
+            for s in schemas {
+                let schema: Schema = json::schema_from_json(s)?;
+                reg.register(schema).map_err(|e| e.to_string())?;
+            }
+            let options = match body.get("options") {
+                None => SessionOptions::default(),
+                Some(o) => options_from_json(o)?,
+            };
+            let session = shared.submit(query, reg, options)?;
+            Ok(format!("{{\"submitted\":{{\"session\":{session}}}}}"))
+        }
+        "attach" => {
+            let session = session_of(body)?;
+            let session = shared.attach(session)?;
+            Ok(format!("{{\"submitted\":{{\"session\":{session}}}}}"))
+        }
+        "ingest" => {
+            let session = session_of(body)?;
+            let events = body
+                .get("events")
+                .and_then(Json::as_array)
+                .ok_or("ingest lacks `events`")?;
+            let events: Vec<Event> = events
+                .iter()
+                .map(json::event_from_json)
+                .collect::<Result<_, _>>()?;
+            let ack = shared.ingest(session, events)?;
+            Ok(encode_ack(&ack))
+        }
+        "subscribe" => {
+            let session = session_of(body)?;
+            match shared.subscribe(session)? {
+                None => Ok(format!("{{\"end\":{{\"session\":{session}}}}}")),
+                Some(rx) => {
+                    while let Ok(SubMsg::Rows(rows)) = rx.recv() {
+                        let line = encode_rows(session, &rows);
+                        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+                        writer.flush().map_err(|e| e.to_string())?;
+                    }
+                    Ok(format!("{{\"end\":{{\"session\":{session}}}}}"))
+                }
+            }
+        }
+        "drain" => {
+            let session = session_of(body)?;
+            shared.drain_session(session)?;
+            Ok(format!("{{\"drained\":{{\"session\":{session}}}}}"))
+        }
+        "stats" => Ok(format!(
+            "{{\"stats\":{{\"text\":{}}}}}",
+            json::str_lit(&shared.metrics_text())
+        )),
+        "shutdown" => {
+            shared.drain_all()?;
+            Ok("{\"shutdown\":\"ok\"}".to_string())
+        }
+        "ping" => Ok("{\"pong\":{}}".to_string()),
+        v => Err(format!("unknown request `{v}`")),
+    }
+}
+
+fn session_of(body: &Json) -> Result<u64, String> {
+    body.get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "request lacks a numeric `session`".to_string())
+}
+
+fn options_from_json(o: &Json) -> Result<SessionOptions, String> {
+    let mut opts = SessionOptions::default();
+    if let Some(n) = o.get("shards").and_then(Json::as_u64) {
+        opts.shards = u32::try_from(n).map_err(|_| "shards out of range")?;
+    }
+    if let Some(n) = o.get("slack").and_then(Json::as_u64) {
+        opts.slack = n;
+    }
+    if let Some(p) = o.get("late_policy").and_then(Json::as_str) {
+        opts.late_policy = match p {
+            "drop" => LatePolicy::Drop,
+            "divert" => LatePolicy::Divert,
+            "error" => LatePolicy::Error,
+            p => return Err(format!("unknown late_policy `{p}`")),
+        };
+    }
+    if let Some(e) = o.get("emission").and_then(Json::as_str) {
+        opts.emission = match e {
+            "unordered" => EmissionMode::Unordered,
+            "ordered" => EmissionMode::WindowOrdered,
+            e => return Err(format!("unknown emission `{e}`")),
+        };
+    }
+    if let Some(n) = o.get("batch_size").and_then(Json::as_u64) {
+        opts.batch_size = u32::try_from(n).map_err(|_| "batch_size out of range")?;
+    }
+    if let Some(n) = o.get("channel_capacity").and_then(Json::as_u64) {
+        opts.channel_capacity = u32::try_from(n).map_err(|_| "channel_capacity out of range")?;
+    }
+    if let Some(n) = o.get("result_capacity").and_then(Json::as_u64) {
+        opts.result_capacity = u32::try_from(n).map_err(|_| "result_capacity out of range")?;
+    }
+    if let Some(d) = o.get("durability_dir").and_then(Json::as_str) {
+        opts.durability_dir = Some(d.to_string());
+    }
+    if let Some(b) = o.get("recover").and_then(Json::as_bool) {
+        opts.recover = b;
+    }
+    if let Some(n) = o.get("snapshot_every_windows").and_then(Json::as_u64) {
+        opts.snapshot_every_windows = n;
+    }
+    Ok(opts)
+}
+
+fn encode_ack(a: &IngestAck) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"ack\":{{\"session\":{},\"pushed\":{}",
+        a.session, a.pushed
+    );
+    match a.durable {
+        Some(d) => {
+            let _ = write!(out, ",\"durable\":{d}");
+        }
+        None => out.push_str(",\"durable\":null"),
+    }
+    match a.watermark {
+        Some(w) => {
+            let _ = write!(out, ",\"watermark\":{w}");
+        }
+        None => out.push_str(",\"watermark\":null"),
+    }
+    let _ = write!(out, ",\"busy\":{}}}}}", a.busy);
+    out
+}
+
+/// `{"rows":{"session":N,"rows":[{"window":…,"group":[…],"values":[…]},…]}}`
+pub(crate) fn encode_rows(session: u64, rows: &[WindowResult<f64>]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"rows\":{{\"session\":{session},\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"window\":{},\"group\":[", row.window);
+        for (j, g) in row.group.0.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match g {
+                None => out.push_str("null"),
+                Some(v) => push_wire_value(&mut out, v),
+            }
+        }
+        out.push_str("],\"values\":[");
+        for (j, v) in row.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match v {
+                OutValue::Count(n) => push_num_field(&mut out, "Count", *n),
+                OutValue::Float(x) => push_num_field(&mut out, "Float", *x),
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn push_wire_value(out: &mut String, v: &Value) {
+    json::push_value(out, v);
+}
+
+fn push_num_field(out: &mut String, tag: &str, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{{\"{tag}\":{x}}}");
+    } else {
+        let _ = write!(out, "{{\"{tag}\":null}}");
+    }
+}

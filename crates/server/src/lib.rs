@@ -1,0 +1,35 @@
+//! GRETA network front-end: serve the [`greta_core::StreamExecutor`]
+//! over TCP.
+//!
+//! One [`GretaServer`] listens on a single port and speaks three
+//! protocols, sniffed from each connection's first bytes:
+//!
+//! - **Binary** (preamble `b"GRTA"` + version): length-prefixed frames
+//!   over [`greta_types::codec`] — submit a query, ingest events with
+//!   explicit backpressure acks (WAL-durable watermark + `busy` credit
+//!   signal), subscribe to streaming results (window-ordered by
+//!   default), drain, shut down. See [`protocol`].
+//! - **JSON lines** (first byte `{`): the same operations as
+//!   newline-delimited JSON objects, events encoded exactly as
+//!   `greta_workloads::io::json` does.
+//! - **HTTP** (`GET /metrics`, `GET /healthz`): every
+//!   [`greta_core::ExecutorStats`] counter in Prometheus text format.
+//!
+//! Threading model: no async runtime — one thread per connection, one
+//! executor-owning thread per session, `std::net` throughout (the
+//! workspace is offline and vendored-deps-only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod http;
+mod jsonl;
+mod metrics;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{Client, ClientError, Subscription};
+pub use protocol::{IngestAck, ProtoError, Request, Response, SessionOptions};
+pub use server::GretaServer;

@@ -1,0 +1,419 @@
+//! The TCP front-end: a nonblocking accept loop, protocol sniffing, and
+//! the binary request/response connection loop.
+//!
+//! One port serves three protocols, told apart by peeking the first
+//! bytes of each connection: the 6-byte `GRTA` preamble selects the
+//! binary protocol, an HTTP verb selects the metrics endpoint, and `{`
+//! selects newline-delimited JSON. Each connection gets its own thread
+//! (the workspace is offline/vendored-deps-only, so no async runtime);
+//! each session gets its own executor-owning thread (see
+//! [`crate::session`]).
+
+use crate::metrics::{self, ServerMetrics, SessionMetrics};
+use crate::protocol::{self, ProtoError, Request, Response, SessionOptions};
+use crate::session::{spawn_session, SessionCmd, SessionHandle, SubMsg};
+use crate::{http, jsonl};
+use crossbeam::channel::bounded;
+use greta_query::compile::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared server state: the session registry and page-level counters.
+pub(crate) struct Shared {
+    sessions: Mutex<HashMap<u64, Arc<SessionHandle>>>,
+    next_session: AtomicU64,
+    /// Stops the accept loop.
+    stop: AtomicBool,
+    /// Refuses new sessions and ingest while a shutdown drain runs.
+    draining: AtomicBool,
+    pub(crate) connections: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) http_requests: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+        }
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<SessionHandle>, String> {
+        self.sessions
+            .lock()
+            .map_err(|_| "session registry poisoned".to_string())?
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| format!("unknown session {id}"))
+    }
+
+    /// Compile the query and start a session. Refused while draining.
+    pub(crate) fn submit(
+        &self,
+        query_text: &str,
+        registry: SchemaRegistry,
+        options: SessionOptions,
+    ) -> Result<u64, String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("server is draining; no new sessions".into());
+        }
+        let compiled =
+            CompiledQuery::parse(query_text, &registry).map_err(|e| format!("query error: {e}"))?;
+        let id = self.next_session.fetch_add(1, Ordering::SeqCst);
+        let handle = spawn_session(id, query_text.to_string(), compiled, registry, options)?;
+        self.sessions
+            .lock()
+            .map_err(|_| "session registry poisoned".to_string())?
+            .insert(id, Arc::new(handle));
+        Ok(id)
+    }
+
+    /// Check a session id exists (the `Attach` frame).
+    pub(crate) fn attach(&self, id: u64) -> Result<u64, String> {
+        self.session(id).map(|h| h.id)
+    }
+
+    /// Forward one ingest batch and wait for the ack.
+    pub(crate) fn ingest(
+        &self,
+        id: u64,
+        events: Vec<Event>,
+    ) -> Result<protocol::IngestAck, String> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err("server is draining; ingest refused".into());
+        }
+        let h = self.session(id)?;
+        if h.drained.load(Ordering::SeqCst) {
+            return Err(format!("session {id} is drained"));
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        h.cmd_tx
+            .send(SessionCmd::Ingest {
+                events,
+                reply: reply_tx,
+            })
+            .map_err(|_| format!("session {id} is gone"))?;
+        reply_rx
+            .recv()
+            .map_err(|_| format!("session {id} died during ingest"))?
+    }
+
+    /// Register a subscriber channel on a session. Returns `None` when
+    /// the session already drained (the caller should send `End`).
+    pub(crate) fn subscribe(
+        &self,
+        id: u64,
+    ) -> Result<Option<crossbeam::channel::Receiver<SubMsg>>, String> {
+        let h = self.session(id)?;
+        let (tx, rx) = SessionHandle::subscriber_channel();
+        if h.drained.load(Ordering::SeqCst) || h.cmd_tx.send(SessionCmd::Subscribe { tx }).is_err()
+        {
+            return Ok(None);
+        }
+        Ok(Some(rx))
+    }
+
+    /// Drain one session (idempotent).
+    pub(crate) fn drain_session(&self, id: u64) -> Result<(), String> {
+        self.session(id)?.drain_blocking()
+    }
+
+    /// Drain every session and refuse new work from now on.
+    pub(crate) fn drain_all(&self) -> Result<(), String> {
+        self.draining.store(true, Ordering::SeqCst);
+        let handles: Vec<Arc<SessionHandle>> = match self.sessions.lock() {
+            Ok(g) => g.values().cloned().collect(),
+            Err(_) => return Err("session registry poisoned".into()),
+        };
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.drain_blocking() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Render the Prometheus metrics page.
+    pub(crate) fn metrics_text(&self) -> String {
+        let handles: Vec<Arc<SessionHandle>> = self
+            .sessions
+            .lock()
+            .map(|g| g.values().cloned().collect())
+            .unwrap_or_default();
+        let mut rows: Vec<(u64, String, bool, greta_core::ExecutorStats)> = handles
+            .iter()
+            .map(|h| {
+                let stats = h.last_stats.lock().map(|g| g.clone()).unwrap_or_default();
+                (
+                    h.id,
+                    h.query_text.clone(),
+                    h.drained.load(Ordering::SeqCst),
+                    stats,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        let sessions: Vec<SessionMetrics<'_>> = rows
+            .iter()
+            .map(|(id, query, drained, stats)| SessionMetrics {
+                id: *id,
+                query,
+                drained: *drained,
+                stats: stats.clone(),
+            })
+            .collect();
+        metrics::render(
+            &ServerMetrics {
+                connections: self.connections.load(Ordering::Relaxed),
+                frames: self.frames.load(Ordering::Relaxed),
+                protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+                http_requests: self.http_requests.load(Ordering::Relaxed),
+                sessions: rows.len(),
+                draining: self.draining.load(Ordering::SeqCst),
+            },
+            &sessions,
+        )
+    }
+}
+
+/// A running GRETA network front-end bound to a local address.
+///
+/// Dropping the server aborts it (sessions are dropped without a drain —
+/// the crash path; with durability the WAL allows full recovery). Call
+/// [`shutdown`](Self::shutdown) for the graceful path.
+pub struct GretaServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl GretaServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<GretaServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared::new());
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("greta-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(GretaServer {
+            shared,
+            accept: Some(accept),
+            addr: local,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain every session (flush
+    /// ordered output, terminal checkpoint, end subscriptions).
+    pub fn shutdown(mut self) -> Result<(), String> {
+        let res = self.shared.drain_all();
+        self.stop_accept();
+        res
+    }
+
+    /// Abrupt stop for crash testing: drop every session without a
+    /// drain. Durable sessions leave only their WAL + last checkpoint
+    /// behind, exactly like a process kill.
+    pub fn abort(mut self) {
+        self.abort_in_place();
+    }
+
+    fn abort_in_place(&mut self) {
+        let handles: Vec<Arc<SessionHandle>> = match self.shared.sessions.lock() {
+            Ok(mut g) => g.drain().map(|(_, h)| h).collect(),
+            Err(_) => Vec::new(),
+        };
+        let joins: Vec<_> = handles
+            .iter()
+            .filter_map(|h| h.join.lock().ok().and_then(|mut g| g.take()))
+            .collect();
+        // Dropping the handles drops the command senders; session
+        // threads observe the disconnect and exit without draining.
+        // Joining afterwards makes the on-disk WAL state settled by the
+        // time abort returns — nothing mutates the durability dir later.
+        drop(handles);
+        for j in joins {
+            let _ = j.join();
+        }
+        self.stop_accept();
+    }
+
+    fn stop_accept(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for GretaServer {
+    fn drop(&mut self) {
+        self.abort_in_place();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("greta-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Peek the first bytes to pick a protocol, then run its loop.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+    let mut first = [0u8; 4];
+    loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return, // closed before a byte arrived
+            Ok(n) if n < 4 => std::thread::sleep(Duration::from_millis(1)),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1))
+            }
+            Err(_) => return,
+        }
+    }
+    if first == protocol::MAGIC {
+        binary_connection(stream, &shared);
+    } else if matches!(&first, b"GET " | b"HEAD" | b"POST" | b"PUT ") {
+        http::handle(stream, &shared);
+    } else if first[0] == b'{' {
+        jsonl::handle(stream, &shared);
+    } else {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        // Consume the peeked bytes so closing sends a clean FIN instead
+        // of an RST (unread receive-buffer data turns close into reset).
+        let mut sink = [0u8; 4];
+        let mut reader = &stream;
+        let _ = std::io::Read::read(&mut reader, &mut sink);
+    }
+}
+
+fn binary_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if protocol::read_preamble(&mut stream).is_err() {
+        shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    loop {
+        let req = match protocol::read_request(&mut stream) {
+            Ok(r) => r,
+            Err(ProtoError::Closed) => return,
+            Err(e) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    protocol::write_response(&mut stream, &Response::Error { msg: e.to_string() });
+                return;
+            }
+        };
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let keep_going = serve_request(&mut stream, shared, req);
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Serve one decoded request; returns false when the connection should
+/// close (write failure).
+fn serve_request(stream: &mut TcpStream, shared: &Arc<Shared>, req: Request) -> bool {
+    let resp = match req {
+        Request::Submit {
+            query,
+            registry,
+            options,
+        } => match shared.submit(&query, registry, options) {
+            Ok(session) => Response::SubmitOk { session },
+            Err(msg) => Response::Error { msg },
+        },
+        Request::Attach { session } => match shared.attach(session) {
+            Ok(session) => Response::SubmitOk { session },
+            Err(msg) => Response::Error { msg },
+        },
+        Request::Ingest { session, events } => match shared.ingest(session, events) {
+            Ok(ack) => Response::Ack(ack),
+            Err(msg) => Response::Error { msg },
+        },
+        Request::Subscribe { session } => {
+            return serve_subscription(stream, shared, session);
+        }
+        Request::Drain { session } => match shared.drain_session(session) {
+            Ok(()) => Response::DrainOk { session },
+            Err(msg) => Response::Error { msg },
+        },
+        Request::Shutdown => match shared.drain_all() {
+            Ok(()) => Response::ShutdownOk,
+            Err(msg) => Response::Error { msg },
+        },
+        Request::Stats => Response::StatsText {
+            text: shared.metrics_text(),
+        },
+        Request::Ping => Response::Pong,
+    };
+    protocol::write_response(stream, &resp).is_ok()
+}
+
+/// Stream `Rows` frames until the session drains (`End`), then return to
+/// the request loop.
+fn serve_subscription(stream: &mut TcpStream, shared: &Arc<Shared>, session: u64) -> bool {
+    let rx = match shared.subscribe(session) {
+        Ok(Some(rx)) => rx,
+        Ok(None) => {
+            // Already drained: nothing more will ever arrive.
+            return protocol::write_response(stream, &Response::End { session }).is_ok();
+        }
+        Err(msg) => return protocol::write_response(stream, &Response::Error { msg }).is_ok(),
+    };
+    loop {
+        match rx.recv() {
+            Ok(SubMsg::Rows(rows)) => {
+                if protocol::write_response(stream, &Response::Rows { session, rows }).is_err() {
+                    return false;
+                }
+            }
+            Ok(SubMsg::End) | Err(_) => {
+                return protocol::write_response(stream, &Response::End { session }).is_ok();
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! One session = one query = one [`StreamExecutor`] owned by a dedicated
+//! thread. Connections talk to it through a bounded command channel;
+//! subscribers get result rows fanned out over bounded channels.
+//!
+//! Backpressure is layered: the command channel bounds in-flight ingest
+//! batches, the session stops polling `poll_results()` once its pending
+//! buffer hits the high-water mark (so the executor's result channel
+//! fills and `result_occupancy` rises), and every ingest ack carries a
+//! `busy` bit computed from those occupancies — the credit signal the
+//! wire protocol's backpressure contract is built on.
+
+use crate::protocol::{IngestAck, SessionOptions};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use greta_core::{ExecutorConfig, ExecutorStats, StreamExecutor, WindowResult};
+use greta_durability::DurabilityConfig;
+use greta_query::compile::CompiledQuery;
+use greta_types::{Event, SchemaRegistry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How many in-flight ingest batches the command channel admits before
+/// connection threads block — the outermost backpressure layer.
+const CMD_CHANNEL_CAPACITY: usize = 16;
+/// Capacity of each subscriber's row channel, in row batches.
+const SUB_CHANNEL_CAPACITY: usize = 64;
+/// Rows per `Rows` frame handed to a subscriber.
+const SUB_BATCH_ROWS: usize = 256;
+
+/// Commands a connection thread can send to a session thread.
+pub(crate) enum SessionCmd {
+    /// Push events; reply with the ack (or a fatal error message).
+    Ingest {
+        /// Events in stream order.
+        events: Vec<Event>,
+        /// Ack channel (capacity 1).
+        reply: Sender<Result<IngestAck, String>>,
+    },
+    /// Register a subscriber for result rows.
+    Subscribe {
+        /// Row fan-out channel owned by the subscribing connection.
+        tx: Sender<SubMsg>,
+    },
+    /// Graceful drain; reply once the terminal checkpoint is on disk.
+    Drain {
+        /// Completion channel (capacity 1).
+        reply: Sender<Result<(), String>>,
+    },
+}
+
+/// Messages delivered to a subscriber.
+pub(crate) enum SubMsg {
+    /// A batch of result rows (canonically ordered under
+    /// [`EmissionMode::WindowOrdered`]).
+    Rows(Vec<WindowResult<f64>>),
+    /// The session drained; no more rows will follow.
+    End,
+}
+
+/// Server-side handle to a running session.
+pub(crate) struct SessionHandle {
+    pub(crate) id: u64,
+    pub(crate) query_text: String,
+    pub(crate) cmd_tx: Sender<SessionCmd>,
+    /// Stats snapshot refreshed by the session thread after every command
+    /// burst, so `/metrics` never blocks on a busy executor.
+    pub(crate) last_stats: Arc<Mutex<ExecutorStats>>,
+    /// Set once the session has drained (terminal checkpoint taken).
+    pub(crate) drained: Arc<AtomicBool>,
+    pub(crate) join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Build the [`ExecutorConfig`] a [`SessionOptions`] describes.
+pub(crate) fn executor_config(opts: &SessionOptions) -> ExecutorConfig {
+    ExecutorConfig {
+        shards: (opts.shards.max(1)) as usize,
+        slack: opts.slack,
+        late_policy: opts.late_policy,
+        emission: opts.emission,
+        batch_size: (opts.batch_size.max(1)) as usize,
+        channel_capacity: (opts.channel_capacity.max(1)) as usize,
+        result_capacity: (opts.result_capacity.max(1)) as usize,
+        durability: opts.durability_dir.as_ref().map(|d| {
+            let mut dcfg = DurabilityConfig::new(d);
+            if opts.snapshot_every_windows > 0 {
+                dcfg.snapshot_every_windows = opts.snapshot_every_windows;
+            }
+            dcfg
+        }),
+        ..ExecutorConfig::default()
+    }
+}
+
+/// Start a session: compile nothing here — the caller already compiled
+/// `query` — just spawn the owning thread and hand back the handle.
+pub(crate) fn spawn_session(
+    id: u64,
+    query_text: String,
+    query: CompiledQuery,
+    registry: SchemaRegistry,
+    opts: SessionOptions,
+) -> Result<SessionHandle, String> {
+    let config = executor_config(&opts);
+    let exec = if opts.recover {
+        StreamExecutor::<f64>::recover(query, registry.clone(), config)
+    } else {
+        StreamExecutor::<f64>::new(query, registry.clone(), config)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let (cmd_tx, cmd_rx) = bounded(CMD_CHANNEL_CAPACITY);
+    let last_stats = Arc::new(Mutex::new(exec.stats()));
+    let drained = Arc::new(AtomicBool::new(false));
+    let thread_stats = Arc::clone(&last_stats);
+    let thread_drained = Arc::clone(&drained);
+    let join = std::thread::Builder::new()
+        .name(format!("greta-session-{id}"))
+        .spawn(move || {
+            run_session(
+                id,
+                exec,
+                registry,
+                opts,
+                cmd_rx,
+                thread_stats,
+                thread_drained,
+            )
+        })
+        .map_err(|e| format!("failed to spawn session thread: {e}"))?;
+
+    Ok(SessionHandle {
+        id,
+        query_text,
+        cmd_tx,
+        last_stats,
+        drained,
+        join: Mutex::new(Some(join)),
+    })
+}
+
+struct SessionLoop {
+    id: u64,
+    exec: StreamExecutor<f64>,
+    registry: SchemaRegistry,
+    subs: Vec<Sender<SubMsg>>,
+    /// Rows polled from the executor but not yet accepted by every
+    /// subscriber (or never subscribed for — they also feed the final
+    /// drain flush).
+    pending: VecDeque<WindowResult<f64>>,
+    /// Stop polling `poll_results` past this many pending rows so the
+    /// executor's result channel backs up and `busy` trips.
+    pending_high: usize,
+    channel_capacity: usize,
+    result_capacity: usize,
+}
+
+fn run_session(
+    id: u64,
+    exec: StreamExecutor<f64>,
+    registry: SchemaRegistry,
+    opts: SessionOptions,
+    cmd_rx: Receiver<SessionCmd>,
+    last_stats: Arc<Mutex<ExecutorStats>>,
+    drained: Arc<AtomicBool>,
+) {
+    let mut s = SessionLoop {
+        id,
+        exec,
+        registry,
+        subs: Vec::new(),
+        pending: VecDeque::new(),
+        pending_high: (opts.result_capacity.max(1)) as usize,
+        channel_capacity: (opts.channel_capacity.max(1)) as usize,
+        result_capacity: (opts.result_capacity.max(1)) as usize,
+    };
+    loop {
+        let mut worked = false;
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(SessionCmd::Ingest { events, reply }) => {
+                    worked = true;
+                    let ack = s.ingest(events);
+                    let fatal = ack.is_err();
+                    // Publish before acking so a metrics scrape issued
+                    // right after the ack sees the events it covers.
+                    s.publish_stats(&last_stats);
+                    let _ = reply.send(ack);
+                    if fatal {
+                        // The executor is wedged (I/O or internal error):
+                        // end subscriptions and stop serving commands.
+                        s.broadcast_end();
+                        return;
+                    }
+                }
+                Ok(SessionCmd::Subscribe { tx }) => {
+                    worked = true;
+                    s.subs.push(tx);
+                }
+                Ok(SessionCmd::Drain { reply }) => {
+                    let res = s.drain();
+                    s.publish_stats(&last_stats);
+                    drained.store(true, Ordering::SeqCst);
+                    let _ = reply.send(res);
+                    return;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    // Server dropped the handle without draining (abort /
+                    // crash path): drop the executor as-is. With
+                    // durability the WAL stays on disk for recovery.
+                    return;
+                }
+            }
+        }
+        if s.pump() {
+            worked = true;
+        }
+        if !worked {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl SessionLoop {
+    /// Validate and push one batch, then build the ack.
+    fn ingest(&mut self, events: Vec<Event>) -> Result<IngestAck, String> {
+        for e in events {
+            self.validate(&e)?;
+            match self.exec.push(e) {
+                Ok(()) => {}
+                // Late events under LatePolicy::Error poison the batch but
+                // not the session: the executor stays usable, so report
+                // the failure and keep serving.
+                Err(greta_core::EngineError::Late { .. }) => {
+                    return Err("late event rejected (LatePolicy::Error)".into())
+                }
+                Err(e) => return Err(format!("ingest failed: {e}")),
+            }
+        }
+        self.pump();
+        // Group commit: one WAL sync per acknowledged batch, so the
+        // `durable` watermark in the ack is true even across a crash.
+        let durable = self
+            .exec
+            .sync_wal()
+            .map_err(|e| format!("wal sync failed: {e}"))?;
+        let stats = self.exec.stats();
+        Ok(IngestAck {
+            session: self.id,
+            pushed: stats.pushed,
+            durable,
+            watermark: self.exec.watermark().map(|t| t.0),
+            busy: self.busy(&stats),
+        })
+    }
+
+    /// Arity/type checks the engine's compiled accessors rely on: a frame
+    /// from the network is untrusted even when it decoded cleanly.
+    fn validate(&self, e: &Event) -> Result<(), String> {
+        if (e.type_id.0 as usize) >= self.registry.len() {
+            return Err(format!("unknown event type id {}", e.type_id.0));
+        }
+        let arity = self.registry.schema(e.type_id).attributes.len();
+        if e.attrs.len() != arity {
+            return Err(format!(
+                "event of type {} has {} attributes, schema expects {arity}",
+                self.registry.schema(e.type_id).name,
+                e.attrs.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The credit signal: busy when any executor channel (or this
+    /// session's own pending buffer) is at least half full.
+    fn busy(&self, stats: &ExecutorStats) -> bool {
+        stats.result_occupancy * 2 >= self.result_capacity
+            || self.pending.len() * 2 >= self.pending_high
+            || stats
+                .channel_occupancy
+                .iter()
+                .any(|&o| o * 2 >= self.channel_capacity)
+    }
+
+    /// Poll results (up to the high-water mark) and fan batches out to
+    /// subscribers. Returns true if anything moved.
+    fn pump(&mut self) -> bool {
+        let mut moved = false;
+        if self.pending.len() < self.pending_high {
+            let polled = self.exec.poll_results();
+            if !polled.is_empty() {
+                moved = true;
+                self.pending.extend(polled);
+            }
+        }
+        moved |= self.flush_subs(false);
+        moved
+    }
+
+    /// Push pending rows to every subscriber. A batch leaves `pending`
+    /// only once *all* live subscribers accepted it; with `block` the
+    /// sends wait for room (drain path), otherwise a full subscriber
+    /// pauses the flush (slow-consumer backpressure propagates to the
+    /// `busy` bit instead of dropping rows).
+    fn flush_subs(&mut self, block: bool) -> bool {
+        if self.subs.is_empty() {
+            return false;
+        }
+        let mut moved = false;
+        while !self.pending.is_empty() {
+            let n = self.pending.len().min(SUB_BATCH_ROWS);
+            let batch: Vec<WindowResult<f64>> = self.pending.iter().take(n).cloned().collect();
+            // Retain only subscribers that accept the batch; on a full
+            // channel in non-blocking mode, stop without consuming.
+            let mut all_accepted = true;
+            let mut alive = Vec::with_capacity(self.subs.len());
+            for tx in self.subs.drain(..) {
+                if block {
+                    if tx.send(SubMsg::Rows(batch.clone())).is_ok() {
+                        alive.push(tx);
+                    }
+                } else {
+                    match tx.try_send(SubMsg::Rows(batch.clone())) {
+                        Ok(()) => alive.push(tx),
+                        Err(crossbeam::channel::TrySendError::Full(_)) => {
+                            all_accepted = false;
+                            alive.push(tx);
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {}
+                    }
+                }
+            }
+            self.subs = alive;
+            if !all_accepted || self.subs.is_empty() {
+                // Sent to some but not all: the accepted copies are
+                // duplicates we must not re-send — only possible with >1
+                // subscriber of unequal speed; acceptable duplication is
+                // avoided by consuming only on unanimous accept, so back
+                // out without consuming and retry the same batch later.
+                break;
+            }
+            self.pending.drain(..n);
+            moved = true;
+        }
+        moved
+    }
+
+    /// Graceful drain: flush ordered output, take the terminal
+    /// checkpoint, deliver every remaining row, end subscriptions.
+    fn drain(&mut self) -> Result<(), String> {
+        match self.exec.drain() {
+            Ok(rows) => {
+                self.pending.extend(rows);
+                self.flush_subs(true);
+                self.broadcast_end();
+                Ok(())
+            }
+            Err(e) => {
+                self.broadcast_end();
+                Err(format!("drain failed: {e}"))
+            }
+        }
+    }
+
+    fn broadcast_end(&mut self) {
+        for tx in self.subs.drain(..) {
+            let _ = tx.send(SubMsg::End);
+        }
+    }
+
+    fn publish_stats(&self, last_stats: &Mutex<ExecutorStats>) {
+        if let Ok(mut g) = last_stats.lock() {
+            *g = self.exec.stats();
+        }
+    }
+}
+
+impl SessionHandle {
+    /// Subscriber channel factory (bounded: slow consumers backpressure).
+    pub(crate) fn subscriber_channel() -> (Sender<SubMsg>, Receiver<SubMsg>) {
+        bounded(SUB_CHANNEL_CAPACITY)
+    }
+
+    /// Send a drain command and wait for the terminal checkpoint. A
+    /// second drain of an already-drained session succeeds immediately.
+    pub(crate) fn drain_blocking(&self) -> Result<(), String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        if self
+            .cmd_tx
+            .send(SessionCmd::Drain { reply: reply_tx })
+            .is_err()
+        {
+            return if self.drained.load(Ordering::SeqCst) {
+                Ok(())
+            } else {
+                Err("session thread is gone without draining".into())
+            };
+        }
+        match reply_rx.recv() {
+            Ok(res) => {
+                if let Some(j) = self.join.lock().ok().and_then(|mut g| g.take()) {
+                    let _ = j.join();
+                }
+                res
+            }
+            Err(_) => {
+                if self.drained.load(Ordering::SeqCst) {
+                    Ok(())
+                } else {
+                    Err("session thread died during drain".into())
+                }
+            }
+        }
+    }
+}

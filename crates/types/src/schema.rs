@@ -49,7 +49,7 @@ impl Schema {
 /// Registration is idempotent: re-registering an identical schema returns
 /// the existing id; re-registering the same name with a *different* schema
 /// is an error ([`TypeError::DuplicateType`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchemaRegistry {
     schemas: Vec<Schema>,
     by_name: HashMap<String, TypeId>,

@@ -236,59 +236,65 @@ pub mod json {
             if i > 0 {
                 out.push(',');
             }
-            match v {
-                Value::Int(x) => write!(out, "{{\"Int\":{x}}}").expect("string write"),
-                Value::Float(x) => {
-                    if x.is_finite() {
-                        write!(out, "{{\"Float\":{x}}}").expect("string write")
-                    } else {
-                        // JSON has no Inf/NaN literals; null round-trips to NaN.
-                        out.push_str("{\"Float\":null}")
-                    }
-                }
-                Value::Str(s) => {
-                    out.push_str("{\"Str\":");
-                    push_str_lit(&mut out, s);
-                    out.push('}');
-                }
-                Value::Bool(b) => write!(out, "{{\"Bool\":{b}}}").expect("string write"),
-            }
+            push_value(&mut out, v);
         }
         out.push_str("]}");
         out
     }
 
-    /// Decode the header line into its schemas.
-    pub fn decode_registry(s: &str) -> Result<Vec<Schema>, String> {
-        let v = parse(s)?;
-        let schemas = v
-            .get("schemas")
-            .and_then(Json::as_array)
-            .ok_or("missing `schemas`")?;
-        schemas
-            .iter()
-            .map(|s| {
-                let name = s
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or("schema lacks `name`")?;
-                let attrs = s
-                    .get("attributes")
-                    .and_then(Json::as_array)
-                    .ok_or("schema lacks `attributes`")?;
-                let attrs: Vec<&str> = attrs
-                    .iter()
-                    .map(|a| a.as_str().ok_or("attribute name must be a string"))
-                    .collect::<Result<_, _>>()?;
-                Ok(Schema::new(name, &attrs))
-            })
-            .collect::<Result<Vec<Schema>, &str>>()
-            .map_err(String::from)
+    /// Append one [`Value`] in the tagged-object shape used inside event
+    /// lines (`{"Int":…}` / `{"Float":…}` / `{"Str":…}` / `{"Bool":…}`).
+    /// Public so other wire formats (the network front-end's JSON mode)
+    /// render values identically to [`encode_event`].
+    pub fn push_value(out: &mut String, v: &Value) {
+        match v {
+            Value::Int(x) => write!(out, "{{\"Int\":{x}}}").expect("string write"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    write!(out, "{{\"Float\":{x}}}").expect("string write")
+                } else {
+                    // JSON has no Inf/NaN literals; null round-trips to NaN.
+                    out.push_str("{\"Float\":null}")
+                }
+            }
+            Value::Str(s) => {
+                out.push_str("{\"Str\":");
+                push_str_lit(out, s);
+                out.push('}');
+            }
+            Value::Bool(b) => write!(out, "{{\"Bool\":{b}}}").expect("string write"),
+        }
     }
 
-    /// Decode one event line.
-    pub fn decode_event(s: &str) -> Result<Event, String> {
-        let v = parse(s)?;
+    /// Decode one tagged value object written by [`push_value`].
+    pub fn value_from_json(v: &Json) -> Result<Value, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "value must be an object".to_string())?;
+        let (tag, val) = obj
+            .first()
+            .ok_or_else(|| "empty value object".to_string())?;
+        match (tag.as_str(), val) {
+            ("Int", Json::Num(raw)) => raw
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| e.to_string()),
+            ("Float", Json::Num(raw)) => raw
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| e.to_string()),
+            ("Float", Json::Null) => Ok(Value::Float(f64::NAN)),
+            ("Str", Json::Str(s)) => Ok(Value::from(s.as_str())),
+            ("Bool", Json::Bool(b)) => Ok(Value::Bool(*b)),
+            (tag, _) => Err(format!("unknown value tag `{tag}`")),
+        }
+    }
+
+    /// Decode an already-parsed event object (the shape written by
+    /// [`encode_event`]). [`decode_event`] is the line-oriented wrapper;
+    /// this entry point serves callers that embed events inside a larger
+    /// document (the network front-end's JSON ingest frames).
+    pub fn event_from_json(v: &Json) -> Result<Event, String> {
         let time = v
             .get("time")
             .and_then(Json::as_u64)
@@ -303,30 +309,43 @@ pub mod json {
             .ok_or("event lacks `attrs`")?;
         let attrs: Vec<Value> = attrs
             .iter()
-            .map(|a| {
-                let obj = a
-                    .as_object()
-                    .ok_or_else(|| "attr must be an object".to_string())?;
-                let (tag, val) = obj.first().ok_or_else(|| "empty attr object".to_string())?;
-                match (tag.as_str(), val) {
-                    ("Int", Json::Num(raw)) => raw
-                        .parse::<i64>()
-                        .map(Value::Int)
-                        .map_err(|e| e.to_string()),
-                    ("Float", Json::Num(raw)) => raw
-                        .parse::<f64>()
-                        .map(Value::Float)
-                        .map_err(|e| e.to_string()),
-                    ("Float", Json::Null) => Ok(Value::Float(f64::NAN)),
-                    ("Str", Json::Str(s)) => Ok(Value::from(s.as_str())),
-                    ("Bool", Json::Bool(b)) => Ok(Value::Bool(*b)),
-                    (tag, _) => Err(format!("unknown value tag `{tag}`")),
-                }
-            })
+            .map(value_from_json)
             .collect::<Result<_, _>>()?;
         let type_id =
             u16::try_from(type_id).map_err(|_| format!("type_id {type_id} out of range"))?;
         Ok(Event::new_unchecked(TypeId(type_id), Time(time), attrs))
+    }
+
+    /// Decode one schema object (`{"name":…,"attributes":[…]}`).
+    pub fn schema_from_json(s: &Json) -> Result<Schema, String> {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("schema lacks `name`")?;
+        let attrs = s
+            .get("attributes")
+            .and_then(Json::as_array)
+            .ok_or("schema lacks `attributes`")?;
+        let attrs: Vec<&str> = attrs
+            .iter()
+            .map(|a| a.as_str().ok_or("attribute name must be a string"))
+            .collect::<Result<_, _>>()?;
+        Ok(Schema::new(name, &attrs))
+    }
+
+    /// Decode the header line into its schemas.
+    pub fn decode_registry(s: &str) -> Result<Vec<Schema>, String> {
+        let v = parse(s)?;
+        let schemas = v
+            .get("schemas")
+            .and_then(Json::as_array)
+            .ok_or("missing `schemas`")?;
+        schemas.iter().map(schema_from_json).collect()
+    }
+
+    /// Decode one event line.
+    pub fn decode_event(s: &str) -> Result<Event, String> {
+        event_from_json(&parse(s)?)
     }
 
     /// `s` as a JSON string literal (quoted and escaped).
@@ -370,33 +389,45 @@ pub mod json {
     }
 
     impl Json {
-        fn get(&self, key: &str) -> Option<&Json> {
+        /// Object field lookup (`None` on non-objects / missing keys).
+        pub fn get(&self, key: &str) -> Option<&Json> {
             match self {
                 Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }
-        fn as_array(&self) -> Option<&[Json]> {
+        /// The array's items, if this is an array.
+        pub fn as_array(&self) -> Option<&[Json]> {
             match self {
                 Json::Arr(a) => Some(a),
                 _ => None,
             }
         }
-        fn as_object(&self) -> Option<&[(String, Json)]> {
+        /// The object's key-value pairs in source order, if an object.
+        pub fn as_object(&self) -> Option<&[(String, Json)]> {
             match self {
                 Json::Obj(o) => Some(o),
                 _ => None,
             }
         }
-        fn as_str(&self) -> Option<&str> {
+        /// The string payload, if a string.
+        pub fn as_str(&self) -> Option<&str> {
             match self {
                 Json::Str(s) => Some(s),
                 _ => None,
             }
         }
-        fn as_u64(&self) -> Option<u64> {
+        /// The number parsed as `u64`, if a number that fits.
+        pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Json::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        }
+        /// The value as a bool, if a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
                 _ => None,
             }
         }

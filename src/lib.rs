@@ -11,5 +11,6 @@ pub use greta_bignum as bignum;
 pub use greta_core as core;
 pub use greta_durability as durability;
 pub use greta_query as query;
+pub use greta_server as server;
 pub use greta_types as types;
 pub use greta_workloads as workloads;

@@ -4,7 +4,8 @@
 //! policies, and watermark-driven window closing.
 
 use greta::core::{
-    EngineError, ExecutorConfig, GretaEngine, LatePolicy, StreamExecutor, WindowResult,
+    EmissionMode, EngineError, ExecutorConfig, GretaEngine, LatePolicy, StreamExecutor,
+    WindowResult,
 };
 use greta::query::CompiledQuery;
 use greta::types::{Event, EventBuilder, SchemaRegistry, Time};
@@ -369,6 +370,46 @@ fn run_parallel_wrapper_still_matches_engine() {
     )
     .unwrap();
     assert_eq!(rows, expect);
+}
+
+#[test]
+fn drain_is_byte_identical_to_finish() {
+    // `drain()` is the serving-layer graceful stop; `finish()` the
+    // historical end-of-stream call. Two executors over the same input
+    // must emit the exact same row sequence — not just as sets — in both
+    // emission modes, and a second `drain()` must be an empty no-op.
+    let (reg, q, events) = stock_setup(600);
+    for emission in [EmissionMode::Unordered, EmissionMode::WindowOrdered] {
+        for shards in [1usize, 4] {
+            let config = ExecutorConfig {
+                shards,
+                emission,
+                ..Default::default()
+            };
+            let mut via_finish =
+                StreamExecutor::<f64>::new(q.clone(), reg.clone(), config.clone()).unwrap();
+            let mut via_drain = StreamExecutor::<f64>::new(q.clone(), reg.clone(), config).unwrap();
+            let mut finish_rows = Vec::new();
+            let mut drain_rows = Vec::new();
+            for e in &events {
+                via_finish.push(e.clone()).unwrap();
+                via_drain.push(e.clone()).unwrap();
+                finish_rows.extend(via_finish.poll_results());
+                drain_rows.extend(via_drain.poll_results());
+            }
+            finish_rows.extend(via_finish.finish().unwrap());
+            drain_rows.extend(via_drain.drain().unwrap());
+            assert!(!finish_rows.is_empty());
+            assert_eq!(
+                drain_rows, finish_rows,
+                "emission={emission:?} shards={shards}"
+            );
+            // Idempotent, and the executor stays readable after the stop.
+            assert!(via_drain.drain().unwrap().is_empty());
+            assert!(via_drain.poll_results().is_empty());
+            assert_eq!(via_drain.stats().pushed, events.len() as u64);
+        }
+    }
 }
 
 mod props {

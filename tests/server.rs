@@ -1,0 +1,527 @@
+//! Loopback integration tests for the `greta-server` network front-end:
+//! wire ingest (binary and JSON) byte-identical to the in-process
+//! executor, ordered subscription monotonicity, backpressure under a
+//! slow consumer, graceful-drain-vs-crash recovery, the Prometheus
+//! endpoint, and malformed-frame handling.
+
+use greta::core::{EmissionMode, ExecutorConfig, StreamExecutor, WindowResult};
+use greta::durability::DurabilityConfig;
+use greta::query::CompiledQuery;
+use greta::server::{Client, GretaServer, SessionOptions};
+use greta::types::{Event, SchemaRegistry};
+use greta::workloads::io::json;
+use greta::workloads::{ClusterConfig, ClusterGen, StockConfig, StockGen};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+const Q1: &str = "RETURN sector, COUNT(*) PATTERN Stock S+ \
+                  WHERE [company, sector] AND S.price > NEXT(S).price \
+                  GROUP-BY sector WITHIN 500 SLIDE 250";
+const Q2: &str = "RETURN mapper, SUM(M.cpu) \
+                  PATTERN SEQ(Start S, Measurement M+, End E) \
+                  WHERE [job, mapper] AND M.load < NEXT(M).load \
+                  GROUP-BY mapper WITHIN 2000 SLIDE 1000";
+
+fn stock(events: usize) -> (SchemaRegistry, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = StockGen::new(
+        StockConfig {
+            events,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    (reg, events)
+}
+
+fn cluster(events: usize) -> (SchemaRegistry, Vec<Event>) {
+    let mut reg = SchemaRegistry::new();
+    let gen = ClusterGen::new(
+        ClusterConfig {
+            events,
+            mappers: 5,
+            ..Default::default()
+        },
+        &mut reg,
+    )
+    .unwrap();
+    let events = gen.generate();
+    (reg, events)
+}
+
+/// The in-process oracle: same query, same shard count, same ordered
+/// emission — rows collected across poll_results() + finish().
+fn in_process(
+    query: &str,
+    reg: &SchemaRegistry,
+    events: &[Event],
+    shards: usize,
+) -> Vec<WindowResult<f64>> {
+    let q = CompiledQuery::parse(query, reg).unwrap();
+    let mut exec = StreamExecutor::<f64>::new(
+        q,
+        reg.clone(),
+        ExecutorConfig {
+            shards,
+            emission: EmissionMode::WindowOrdered,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for e in events {
+        exec.push(e.clone()).unwrap();
+        rows.extend(exec.poll_results());
+    }
+    rows.extend(exec.finish().unwrap());
+    rows
+}
+
+fn encode_rows(rows: &[WindowResult<f64>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in rows {
+        r.encode(&mut out);
+    }
+    out
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("greta-srvtest-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn binary_ingest_byte_identical_to_in_process_q1() {
+    let (reg, events) = stock(100_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 4,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let collector = std::thread::spawn(move || sub.collect_rows().unwrap());
+
+    for chunk in events.chunks(1024) {
+        let ack = client.ingest(session, chunk.to_vec()).unwrap();
+        assert!(ack.pushed > 0);
+        assert!(ack.durable.is_none()); // no durability configured
+    }
+    client.drain(session).unwrap();
+    let wire_rows = collector.join().unwrap();
+
+    let oracle = in_process(Q1, &reg, &events, 4);
+    assert!(!oracle.is_empty());
+    assert_eq!(
+        encode_rows(&wire_rows),
+        encode_rows(&oracle),
+        "wire rows must be byte-identical to the in-process executor"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn json_ingest_byte_identical_to_in_process_q2() {
+    let (reg, events) = cluster(4000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Submit + ingest over the JSON line protocol.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut r = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream;
+    let mut line = String::new();
+
+    let schemas: Vec<String> = reg
+        .iter()
+        .map(|(_, s)| {
+            format!(
+                "{{\"name\":{},\"attributes\":[{}]}}",
+                json::str_lit(&s.name),
+                s.attributes
+                    .iter()
+                    .map(|a| json::str_lit(a))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        })
+        .collect();
+    writeln!(
+        w,
+        "{{\"submit\":{{\"query\":{},\"schemas\":[{}],\"options\":{{\"shards\":2}}}}}}",
+        json::str_lit(Q2),
+        schemas.join(",")
+    )
+    .unwrap();
+    r.read_line(&mut line).unwrap();
+    let session = json::parse(line.trim())
+        .unwrap()
+        .get("submitted")
+        .and_then(|s| s.get("session"))
+        .and_then(json::Json::as_u64)
+        .unwrap_or_else(|| panic!("bad submit reply: {line}"));
+
+    // Binary subscriber on the same session: protocols share sessions.
+    let sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let collector = std::thread::spawn(move || sub.collect_rows().unwrap());
+
+    for chunk in events.chunks(512) {
+        let evs: Vec<String> = chunk.iter().map(json::encode_event).collect();
+        writeln!(
+            w,
+            "{{\"ingest\":{{\"session\":{session},\"events\":[{}]}}}}",
+            evs.join(",")
+        )
+        .unwrap();
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ack\""), "bad ack: {line}");
+    }
+    writeln!(w, "{{\"drain\":{{\"session\":{session}}}}}").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("\"drained\""), "bad drain reply: {line}");
+
+    let wire_rows = collector.join().unwrap();
+    let oracle = in_process(Q2, &reg, &events, 2);
+    assert!(!oracle.is_empty());
+    assert_eq!(encode_rows(&wire_rows), encode_rows(&oracle));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn ordered_subscription_is_monotonic_across_batches() {
+    let (reg, events) = stock(20_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 4,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let mut sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let collector = std::thread::spawn(move || {
+        let mut batches = Vec::new();
+        while let Some(batch) = sub.next_rows().unwrap() {
+            batches.push(batch);
+        }
+        batches
+    });
+    for chunk in events.chunks(256) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+    client.drain(session).unwrap();
+    let batches = collector.join().unwrap();
+    assert!(batches.len() > 1, "want streaming, not one final batch");
+    let rows: Vec<WindowResult<f64>> = batches.into_iter().flatten().collect();
+    assert!(!rows.is_empty());
+    for pair in rows.windows(2) {
+        let a = (pair[0].window, pair[0].group.clone());
+        let b = (pair[1].window, pair[1].group.clone());
+        assert!(a < b, "rows out of canonical order: {a:?} !< {b:?}");
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn slow_consumer_trips_the_busy_signal() {
+    let (reg, events) = stock(30_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    // Tiny result channel, a row-dense query (per-company groups over
+    // short windows), and a subscriber that never reads: pending rows
+    // hit the session's high-water mark and the executor's result
+    // channel backs up, so acks must start carrying busy=true.
+    let dense = "RETURN company, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company] AND S.price > NEXT(S).price \
+                 GROUP-BY company WITHIN 50 SLIDE 25";
+    let session = client
+        .submit(
+            dense,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                result_capacity: 16,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let _stalled = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let mut saw_busy = false;
+    for chunk in events.chunks(512) {
+        if client.ingest(session, chunk.to_vec()).unwrap().busy {
+            saw_busy = true;
+            break;
+        }
+    }
+    assert!(saw_busy, "backpressure signal never tripped");
+    // The server survives: a fresh consumer can still make progress.
+    server.abort();
+}
+
+#[test]
+fn graceful_drain_leaves_recoverable_checkpoint() {
+    let (reg, events) = stock(8_000);
+    let dir = tmpdir("graceful");
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                durability_dir: Some(dir.to_string_lossy().into_owned()),
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let collector = std::thread::spawn(move || sub.collect_rows().unwrap());
+    for chunk in events.chunks(1024) {
+        let ack = client.ingest(session, chunk.to_vec()).unwrap();
+        assert!(ack.durable.is_some(), "durable watermark missing from ack");
+    }
+    client.drain(session).unwrap();
+    let wire_rows = collector.join().unwrap();
+    server.shutdown().unwrap();
+
+    // The terminal checkpoint is recoverable and complete: recovery
+    // resumes an empty stream tail (every row was already emitted).
+    let q = CompiledQuery::parse(Q1, &reg).unwrap();
+    let mut recovered = StreamExecutor::<f64>::recover(
+        q,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 2,
+            emission: EmissionMode::WindowOrdered,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let tail = recovered.finish().unwrap();
+    assert!(
+        tail.is_empty(),
+        "graceful drain checkpointed everything; recovery re-emitted {} rows",
+        tail.len()
+    );
+    let oracle = in_process(Q1, &reg, &events, 2);
+    assert_eq!(encode_rows(&wire_rows), encode_rows(&oracle));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_without_drain_recovers_from_wal() {
+    let (reg, events) = stock(8_000);
+    let dir = tmpdir("crash");
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    // Defer every checkpoint to the terminal one (which the crash then
+    // skips): recovery must replay the entire WAL and re-emit all rows.
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                durability_dir: Some(dir.to_string_lossy().into_owned()),
+                snapshot_every_windows: u64::MAX,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let mut last_durable = 0;
+    for chunk in events.chunks(1024) {
+        let ack = client.ingest(session, chunk.to_vec()).unwrap();
+        last_durable = ack.durable.expect("durable watermark");
+    }
+    assert_eq!(last_durable, events.len() as u64);
+    // Kill the server without draining: no terminal checkpoint, the WAL
+    // holds the whole stream.
+    server.abort();
+
+    let q = CompiledQuery::parse(Q1, &reg).unwrap();
+    let mut recovered = StreamExecutor::<f64>::recover(
+        q,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 2,
+            emission: EmissionMode::WindowOrdered,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rows = recovered.poll_results();
+    rows.extend(recovered.finish().unwrap());
+    let oracle = in_process(Q1, &reg, &events, 2);
+    assert_eq!(
+        encode_rows(&rows),
+        encode_rows(&oracle),
+        "crash recovery must replay the WAL to the same rows"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let (reg, events) = stock(5_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    for chunk in events.chunks(1024) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+
+    let mut http = TcpStream::connect(addr).unwrap();
+    write!(http, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+    let text = body.split("\r\n\r\n").nth(1).unwrap();
+
+    // Valid exposition format: every series line's name has HELP + TYPE.
+    let mut typed = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+        } else if !line.starts_with('#') && !line.is_empty() {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(typed.contains(name), "series {name} lacks a TYPE header");
+            let value = line.rsplit(' ').next().unwrap();
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("series {name} has non-numeric value {value}"));
+        }
+    }
+    // ≥ 12 distinct ExecutorStats-backed families with a session label.
+    let executor_families = text
+        .lines()
+        .filter(|l| l.starts_with("# TYPE greta_") && !l.starts_with("# TYPE greta_server_"))
+        .count();
+    assert!(
+        executor_families >= 12,
+        "only {executor_families} executor stat families"
+    );
+    assert!(text.contains("greta_events_pushed_total{session=\"1\"} 5000"));
+    assert!(text.contains("greta_merge_released_watermark"));
+    assert!(text.contains("greta_merge_frontier_lag_windows"));
+
+    let mut http = TcpStream::connect(addr).unwrap();
+    write!(http, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.1 200 OK"));
+    assert!(body.ends_with("ok\n"));
+
+    // The binary Stats frame serves the same document.
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("greta_events_pushed_total"));
+    server.shutdown().unwrap();
+}
+
+/// Read until EOF, tolerating a reset (the peer may close hard after an
+/// error) — returns whatever arrived first.
+fn read_all_tolerant(s: &mut TcpStream) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => return out,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+        }
+    }
+}
+
+#[test]
+fn malformed_and_oversized_frames_are_rejected() {
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Oversized length prefix after a valid preamble: Error frame, no
+    // 4 GiB allocation, connection closed.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GRTA\x01\x00").unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    s.flush().unwrap();
+    let reply = read_all_tolerant(&mut s);
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.contains("exceeds limit"), "got: {text}");
+
+    // Garbage payload under a sane length: decode error reported.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GRTA\x01\x00").unwrap();
+    s.write_all(&8u32.to_le_bytes()).unwrap();
+    s.write_all(&[0xFFu8; 8]).unwrap();
+    s.flush().unwrap();
+    let reply = read_all_tolerant(&mut s);
+    assert!(!reply.is_empty(), "server must answer before closing");
+
+    // A wrong protocol version is refused at the preamble.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GRTA\x63\x00").unwrap();
+    s.flush().unwrap();
+    read_all_tolerant(&mut s); // connection just closes
+
+    // Unknown first bytes (neither GRTA, HTTP, nor '{'): closed cleanly
+    // with nothing sent back.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"\x00\x01\x02\x03").unwrap();
+    s.flush().unwrap();
+    assert!(read_all_tolerant(&mut s).is_empty());
+
+    // The server is still healthy afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn drain_is_idempotent_and_refuses_post_drain_ingest() {
+    let (reg, events) = stock(2_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client.submit(Q1, &reg, SessionOptions::default()).unwrap();
+    client.ingest(session, events.clone()).unwrap();
+    client.drain(session).unwrap();
+    client.drain(session).unwrap(); // second drain: still DrainOk
+    let err = client.ingest(session, events).unwrap_err();
+    assert!(err.to_string().contains("drained"), "{err}");
+    // A late subscriber gets an immediate, clean end-of-stream.
+    let sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    assert!(sub.collect_rows().unwrap().is_empty());
+    server.shutdown().unwrap();
+}
