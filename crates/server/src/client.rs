@@ -94,10 +94,30 @@ impl Client {
 
     /// Push one batch of events; the ack carries the backpressure
     /// signal — callers should pause when [`IngestAck::busy`] is set.
+    ///
+    /// A batch that would encode past the protocol's frame cap is split
+    /// in half and sent as multiple frames (nothing reaches the socket
+    /// before the size check, so the split is safe); the returned ack is
+    /// the last sub-batch's, whose counters cover the whole batch.
     pub fn ingest(&mut self, session: u64, events: Vec<Event>) -> Result<IngestAck, ClientError> {
-        match self.call(&Request::Ingest { session, events })? {
-            Response::Ack(a) => Ok(a),
-            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        let req = Request::Ingest { session, events };
+        match self.call(&req) {
+            Ok(Response::Ack(a)) => Ok(a),
+            Ok(other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+            Err(ClientError::Proto(ProtoError::FrameTooLarge(n))) => {
+                let Request::Ingest { events, .. } = req else {
+                    unreachable!("req is built above as Request::Ingest");
+                };
+                if events.len() <= 1 {
+                    // A single event that cannot fit in a frame.
+                    return Err(ClientError::Proto(ProtoError::FrameTooLarge(n)));
+                }
+                let mut right = events;
+                let left: Vec<Event> = right.drain(..right.len() / 2).collect();
+                self.ingest(session, left)?;
+                self.ingest(session, right)
+            }
+            Err(e) => Err(e),
         }
     }
 

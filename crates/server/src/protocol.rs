@@ -537,7 +537,13 @@ pub fn read_preamble(r: &mut impl Read) -> Result<(), ProtoError> {
 }
 
 fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
-    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    // Refuse before writing anything: the peer would reject the frame
+    // anyway, and past u32::MAX the length prefix would silently wrap
+    // and desync the stream. Nothing has touched the socket on error,
+    // so callers may split and retry (see `Client::ingest`).
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::FrameTooLarge(payload.len() as u64));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
@@ -688,6 +694,25 @@ mod tests {
             Err(ProtoError::FrameTooLarge(n)) => assert_eq!(n, u32::MAX as u64),
             other => panic!("expected FrameTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_outbound_frame_refused_before_writing() {
+        let huge = Event::new_unchecked(
+            TypeId(0),
+            Time(1),
+            vec![Value::Str("x".repeat(MAX_FRAME_BYTES + 1).into())],
+        );
+        let req = Request::Ingest {
+            session: 1,
+            events: vec![huge],
+        };
+        let mut buf = Vec::new();
+        match write_request(&mut buf, &req) {
+            Err(ProtoError::FrameTooLarge(n)) => assert!(n as usize > MAX_FRAME_BYTES),
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        assert!(buf.is_empty(), "nothing must reach the stream on refusal");
     }
 
     #[test]

@@ -16,17 +16,32 @@ use crate::{http, jsonl};
 use crossbeam::channel::bounded;
 use greta_query::compile::CompiledQuery;
 use greta_types::{Event, SchemaRegistry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Drained sessions kept findable (idempotent drain, post-drain error
+/// messages, `/metrics` observability) before the oldest is forgotten —
+/// bounds the registry and the metrics page on a long-running server.
+const DRAINED_TAIL_MAX: usize = 16;
+/// A fresh connection must present a recognizable protocol (4 sniffable
+/// bytes) within this deadline or it is closed — no thread is pinned by
+/// a peer that connects and stalls.
+const SNIFF_DEADLINE: Duration = Duration::from_secs(2);
+/// Per-read timeout on established connections: a peer that stalls
+/// mid-frame (or idles this long between requests) is disconnected.
+const READ_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Shared server state: the session registry and page-level counters.
 pub(crate) struct Shared {
     sessions: Mutex<HashMap<u64, Arc<SessionHandle>>>,
+    /// Most recent drained sessions, oldest first (see
+    /// [`DRAINED_TAIL_MAX`]).
+    drained_tail: Mutex<VecDeque<Arc<SessionHandle>>>,
     next_session: AtomicU64,
     /// Stops the accept loop.
     stop: AtomicBool,
@@ -42,6 +57,7 @@ impl Shared {
     fn new() -> Shared {
         Shared {
             sessions: Mutex::new(HashMap::new()),
+            drained_tail: Mutex::new(VecDeque::new()),
             next_session: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -53,12 +69,35 @@ impl Shared {
     }
 
     fn session(&self, id: u64) -> Result<Arc<SessionHandle>, String> {
-        self.sessions
+        if let Some(h) = self
+            .sessions
             .lock()
             .map_err(|_| "session registry poisoned".to_string())?
             .get(&id)
-            .cloned()
+        {
+            return Ok(Arc::clone(h));
+        }
+        self.drained_tail
+            .lock()
+            .ok()
+            .and_then(|g| g.iter().find(|h| h.id == id).cloned())
             .ok_or_else(|| format!("unknown session {id}"))
+    }
+
+    /// Move a session whose thread has ended out of the live registry
+    /// into the bounded drained tail, evicting the oldest entry. Without
+    /// this a long-running server would leak one handle (query text,
+    /// stats, metrics series) per session forever.
+    fn retire(&self, id: u64) {
+        let Some(h) = self.sessions.lock().ok().and_then(|mut g| g.remove(&id)) else {
+            return;
+        };
+        if let Ok(mut tail) = self.drained_tail.lock() {
+            tail.push_back(h);
+            while tail.len() > DRAINED_TAIL_MAX {
+                tail.pop_front();
+            }
+        }
     }
 
     /// Compile the query and start a session. Refused while draining.
@@ -127,9 +166,14 @@ impl Shared {
         Ok(Some(rx))
     }
 
-    /// Drain one session (idempotent).
+    /// Drain one session (idempotent), then retire it to the bounded
+    /// drained tail.
     pub(crate) fn drain_session(&self, id: u64) -> Result<(), String> {
-        self.session(id)?.drain_blocking()
+        let res = self.session(id)?.drain_blocking();
+        // The session thread has ended (cleanly or not) — either way it
+        // no longer serves commands, so it leaves the live registry.
+        self.retire(id);
+        res
     }
 
     /// Drain every session and refuse new work from now on.
@@ -144,6 +188,7 @@ impl Shared {
             if let Err(e) = h.drain_blocking() {
                 first_err.get_or_insert(e);
             }
+            self.retire(h.id);
         }
         match first_err {
             None => Ok(()),
@@ -151,13 +196,18 @@ impl Shared {
         }
     }
 
-    /// Render the Prometheus metrics page.
+    /// Render the Prometheus metrics page: live sessions plus the
+    /// bounded tail of recently drained ones.
     pub(crate) fn metrics_text(&self) -> String {
-        let handles: Vec<Arc<SessionHandle>> = self
+        let mut handles: Vec<Arc<SessionHandle>> = self
             .sessions
             .lock()
             .map(|g| g.values().cloned().collect())
             .unwrap_or_default();
+        let live = handles.len();
+        if let Ok(tail) = self.drained_tail.lock() {
+            handles.extend(tail.iter().cloned());
+        }
         let mut rows: Vec<(u64, String, bool, greta_core::ExecutorStats)> = handles
             .iter()
             .map(|h| {
@@ -186,7 +236,7 @@ impl Shared {
                 frames: self.frames.load(Ordering::Relaxed),
                 protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
                 http_requests: self.http_requests.load(Ordering::Relaxed),
-                sessions: rows.len(),
+                sessions: live,
                 draining: self.draining.load(Ordering::SeqCst),
             },
             &sessions,
@@ -298,22 +348,32 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Peek the first bytes to pick a protocol, then run its loop.
+/// Peek the first bytes to pick a protocol, then run its loop. A peer
+/// that fails to present 4 bytes within [`SNIFF_DEADLINE`] is dropped,
+/// and established connections carry [`READ_IDLE_TIMEOUT`] so a peer
+/// stalling mid-frame cannot pin a thread forever.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let deadline = Instant::now() + SNIFF_DEADLINE;
     let mut first = [0u8; 4];
     loop {
         match stream.peek(&mut first) {
             Ok(0) => return, // closed before a byte arrived
             Ok(n) if n < 4 => std::thread::sleep(Duration::from_millis(1)),
             Ok(_) => break,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1))
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
             Err(_) => return,
         }
+        if Instant::now() >= deadline {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
     }
+    let _ = stream.set_read_timeout(Some(READ_IDLE_TIMEOUT));
     if first == protocol::MAGIC {
         binary_connection(stream, &shared);
     } else if matches!(&first, b"GET " | b"HEAD" | b"POST" | b"PUT ") {

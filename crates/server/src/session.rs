@@ -59,6 +59,28 @@ pub(crate) enum SubMsg {
     End,
 }
 
+/// How an ingest batch failed.
+///
+/// A recoverable failure rejects the batch but leaves the executor
+/// intact — the session keeps serving and the client gets an `Error`
+/// frame. A fatal failure (I/O, WAL sync, internal engine error) means
+/// the executor can no longer uphold its guarantees, so the session
+/// thread ends all subscriptions and exits.
+pub(crate) enum IngestError {
+    /// The batch was rejected; the session stays usable.
+    Recoverable(String),
+    /// The executor is wedged; the session must stop.
+    Fatal(String),
+}
+
+impl IngestError {
+    fn into_msg(self) -> String {
+        match self {
+            IngestError::Recoverable(m) | IngestError::Fatal(m) => m,
+        }
+    }
+}
+
 /// Server-side handle to a running session.
 pub(crate) struct SessionHandle {
     pub(crate) id: u64,
@@ -140,15 +162,27 @@ pub(crate) fn spawn_session(
     })
 }
 
+/// One result subscriber with its own delivery cursor, so subscribers
+/// of unequal speed each receive every row exactly once.
+struct Subscriber {
+    tx: Sender<SubMsg>,
+    /// Absolute index (rows ever polled from the executor) of the next
+    /// row this subscriber has not yet been sent.
+    next: u64,
+}
+
 struct SessionLoop {
     id: u64,
     exec: StreamExecutor<f64>,
     registry: SchemaRegistry,
-    subs: Vec<Sender<SubMsg>>,
+    subs: Vec<Subscriber>,
     /// Rows polled from the executor but not yet accepted by every
     /// subscriber (or never subscribed for — they also feed the final
     /// drain flush).
     pending: VecDeque<WindowResult<f64>>,
+    /// Absolute index of `pending[0]`: the head advances only past rows
+    /// the slowest subscriber has already received.
+    pending_base: u64,
     /// Stop polling `poll_results` past this many pending rows so the
     /// executor's result channel backs up and `busy` trips.
     pending_high: usize,
@@ -171,6 +205,7 @@ fn run_session(
         registry,
         subs: Vec::new(),
         pending: VecDeque::new(),
+        pending_base: 0,
         pending_high: (opts.result_capacity.max(1)) as usize,
         channel_capacity: (opts.channel_capacity.max(1)) as usize,
         result_capacity: (opts.result_capacity.max(1)) as usize,
@@ -182,21 +217,29 @@ fn run_session(
                 Ok(SessionCmd::Ingest { events, reply }) => {
                     worked = true;
                     let ack = s.ingest(events);
-                    let fatal = ack.is_err();
+                    let fatal = matches!(ack, Err(IngestError::Fatal(_)));
                     // Publish before acking so a metrics scrape issued
                     // right after the ack sees the events it covers.
                     s.publish_stats(&last_stats);
-                    let _ = reply.send(ack);
+                    let _ = reply.send(ack.map_err(IngestError::into_msg));
                     if fatal {
                         // The executor is wedged (I/O or internal error):
                         // end subscriptions and stop serving commands.
+                        // Recoverable rejections (validation, late events
+                        // under LatePolicy::Error) already replied with an
+                        // error and the session keeps serving.
                         s.broadcast_end();
                         return;
                     }
                 }
                 Ok(SessionCmd::Subscribe { tx }) => {
                     worked = true;
-                    s.subs.push(tx);
+                    // A new subscriber starts at the head of the retained
+                    // backlog, like every subscriber before it.
+                    s.subs.push(Subscriber {
+                        tx,
+                        next: s.pending_base,
+                    });
                 }
                 Ok(SessionCmd::Drain { reply }) => {
                     let res = s.drain();
@@ -225,18 +268,23 @@ fn run_session(
 
 impl SessionLoop {
     /// Validate and push one batch, then build the ack.
-    fn ingest(&mut self, events: Vec<Event>) -> Result<IngestAck, String> {
+    fn ingest(&mut self, events: Vec<Event>) -> Result<IngestAck, IngestError> {
         for e in events {
-            self.validate(&e)?;
+            self.validate(&e).map_err(IngestError::Recoverable)?;
             match self.exec.push(e) {
                 Ok(()) => {}
-                // Late events under LatePolicy::Error poison the batch but
-                // not the session: the executor stays usable, so report
-                // the failure and keep serving.
+                // Per-event admission rejections poison the batch but not
+                // the session: the executor stays usable, so report the
+                // failure and keep serving.
                 Err(greta_core::EngineError::Late { .. }) => {
-                    return Err("late event rejected (LatePolicy::Error)".into())
+                    return Err(IngestError::Recoverable(
+                        "late event rejected (LatePolicy::Error)".into(),
+                    ))
                 }
-                Err(e) => return Err(format!("ingest failed: {e}")),
+                Err(e @ greta_core::EngineError::OutOfOrder { .. }) => {
+                    return Err(IngestError::Recoverable(format!("ingest rejected: {e}")))
+                }
+                Err(e) => return Err(IngestError::Fatal(format!("ingest failed: {e}"))),
             }
         }
         self.pump();
@@ -245,7 +293,7 @@ impl SessionLoop {
         let durable = self
             .exec
             .sync_wal()
-            .map_err(|e| format!("wal sync failed: {e}"))?;
+            .map_err(|e| IngestError::Fatal(format!("wal sync failed: {e}")))?;
         let stats = self.exec.stats();
         Ok(IngestAck {
             session: self.id,
@@ -299,50 +347,60 @@ impl SessionLoop {
         moved
     }
 
-    /// Push pending rows to every subscriber. A batch leaves `pending`
-    /// only once *all* live subscribers accepted it; with `block` the
-    /// sends wait for room (drain path), otherwise a full subscriber
-    /// pauses the flush (slow-consumer backpressure propagates to the
-    /// `busy` bit instead of dropping rows).
+    /// Push pending rows to every subscriber, each from its own cursor,
+    /// so a fast subscriber never sees a row twice while a slow one
+    /// catches up. With `block` the sends wait for room (drain path);
+    /// otherwise a full subscriber just stops advancing its cursor
+    /// (slow-consumer backpressure propagates to the `busy` bit instead
+    /// of dropping rows). Rows leave `pending` only once the slowest
+    /// subscriber has received them.
     fn flush_subs(&mut self, block: bool) -> bool {
         if self.subs.is_empty() {
             return false;
         }
         let mut moved = false;
-        while !self.pending.is_empty() {
-            let n = self.pending.len().min(SUB_BATCH_ROWS);
-            let batch: Vec<WindowResult<f64>> = self.pending.iter().take(n).cloned().collect();
-            // Retain only subscribers that accept the batch; on a full
-            // channel in non-blocking mode, stop without consuming.
-            let mut all_accepted = true;
-            let mut alive = Vec::with_capacity(self.subs.len());
-            for tx in self.subs.drain(..) {
-                if block {
-                    if tx.send(SubMsg::Rows(batch.clone())).is_ok() {
-                        alive.push(tx);
-                    }
+        let base = self.pending_base;
+        let end = base + self.pending.len() as u64;
+        let mut alive = Vec::with_capacity(self.subs.len());
+        for mut sub in self.subs.drain(..) {
+            let mut dead = false;
+            while sub.next < end {
+                let start = (sub.next - base) as usize;
+                let n = (self.pending.len() - start).min(SUB_BATCH_ROWS);
+                let batch: Vec<WindowResult<f64>> =
+                    self.pending.iter().skip(start).take(n).cloned().collect();
+                let sent = if block {
+                    sub.tx.send(SubMsg::Rows(batch)).map_err(|_| true)
                 } else {
-                    match tx.try_send(SubMsg::Rows(batch.clone())) {
-                        Ok(()) => alive.push(tx),
-                        Err(crossbeam::channel::TrySendError::Full(_)) => {
-                            all_accepted = false;
-                            alive.push(tx);
-                        }
-                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {}
+                    sub.tx
+                        .try_send(SubMsg::Rows(batch))
+                        .map_err(|e| matches!(e, crossbeam::channel::TrySendError::Disconnected(_)))
+                };
+                match sent {
+                    Ok(()) => {
+                        sub.next += n as u64;
+                        moved = true;
+                    }
+                    Err(disconnected) => {
+                        dead = disconnected;
+                        break;
                     }
                 }
             }
-            self.subs = alive;
-            if !all_accepted || self.subs.is_empty() {
-                // Sent to some but not all: the accepted copies are
-                // duplicates we must not re-send — only possible with >1
-                // subscriber of unequal speed; acceptable duplication is
-                // avoided by consuming only on unanimous accept, so back
-                // out without consuming and retry the same batch later.
-                break;
+            if !dead {
+                alive.push(sub);
             }
-            self.pending.drain(..n);
-            moved = true;
+        }
+        self.subs = alive;
+        // Advance the shared head past everything the slowest live
+        // subscriber has received. With no subscribers left, the backlog
+        // stays for late subscribers and the final drain flush.
+        if let Some(min_next) = self.subs.iter().map(|s| s.next).min() {
+            let consumed = (min_next - base) as usize;
+            if consumed > 0 {
+                self.pending.drain(..consumed);
+                self.pending_base = min_next;
+            }
         }
         moved
     }
@@ -365,8 +423,8 @@ impl SessionLoop {
     }
 
     fn broadcast_end(&mut self) {
-        for tx in self.subs.drain(..) {
-            let _ = tx.send(SubMsg::End);
+        for sub in self.subs.drain(..) {
+            let _ = sub.tx.send(SubMsg::End);
         }
     }
 

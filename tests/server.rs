@@ -4,16 +4,17 @@
 //! slow consumer, graceful-drain-vs-crash recovery, the Prometheus
 //! endpoint, and malformed-frame handling.
 
-use greta::core::{EmissionMode, ExecutorConfig, StreamExecutor, WindowResult};
+use greta::core::{EmissionMode, ExecutorConfig, LatePolicy, StreamExecutor, WindowResult};
 use greta::durability::DurabilityConfig;
 use greta::query::CompiledQuery;
 use greta::server::{Client, GretaServer, SessionOptions};
-use greta::types::{Event, SchemaRegistry};
+use greta::types::{Event, SchemaRegistry, Time, TypeId, Value};
 use greta::workloads::io::json;
 use greta::workloads::{ClusterConfig, ClusterGen, StockConfig, StockGen};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 const Q1: &str = "RETURN sector, COUNT(*) PATTERN Stock S+ \
                   WHERE [company, sector] AND S.price > NEXT(S).price \
@@ -505,6 +506,198 @@ fn malformed_and_oversized_frames_are_rejected() {
     // The server is still healthy afterwards.
     let mut client = Client::connect(addr).unwrap();
     client.ping().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn recoverable_ingest_errors_do_not_kill_the_session() {
+    let (reg, events) = stock(10_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                late_policy: LatePolicy::Error,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let collector = std::thread::spawn(move || sub.collect_rows().unwrap());
+
+    let (first, second) = events.split_at(events.len() / 2);
+    for chunk in first.chunks(1024) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+
+    // A malformed event (unknown type id) is rejected with an Error
+    // frame, not by tearing the session down.
+    let bad = Event::new_unchecked(TypeId(99), Time(0), vec![]);
+    let err = client.ingest(session, vec![bad]).unwrap_err();
+    assert!(err.to_string().contains("unknown event type"), "{err}");
+
+    // So is a late event under LatePolicy::Error: it poisons its batch
+    // but the executor stays usable.
+    let err = client.ingest(session, vec![first[0].clone()]).unwrap_err();
+    assert!(err.to_string().contains("late"), "{err}");
+
+    // The session keeps serving: the rest of the stream flows, drain
+    // works, and the results match the clean in-process run.
+    for chunk in second.chunks(1024) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+    client.drain(session).unwrap();
+    let wire_rows = collector.join().unwrap();
+    let oracle = in_process(Q1, &reg, &events, 2);
+    assert!(!oracle.is_empty());
+    assert_eq!(encode_rows(&wire_rows), encode_rows(&oracle));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn unequal_subscribers_each_get_every_row_exactly_once() {
+    let (reg, events) = stock(20_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    // Row-dense query so the fan-out runs far ahead of a slow reader.
+    let dense = "RETURN company, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company] AND S.price > NEXT(S).price \
+                 GROUP-BY company WITHIN 50 SLIDE 25";
+    let session = client
+        .submit(
+            dense,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let fast = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let fast_t = std::thread::spawn(move || fast.collect_rows().unwrap());
+    let mut slow = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let slow_t = std::thread::spawn(move || {
+        let mut all = Vec::new();
+        while let Some(batch) = slow.next_rows().unwrap() {
+            all.extend(batch);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        all
+    });
+    for chunk in events.chunks(256) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+    client.drain(session).unwrap();
+    let fast_rows = fast_t.join().unwrap();
+    let slow_rows = slow_t.join().unwrap();
+    let oracle = in_process(dense, &reg, &events, 2);
+    assert!(!oracle.is_empty());
+    assert_eq!(
+        encode_rows(&fast_rows),
+        encode_rows(&oracle),
+        "fast subscriber must see every row exactly once, no duplicates"
+    );
+    assert_eq!(
+        encode_rows(&slow_rows),
+        encode_rows(&oracle),
+        "slow subscriber must see every row exactly once"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_ingest_batch_is_split_by_the_client() {
+    // Same schema shape the stock generator registers; the blob rides in
+    // the `kind` attribute Q1 never touches.
+    let mut reg = SchemaRegistry::new();
+    let stock_tid = reg
+        .register_type(
+            "Stock",
+            &["price", "volume", "company", "sector", "kind", "txn"],
+        )
+        .unwrap();
+    let events: Vec<Event> = (0..9u64)
+        .map(|i| {
+            Event::new_unchecked(
+                stock_tid,
+                Time(i + 1),
+                vec![
+                    Value::Float(i as f64),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Str("x".repeat(3 << 20).into()),
+                    Value::Int(i as i64),
+                ],
+            )
+        })
+        .collect();
+
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client.submit(Q1, &reg, SessionOptions::default()).unwrap();
+    // ~27 MiB encoded, beyond the 16 MiB frame cap: one ingest call must
+    // arrive as multiple frames, not a wrapped/oversized one.
+    let ack = client.ingest(session, events).unwrap();
+    assert_eq!(ack.pushed, 9);
+    client.drain(session).unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn stalled_preamble_is_disconnected_at_the_sniff_deadline() {
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GR").unwrap(); // 2 of the 4 sniff bytes, then stall
+    s.flush().unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 16];
+    match s.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("unexpected {n} bytes from a stalled connection"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "server held a stalled connection past the sniff deadline"
+    );
+    // The server is healthy afterwards.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn drained_sessions_age_out_of_the_registry() {
+    let (reg, events) = stock(100);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    for _ in 0..18 {
+        let s = client.submit(Q1, &reg, SessionOptions::default()).unwrap();
+        client.ingest(s, events.clone()).unwrap();
+        client.drain(s).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    // Recently drained sessions stay observable (bounded tail)...
+    assert!(stats.contains("drained=\"true\""), "{stats}");
+    assert!(stats.contains("session=\"18\"}"));
+    assert!(stats.contains("session=\"3\"}"));
+    // ...but the oldest are gone, so the page cannot grow forever.
+    assert!(
+        !stats.contains("session=\"1\"}"),
+        "session 1 should have been evicted from the drained tail"
+    );
+    assert!(!stats.contains("session=\"2\"}"));
+    let err = client.ingest(1, events).unwrap_err();
+    assert!(err.to_string().contains("unknown session"), "{err}");
     server.shutdown().unwrap();
 }
 
