@@ -1,66 +1,95 @@
-//! Push-based, sharded stream execution (paper §7 / §10.4 turned into a
-//! long-lived serving layer).
+//! Push-based, sharded, multi-query stream execution (paper §7 / §10.4
+//! turned into a long-lived serving layer).
 //!
 //! [`StreamExecutor`] unifies what used to be three disconnected entry
 //! points — batch [`GretaEngine::run`], fire-and-collect
 //! [`run_parallel`](crate::parallel::run_parallel), and the unwired
-//! [`ReorderBuffer`] — into one pipeline:
+//! [`ReorderBuffer`] — into one pipeline, and since the multi-query
+//! refactor one ingest plane serves N registered queries:
 //!
 //! ```text
-//!                 ┌────────────┐    hash(group key)   ┌─────────────┐
-//!  push(event) ─▶ │ ReorderBuf │ ──▶ shard router ──▶ │ shard 0..N  │──┐
-//!       │         │ (slack,    │     (Vec<EventRef>   │ GretaEngine │  │ bounded
-//!       ▼         │  late      │      frames;         └─────────────┘  │ results
-//!  WAL append     │  policy)   │      broadcast for   ┌─────────────┐  │ channel
-//!  (optional)     └────────────┘      negative types) │ shard N-1   │──┤
-//!                       └────────── watermarks ─────▶ └─────────────┘  ▼
-//!                                                 poll_results() / finish()
+//!                 ┌────────────┐  per route group   ┌──────────────────┐
+//!  push(event) ─▶ │ ReorderBuf │ ─▶ shard router ─▶ │ shard 0..N       │──┐
+//!       │         │ (slack,    │    (hash of the    │ one GretaEngine  │  │ tagged
+//!       ▼         │  late      │     group's key;   │ per (shard,query)│  │ result
+//!  WAL append     │  policy)   │     broadcast for  └──────────────────┘  │ channel
+//!  (tagged,       └────────────┘     negative types)┌──────────────────┐  │
+//!   optional)           └────── watermarks ───────▶ │ shard N-1        │──┤
+//!                                                   └──────────────────┘  ▼
+//!                                     per-query merge ─▶ poll_results_of(q)
 //! ```
 //!
-//! * **Ingestion**: events may arrive out of order up to a configurable
-//!   `slack`; later than that, the [`LatePolicy`] decides — drop (count),
-//!   divert (keep for the caller), or error.
+//! * **Ingestion** (paid once, not once per query): events may arrive out
+//!   of order up to a configurable `slack`; later than that, the
+//!   [`LatePolicy`] decides — drop (count), divert (keep for the caller),
+//!   or error. With durability on, each event is WAL-appended exactly once
+//!   no matter how many queries consume it.
+//! * **Multi-query fan-out**: besides the *primary* query passed to
+//!   [`new`](StreamExecutor::new), further queries join at runtime via
+//!   [`register_query`](StreamExecutor::register_query) and leave via
+//!   [`deregister_query`](StreamExecutor::deregister_query), each keyed by
+//!   a [`QueryId`] and carrying its own compiled plan, [`EmissionMode`],
+//!   result buffer, and (when ordered) [`ResultMerge`]. Queries whose
+//!   `GROUP-BY` keys coincide ([`StreamRouting::routes_like`]) share one
+//!   *route group*: the event is classified, hashed, and framed once for
+//!   the whole set. Each shard worker hosts one [`GretaEngine`] per
+//!   (shard, query).
 //! * **Sharding** (§7): each `GROUP-BY` group is owned by exactly one shard
 //!   worker, so per-shard results are disjoint and concatenate without
 //!   merging. Events of broadcast types (negative-pattern / sub-key types)
-//!   are delivered to every shard. Routing is deterministic: results are
-//!   independent of the shard count.
-//! * **Batching**: events are accumulated into per-shard `Vec<EventRef>`
-//!   frames ([`ExecutorConfig::batch_size`]) so channel synchronization is
-//!   paid per frame, not per event. Frames are flushed whenever full and at
-//!   every window-close boundary, so results still stream incrementally.
+//!   are delivered to every shard. Routing is deterministic: every query's
+//!   results are independent of the shard count and byte-identical to its
+//!   standalone single-query run over the same event suffix.
+//! * **Batching**: events are accumulated into per-(group, shard)
+//!   `Vec<EventRef>` frames ([`ExecutorConfig::batch_size`]) so channel
+//!   synchronization is paid per frame, not per event. Frames are flushed
+//!   whenever full and at every window-close boundary, so results still
+//!   stream incrementally.
 //! * **Zero-copy event plane**: an event is allocated once, when it enters
 //!   [`push`](StreamExecutor::push) (or arrives pre-shared via
 //!   [`push_ref`](StreamExecutor::push_ref)); everything downstream — the
 //!   reorder buffer, shard frames, the broadcast fan-out, graph vertices,
 //!   the divert buffer — holds `Arc` clones of that one allocation. A
-//!   broadcast to N shards costs N pointer bumps, not N deep copies.
-//! * **Watermarks**: whenever the released watermark crosses a window-close
-//!   boundary, buffered frames are flushed and the watermark is broadcast
-//!   so shards that received no recent events still close their windows.
+//!   broadcast to N shards (or a fan-out to M route groups) costs pointer
+//!   bumps, not deep copies.
+//! * **Watermarks**: whenever the released watermark crosses any
+//!   registered query's window-close boundary, buffered frames are flushed
+//!   and the watermark is broadcast so shards that received no recent
+//!   events still close their windows.
+//! * **Barrier protocol**: checkpoint, rebalance, register, and deregister
+//!   all use the same cut — flush buffered frames, send a barrier message
+//!   down every FIFO shard channel, install the change under a bumped
+//!   epoch. Coinciding rebalance + checkpoint barriers fuse into one
+//!   drain; register/deregister barriers bump
+//!   [`query_epoch`](StreamExecutor::query_epoch).
 //! * **Durability** (off by default): with
 //!   [`ExecutorConfig::durability`] set, every pushed event is appended to
-//!   a write-ahead log *before* routing, and every
-//!   `snapshot_every_windows` closed windows the executor checkpoints —
-//!   each shard serializes its engine ([`GretaEngine::export_state`]), the
-//!   ingest side serializes the reorder buffer and counters, the blob goes
-//!   to the snapshot store, the manifest advances, and obsolete WAL
-//!   segments are deleted. [`StreamExecutor::recover`] restores the latest
-//!   checkpoint and replays the WAL tail: the recovered executor emits
-//!   exactly the rows an uninterrupted run would have emitted after that
-//!   checkpoint (rows already emitted for earlier windows are not
-//!   repeated; rows emitted between the checkpoint and the crash are
-//!   re-emitted — results are deterministic, so an idempotent sink keyed
-//!   on `(window, group)` yields exactly-once output).
-//! * **Emission**: closed-window results flow through a bounded channel;
-//!   [`StreamExecutor::poll_results`] drains it without blocking,
-//!   [`StreamExecutor::finish`] flushes the pipeline and joins the workers.
-//!   With [`ExecutorConfig::emission`] set to
-//!   [`EmissionMode::WindowOrdered`], a cross-shard min-watermark merge
-//!   ([`ResultMerge`]) in front of the caller makes the polled stream
-//!   window-monotone in canonical `(window, group)` order — byte-identical
-//!   to the sorted unordered output, buffering bounded by open windows, no
-//!   sort at finish.
+//!   a write-ahead log *before* routing (tagged records — event /
+//!   register / deregister — so the query registry itself is replayable),
+//!   and every `snapshot_every_windows` closed windows the executor
+//!   checkpoints — each shard serializes every engine it hosts
+//!   ([`GretaEngine::export_state`]), the ingest side serializes the
+//!   reorder buffer, counters, and the query registry, the blob goes to
+//!   the snapshot store, the manifest advances, and obsolete WAL segments
+//!   are deleted. [`StreamExecutor::recover`] restores the latest
+//!   checkpoint — all registered queries included, byte-identically — and
+//!   replays the WAL tail: the recovered executor emits exactly the rows
+//!   an uninterrupted run would have emitted after that checkpoint (rows
+//!   already emitted for earlier windows are not repeated; rows emitted
+//!   between the checkpoint and the crash are re-emitted — results are
+//!   deterministic, so an idempotent sink keyed on `(window, group)`
+//!   yields exactly-once output).
+//! * **Emission**: closed-window results flow through one bounded channel,
+//!   tagged by query; [`StreamExecutor::poll_results`] drains the primary
+//!   query, [`poll_results_of`](StreamExecutor::poll_results_of) any
+//!   registered one, [`StreamExecutor::finish`] flushes the pipeline and
+//!   joins the workers. With [`EmissionMode::WindowOrdered`], a per-query
+//!   cross-shard min-watermark merge ([`ResultMerge`]) makes that query's
+//!   polled stream window-monotone in canonical `(window, group)` order —
+//!   byte-identical to the sorted unordered output — and
+//!   [`min_frontier`](StreamExecutor::min_frontier) exposes the released
+//!   watermark so one executor's ordered output can feed another
+//!   executor's input (cascaded DAGs; see `ARCHITECTURE.md`).
 
 use crate::agg::TrendNum;
 use crate::engine::{EngineConfig, EngineStats, GretaEngine};
@@ -74,7 +103,7 @@ use crate::MemoryFootprint;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
 use greta_durability::{DurabilityConfig, Manifest, SnapshotStore, TailPolicy, Wal};
 use greta_query::CompiledQuery;
-use greta_types::codec::{put_u32, put_u64, Reader};
+use greta_types::codec::{put_str, put_u32, put_u64, Reader};
 use greta_types::{CodecError, Event, EventRef, GroupStats, SchemaRegistry, Time};
 use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
@@ -93,7 +122,7 @@ pub enum LatePolicy {
     Error,
 }
 
-/// Ordering guarantee of the executor's result stream.
+/// Ordering guarantee of one query's result stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EmissionMode {
     /// Rows stream out as shards close windows: per-shard order, arbitrary
@@ -104,7 +133,7 @@ pub enum EmissionMode {
     Unordered,
     /// Rows stream out **window-monotone** in canonical `(window, group)`
     /// order: a cross-shard min-watermark merge
-    /// ([`ResultMerge`](crate::reorder::ResultMerge)) holds each window's
+    /// ([`ResultMerge`]) holds each window's
     /// rows until every shard's emission frontier has passed it. Buffering
     /// is bounded by the number of open windows; the concatenation of all
     /// [`poll_results`](StreamExecutor::poll_results) drains plus the
@@ -125,7 +154,10 @@ pub enum EmissionMode {
 /// compares the most-loaded shard against the mean. On imbalance it plans
 /// a greedy longest-processing-time reassignment of the observed groups
 /// and migrates state at a window-close barrier — results stay
-/// byte-identical to any static assignment.
+/// byte-identical to any static assignment. The detector watches the
+/// *primary* route group (the one the query passed to
+/// [`StreamExecutor::new`] routes through); registered queries that share
+/// it migrate with it, queries with their own key stay on the static hash.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebalanceConfig {
     /// Run the skew check every this many closed windows.
@@ -152,8 +184,9 @@ impl Default for RebalanceConfig {
 /// Tuning knobs for [`StreamExecutor`].
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
-    /// Shard workers. Clamped to 1 for queries without `GROUP-BY` (nothing
-    /// to partition by — the paper's scaling model). Must be ≥ 1.
+    /// Shard workers. Clamped to 1 when the *primary* query has no
+    /// `GROUP-BY` (nothing to partition by — the paper's scaling model).
+    /// Must be ≥ 1.
     pub shards: usize,
     /// Reorder slack in ticks: events may arrive up to this much behind the
     /// maximum time stamp seen and still be processed in order.
@@ -165,11 +198,12 @@ pub struct ExecutorConfig {
     /// Result channel capacity (rows; callers that never poll get
     /// backpressure once this many rows are waiting).
     pub result_capacity: usize,
-    /// Events accumulated per shard before a frame is sent (1 = a frame
-    /// per event, the pre-batching behaviour). Frames are also flushed at
-    /// every window-close boundary, so results never wait on a lazy batch.
+    /// Events accumulated per (route group, shard) before a frame is sent
+    /// (1 = a frame per event, the pre-batching behaviour). Frames are
+    /// also flushed at every window-close boundary, so results never wait
+    /// on a lazy batch.
     pub batch_size: usize,
-    /// Configuration for the per-shard engines.
+    /// Configuration for the per-shard engines (every hosted query's).
     pub engine: EngineConfig,
     /// Write-ahead log + snapshot configuration; `None` (the default) runs
     /// without any persistence.
@@ -177,8 +211,9 @@ pub struct ExecutorConfig {
     /// Dynamic shard rebalancing for skewed groups; `None` (the default)
     /// keeps the static hash assignment.
     pub rebalance: Option<RebalanceConfig>,
-    /// Result-stream ordering guarantee (default:
-    /// [`EmissionMode::Unordered`]).
+    /// The *primary* query's result-stream ordering guarantee (default:
+    /// [`EmissionMode::Unordered`]); registered queries pick theirs at
+    /// [`register_query`](StreamExecutor::register_query) time.
     pub emission: EmissionMode,
     /// Maximum groups tracked in [`ExecutorStats::group_stats`] (top-K +
     /// decayed-counter sketch; `0` = unbounded exact counting). Bounds the
@@ -206,12 +241,59 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// Identifier of one query hosted by a [`StreamExecutor`].
+///
+/// The query passed to [`StreamExecutor::new`] (or recovered as such) is
+/// the *primary* query, always [`QueryId::PRIMARY`]; every
+/// [`register_query`](StreamExecutor::register_query) call allocates the
+/// next id. Ids are never reused within one executor (or across its
+/// recoveries — the counter is checkpointed and WAL-replayed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The query the executor was constructed with.
+    pub const PRIMARY: QueryId = QueryId(0);
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Per-query counters inside [`ExecutorStats::queries`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryStreamStats {
+    /// The query's id ([`QueryId::PRIMARY`] = the constructor query).
+    pub id: QueryId,
+    /// Rows produced for this query's caller so far (drained or waiting).
+    pub rows: u64,
+    /// Rows currently buffered for
+    /// [`poll_results_of`](StreamExecutor::poll_results_of).
+    pub pending_rows: usize,
+    /// Ordered-merge released watermark: windows strictly below this id
+    /// have been fully released in canonical order (0 under
+    /// [`EmissionMode::Unordered`]).
+    pub released_to: WindowId,
+    /// Minimum cross-shard emission frontier — the window id every shard
+    /// has passed (0 under [`EmissionMode::Unordered`]).
+    pub min_frontier: WindowId,
+    /// Whether this query routes through the primary route group (same
+    /// `GROUP-BY` key plane — one classification and hash per event serves
+    /// both).
+    pub shares_primary_routing: bool,
+    /// False once the query has been deregistered (its drained rows may
+    /// still be pollable).
+    pub active: bool,
+}
+
 /// Late-event counters of one window (backpressure / data-quality metric:
 /// which windows lost input).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WindowLateCounts {
     /// The latest window that would have contained the late event
-    /// (`⌊t / slide⌋`).
+    /// (`⌊t / slide⌋`, under the primary query's slide).
     pub window: WindowId,
     /// Events dropped under [`LatePolicy::Drop`].
     pub dropped: u64,
@@ -230,11 +312,12 @@ pub struct ExecutorStats {
     pub late_dropped: u64,
     /// Late events kept under [`LatePolicy::Divert`].
     pub late_diverted: u64,
-    /// Events delivered to every shard (broadcast types).
+    /// Events delivered to every shard of the primary route group
+    /// (broadcast types).
     pub broadcasts: u64,
     /// Watermark messages broadcast to the shards.
     pub watermarks: u64,
-    /// `Vec<EventRef>` frames sent to shard queues.
+    /// `Vec<EventRef>` frames sent to shard queues (all route groups).
     pub frames: u64,
     /// Durability checkpoints completed.
     pub checkpoints: u64,
@@ -252,6 +335,13 @@ pub struct ExecutorStats {
     /// Version of the group → shard routing table (0 = the static hash
     /// assignment, bumped by every rebalance / resharded recovery).
     pub routing_epoch: u64,
+    /// Version of the query registry: bumped by every successful
+    /// [`register_query`](StreamExecutor::register_query) /
+    /// [`deregister_query`](StreamExecutor::deregister_query) barrier.
+    pub query_epoch: u64,
+    /// Per-query stream counters, ascending by [`QueryId`] — one entry per
+    /// hosted query, deregistered ones included (marked inactive).
+    pub queries: Vec<QueryStreamStats>,
     /// Per-group load counters, sorted by group key: events are counted at
     /// routing time (only when [`ExecutorConfig::rebalance`] is set — this
     /// is the skew detector's signal), live graph vertices are filled in by
@@ -260,10 +350,10 @@ pub struct ExecutorStats {
     /// (space-saving sketch: counts of tracked groups never under-estimate,
     /// light groups may be evicted on high-cardinality streams).
     pub group_stats: Vec<(PartitionKey, GroupStats)>,
-    /// Events delivered per shard (broadcasts count once per shard): the
-    /// load-balance picture. On a skewed stream the pre-rebalance max of
-    /// this vector is the parallel-throughput bottleneck; a successful
-    /// migration flattens it.
+    /// Events delivered per shard by the primary route group (broadcasts
+    /// count once per shard): the load-balance picture. On a skewed stream
+    /// the pre-rebalance max of this vector is the parallel-throughput
+    /// bottleneck; a successful migration flattens it.
     pub events_per_shard: Vec<u64>,
     /// Late drops/diverts per window, ascending by window id.
     pub late_by_window: Vec<WindowLateCounts>,
@@ -275,68 +365,101 @@ pub struct ExecutorStats {
     /// Rows waiting in the result channel when
     /// [`stats`](StreamExecutor::stats) was called.
     pub result_occupancy: usize,
-    /// Ordered-merge released watermark: windows strictly below this id
-    /// have been fully released to the caller in canonical order. Only
-    /// advances under [`EmissionMode::WindowOrdered`] (0 otherwise). This
-    /// is the progress signal a downstream consumer — a cascaded executor
-    /// DAG, a network subscription — can rely on: everything below it is
-    /// final.
+    /// The primary query's ordered-merge released watermark: windows
+    /// strictly below this id have been fully released to the caller in
+    /// canonical order. Only advances under
+    /// [`EmissionMode::WindowOrdered`] (0 otherwise). This is the progress
+    /// signal a downstream consumer — a cascaded executor DAG, a network
+    /// subscription — can rely on: everything below it is final.
     pub merge_released_to: WindowId,
-    /// Per-shard ordered-merge frontier lag: how many windows each shard's
-    /// emission frontier trails the *most advanced* shard's. A persistently
-    /// laggy entry is the shard holding the ordered stream back (rows of
-    /// windows between the frontiers are parked in the merge). Empty under
-    /// [`EmissionMode::Unordered`].
+    /// Per-shard ordered-merge frontier lag of the primary query: how many
+    /// windows each shard's emission frontier trails the *most advanced*
+    /// shard's. A persistently laggy entry is the shard holding the
+    /// ordered stream back (rows of windows between the frontiers are
+    /// parked in the merge). Empty under [`EmissionMode::Unordered`].
     pub merge_frontier_lag: Vec<u64>,
-    /// Rows parked in the ordered merge waiting for slow shards (bounded
-    /// by open windows × groups). 0 under [`EmissionMode::Unordered`].
+    /// Rows parked in the primary query's ordered merge waiting for slow
+    /// shards (bounded by open windows × groups). 0 under
+    /// [`EmissionMode::Unordered`].
     pub merge_buffered_rows: usize,
-    /// Aggregated per-shard engine counters (populated by `finish`).
+    /// Aggregated per-shard engine counters, summed over every hosted
+    /// query's engines (populated by `finish`).
     pub engine: EngineStats,
     /// Summed per-shard peak memory in bytes (populated by `finish`).
     pub peak_memory_bytes: usize,
 }
 
+/// One shard's serialized engine states: one `(query id, blob)` per
+/// hosted query, in registry order.
+type QueryBlobs = Vec<(u32, Vec<u8>)>;
+
 enum Msg<N: TrendNum> {
-    /// A batch of in-order shared events for one shard (broadcast frames
-    /// carry `Arc` clones of the same allocations).
-    Events(Vec<EventRef>),
-    /// Close every window ending at or before this time.
+    /// A batch of in-order shared events for one shard, tagged with the
+    /// route group it was framed for (broadcast frames carry `Arc` clones
+    /// of the same allocations). Only engines of queries in that group
+    /// process it.
+    Events { group: u32, frame: Vec<EventRef> },
+    /// Close every window ending at or before this time (all queries).
     Watermark(Time),
-    /// Serialize engine state and reply with `(shard, blob)`. Acts as a
-    /// barrier: the state covers exactly the messages queued before it.
-    Snapshot(Sender<(usize, Vec<u8>)>),
-    /// Replace the shard's engine with a repartitioned one (the commit step
-    /// of a barrier migration). Channels are FIFO, so every frame routed
-    /// under the new table is processed by the new engine.
-    Install(Box<GretaEngine<N>>),
+    /// Serialize every hosted engine's state and reply with
+    /// `(shard, [(query, blob)])`. Acts as a barrier: the states cover
+    /// exactly the messages queued before it.
+    Snapshot(Sender<(usize, QueryBlobs)>),
+    /// Replace one query's engine on this shard with a repartitioned one
+    /// (the commit step of a barrier migration). Channels are FIFO, so
+    /// every frame routed under the new table is processed by the new
+    /// engine.
+    Install {
+        query: u32,
+        engine: Box<GretaEngine<N>>,
+    },
+    /// Register-barrier commit: host one more query's engine on this
+    /// shard. FIFO channels guarantee the new engine sees exactly the
+    /// frames routed after the registration cut.
+    AddQuery {
+        query: u32,
+        group: u32,
+        ordered: bool,
+        engine: Box<GretaEngine<N>>,
+        ack: Sender<usize>,
+    },
+    /// Deregister-barrier commit: finish and drop one query's engine,
+    /// emitting its remaining rows (tagged) before acknowledging.
+    RemoveQuery { query: u32, ack: Sender<usize> },
 }
 
 /// What shard workers put on the result channel.
 enum OutMsg<N: TrendNum> {
-    /// One result row, stamped with the emitting shard and its per-shard
-    /// emission sequence number (strictly increasing; the ordered merge's
-    /// sanity check).
+    /// One result row, stamped with the owning query, the emitting shard,
+    /// and that (query, shard)'s emission sequence number (strictly
+    /// increasing; the ordered merge's sanity check).
     Row {
+        query: u32,
         shard: u32,
         seq: u64,
         row: WindowResult<N>,
     },
-    /// The shard's emission frontier advanced: it will never emit a row
-    /// for a window below `next_window`. Sent after the rows it covers
-    /// (per-sender FIFO), so the merge never releases a window ahead of
-    /// its rows.
-    Frontier { shard: u32, next_window: WindowId },
+    /// One (query, shard)'s emission frontier advanced: that engine will
+    /// never emit a row for a window below `next_window`. Sent after the
+    /// rows it covers (per-sender FIFO), so the merge never releases a
+    /// window ahead of its rows.
+    Frontier {
+        query: u32,
+        shard: u32,
+        next_window: WindowId,
+    },
 }
 
 struct WorkerReport {
     stats: EngineStats,
     peak_bytes: usize,
-    /// Live graph vertices per group (skew reporting).
+    /// Live graph vertices per group of the *primary* query's engine
+    /// (skew reporting).
     group_vertices: Vec<(PartitionKey, u64)>,
-    /// Post-`finish` engine state, exported when durability is on so the
-    /// terminal checkpoint reflects a fully-closed stream.
-    final_state: Option<Vec<u8>>,
+    /// Post-`finish` engine states per hosted query, exported when
+    /// durability is on so the terminal checkpoint reflects a
+    /// fully-closed stream.
+    final_states: Option<Vec<(u32, Vec<u8>)>>,
 }
 
 /// Durability runtime: open WAL + snapshot store + checkpoint bookkeeping.
@@ -348,6 +471,97 @@ struct DurabilityState {
     epoch: u64,
     /// Reused WAL-record encode buffer.
     record_buf: Vec<u8>,
+}
+
+/// WAL record tags (first byte of every record since WAL format 2 — the
+/// multi-query registry). `replay` dispatches on them; an event record is
+/// the tag followed by the plain event encoding.
+const WAL_EVENT: u8 = 0;
+/// `[tag, u32 query id, u8 emission, str query text]`.
+const WAL_REGISTER: u8 = 1;
+/// `[tag, u32 query id]`.
+const WAL_DEREGISTER: u8 = 2;
+
+/// One hosted query: its plan, result shaping, and caller-facing buffers.
+struct QuerySlot<N: TrendNum> {
+    id: u32,
+    /// Source text; `None` for the primary query (constructed from an
+    /// already-compiled plan). Registered queries always carry it — it is
+    /// what WAL replay and snapshots recompile from.
+    text: Option<String>,
+    /// Plan + schemas, kept to rebuild shard engines during barrier
+    /// migrations and resharded recovery.
+    query: CompiledQuery,
+    emission: EmissionMode,
+    /// Index into the executor's route groups.
+    group: u32,
+    /// Rows ready for this query's caller: under unordered emission,
+    /// whatever was drained off the result channel; under
+    /// [`EmissionMode::WindowOrdered`], rows the merge released — in
+    /// canonical order.
+    pending: Vec<WindowResult<N>>,
+    /// Cross-shard min-watermark merge; `Some` iff this query's emission
+    /// mode is [`EmissionMode::WindowOrdered`].
+    merge: Option<ResultMerge<N>>,
+    /// Window-close boundary index already broadcast for this query
+    /// (⌊(wm−within)/slide⌋).
+    last_close_idx: Option<u64>,
+    window_within: u64,
+    window_slide: u64,
+    /// Rows produced for the caller so far (drained + pending).
+    rows: u64,
+    /// False once deregistered (pending rows may still be polled).
+    active: bool,
+}
+
+/// One routed event plane: queries whose `GROUP-BY` keys coincide share a
+/// group, so classification, hashing, and framing are paid once for all of
+/// them.
+struct RouteGroup {
+    routing: StreamRouting,
+    /// Versioned group → shard overrides; empty = pure hash routing. Only
+    /// group 0 (the primary's) is ever rebalanced.
+    table: RoutingTable,
+    /// Per-shard event frames not yet sent.
+    batch_bufs: Vec<Vec<EventRef>>,
+    /// Active queries routing through this group (0 = the group is
+    /// dormant and skipped by the router).
+    members: usize,
+}
+
+/// Per-query bring-up bundle handed to [`StreamExecutor::assemble`].
+struct SlotInit<N: TrendNum> {
+    id: u32,
+    text: Option<String>,
+    query: CompiledQuery,
+    emission: EmissionMode,
+    routing: StreamRouting,
+    engines: Vec<GretaEngine<N>>,
+}
+
+/// Worker-side pairing of one hosted query with its engine.
+struct EngineSlot<N: TrendNum> {
+    query: u32,
+    group: u32,
+    ordered: bool,
+    engine: GretaEngine<N>,
+    /// Per-(query, shard) emission counter (rows are stamped with it).
+    seq: u64,
+    /// Last emission frontier sent for this slot.
+    frontier: WindowId,
+}
+
+/// Everything [`StreamExecutor::recover`] restores from a snapshot blob
+/// for one registered (non-primary) query.
+struct ExtraParts<N: TrendNum> {
+    id: u32,
+    text: String,
+    emission: EmissionMode,
+    last_close_idx: Option<u64>,
+    rows: u64,
+    pending: Vec<WindowResult<N>>,
+    merge: Option<ResultMerge<N>>,
+    shard_states: Vec<Vec<u8>>,
 }
 
 /// Everything [`StreamExecutor::recover`] restores from a snapshot blob
@@ -366,32 +580,45 @@ struct SnapshotParts<N: TrendNum> {
     pending: Vec<WindowResult<N>>,
     merge: Option<ResultMerge<N>>,
     shard_states: Vec<Vec<u8>>,
+    next_query_id: u32,
+    query_epoch: u64,
+    extras: Vec<ExtraParts<N>>,
 }
 
-/// Bumped to 4 with ordered emission: snapshots now record the emission
-/// mode, the ordered-merge frontier state (so a recovered run resumes the
-/// same window-monotone stream), the sketch floors of the bounded
-/// per-group counters, and the barrier counters. Snapshots taken by older
-/// revisions are rejected instead of being silently misread.
-const SNAPSHOT_VERSION: u8 = 4;
+/// Bumped to 5 with the multi-query registry: snapshots append the
+/// registered-query section (id, source text, emission mode, result
+/// buffers, per-shard engine blobs for every non-primary query) after a
+/// byte-identical v4 primary section, and WAL records carry a tag byte
+/// (event / register / deregister). Snapshots taken by older revisions
+/// are rejected instead of being silently misread; see `ARCHITECTURE.md`
+/// for the upgrade notes.
+const SNAPSHOT_VERSION: u8 = 5;
 
-/// The push-based, sharded GRETA runtime. See the [module docs](self).
+/// The push-based, sharded, multi-query GRETA runtime. See the
+/// [module docs](self).
 ///
-/// Results are emitted as windows close. Rows drained by one
-/// [`poll_results`](Self::poll_results) call arrive in per-shard order but
-/// may interleave across shards; [`finish`](Self::finish) returns its
-/// remainder sorted by `(window, group)`. Sorting the concatenation of all
-/// drains yields byte-identical output for any shard count.
+/// Results are emitted per query as windows close. Rows drained by one
+/// [`poll_results`](Self::poll_results) /
+/// [`poll_results_of`](Self::poll_results_of) call arrive in per-shard
+/// order but may interleave across shards; [`finish`](Self::finish)
+/// returns the primary remainder sorted by `(window, group)`. Sorting the
+/// concatenation of all drains yields byte-identical output for any shard
+/// count — for every hosted query.
 pub struct StreamExecutor<N: TrendNum = f64> {
     shards: usize,
-    /// Plan + schemas, kept to rebuild shard engines during barrier
-    /// migrations and resharded recovery.
-    query: CompiledQuery,
     registry: SchemaRegistry,
     engine_config: EngineConfig,
-    routing: StreamRouting,
-    /// Versioned group → shard overrides; empty = pure hash routing.
-    table: RoutingTable,
+    /// Hosted queries, ascending by id; index 0 is always the primary.
+    /// Deregistered queries stay (inactive) so their ids are never reused
+    /// and their drained rows stay pollable.
+    queries: Vec<QuerySlot<N>>,
+    /// Routed event planes; index 0 is the primary's. Queries whose
+    /// routings coincide share an entry.
+    groups: Vec<RouteGroup>,
+    /// Next id [`register_query`](Self::register_query) hands out.
+    next_query_id: u32,
+    /// Bumped by every register/deregister barrier.
+    query_epoch: u64,
     rebalance: Option<RebalanceConfig>,
     /// Per-group counters: events bumped at routing time when rebalancing
     /// is on, vertices filled from worker reports at `finish`. Bounded to
@@ -413,38 +640,65 @@ pub struct StreamExecutor<N: TrendNum = f64> {
     results_rx: Receiver<OutMsg<N>>,
     workers: Vec<JoinHandle<Result<WorkerReport, EngineError>>>,
     diverted: Vec<EventRef>,
-    /// Rows ready for the caller: under unordered emission, whatever was
-    /// drained off the result channel (e.g. while a shard queue was full);
-    /// under [`EmissionMode::WindowOrdered`], rows the merge released — in
-    /// canonical order. Returned by the next `poll_results`/`finish`.
-    pending: Vec<WindowResult<N>>,
-    /// Cross-shard min-watermark merge; `Some` iff the emission mode is
-    /// [`EmissionMode::WindowOrdered`].
-    merge: Option<ResultMerge<N>>,
     stats: ExecutorStats,
-    /// Per-shard event frames not yet sent.
-    batch_bufs: Vec<Vec<EventRef>>,
     /// Reused scratch for reorder-buffer releases (no per-event alloc).
     release_scratch: Vec<EventRef>,
     batch_size: usize,
     /// Late drop/divert counts keyed by the event's latest window.
     late_windows: BTreeMap<WindowId, (u64, u64)>,
     max_occupancy: usize,
-    /// Window-close boundary index already broadcast (⌊(wm−within)/slide⌋).
-    last_close_idx: Option<u64>,
-    window_within: u64,
-    window_slide: u64,
     durability: Option<DurabilityState>,
-    /// Windows closed since the last checkpoint (cadence counter).
+    /// Windows closed since the last checkpoint (cadence counter, driven
+    /// by the primary query's window-close boundaries).
     windows_since_checkpoint: u64,
     /// A cadence checkpoint is owed; taken after the current routing pass
     /// so the snapshot cut never splits a reorder release batch.
     checkpoint_due: bool,
     finished: bool,
 }
+/// One decoded WAL record (tag-dispatched).
+enum TailRec {
+    Event(EventRef),
+    Register {
+        id: u32,
+        emission: EmissionMode,
+        text: String,
+    },
+    Deregister(u32),
+}
+
+fn encode_emission(e: EmissionMode) -> u8 {
+    match e {
+        EmissionMode::Unordered => 0,
+        EmissionMode::WindowOrdered => 1,
+    }
+}
+
+fn decode_emission(tag: u8) -> Result<EmissionMode, CodecError> {
+    match tag {
+        0 => Ok(EmissionMode::Unordered),
+        1 => Ok(EmissionMode::WindowOrdered),
+        t => Err(CodecError(format!("bad EmissionMode tag {t}"))),
+    }
+}
+
+fn decode_tail_record(payload: &[u8]) -> Result<TailRec, CodecError> {
+    let r = &mut Reader::new(payload);
+    match r.u8()? {
+        WAL_EVENT => Ok(TailRec::Event(Event::decode(r)?.into_ref())),
+        WAL_REGISTER => {
+            let id = r.u32()?;
+            let emission = decode_emission(r.u8()?)?;
+            let text = r.str()?.to_string();
+            Ok(TailRec::Register { id, emission, text })
+        }
+        WAL_DEREGISTER => Ok(TailRec::Deregister(r.u32()?)),
+        t => Err(CodecError(format!("bad WAL record tag {t}"))),
+    }
+}
 
 impl<N: TrendNum> StreamExecutor<N> {
-    /// Spawn the shard workers for `query` under `config`.
+    /// Spawn the shard workers for the primary `query` under `config`.
     ///
     /// With [`ExecutorConfig::durability`] set, the directory must be
     /// fresh: reusing a directory that already holds a manifest or WAL
@@ -488,20 +742,32 @@ impl<N: TrendNum> StreamExecutor<N> {
         let engines = (0..shards)
             .map(|_| GretaEngine::with_config(query.clone(), registry.clone(), config.engine))
             .collect::<Result<Vec<_>, _>>()?;
-        Self::assemble(query, registry, &config, routing, engines, durability)
+        let init = SlotInit {
+            id: 0,
+            text: None,
+            query,
+            emission: config.emission,
+            routing,
+            engines,
+        };
+        Self::assemble(registry, &config, vec![init], 1, 0, durability)
     }
 
     /// Restore an executor from the durability directory in
     /// `config.durability` and replay the WAL tail.
     ///
-    /// `query` and `registry` must match the original run's, but
-    /// `config.shards` may differ from the checkpoint's: the snapshot's
-    /// per-group engine state is then repartitioned onto the new shard
-    /// count under a fresh routing epoch, so a stream can be recovered
-    /// into a wider (or narrower) executor with byte-identical results.
-    /// The recovered executor continues the stream exactly where the WAL
-    /// ends: rows for windows that closed after the last checkpoint are
-    /// (re-)emitted through
+    /// `query` and `registry` must match the original run's primary query,
+    /// but `config.shards` may differ from the checkpoint's: the
+    /// snapshot's per-group engine state is then repartitioned onto the
+    /// new shard count under a fresh routing epoch, so a stream can be
+    /// recovered into a wider (or narrower) executor with byte-identical
+    /// results. Every query registered at the time of the checkpoint is
+    /// restored byte-identically from its recorded source text and engine
+    /// state, and register/deregister records in the WAL tail are
+    /// replayed in their original stream positions, so the recovered
+    /// registry matches the pre-crash one exactly. The recovered executor
+    /// continues the stream exactly where the WAL ends: rows for windows
+    /// that closed after the last checkpoint are (re-)emitted through
     /// [`poll_results`](Self::poll_results)/[`finish`](Self::finish), rows
     /// for earlier windows are not repeated. If the process crashed before
     /// the first checkpoint, the whole WAL is replayed into fresh state. A
@@ -536,8 +802,16 @@ impl<N: TrendNum> StreamExecutor<N> {
                     epoch: 0,
                     record_buf: Vec::new(),
                 });
+                let init = SlotInit {
+                    id: 0,
+                    text: None,
+                    query,
+                    emission: config.emission,
+                    routing,
+                    engines,
+                };
                 (
-                    Self::assemble(query, registry, &config, routing, engines, durability)?,
+                    Self::assemble(registry, &config, vec![init], 1, 0, durability)?,
                     0,
                 )
             }
@@ -547,7 +821,23 @@ impl<N: TrendNum> StreamExecutor<N> {
                 let blob = snapshots.read(m.epoch)?;
                 let mut parts: SnapshotParts<N> =
                     Self::decode_snapshot(&blob, old_shards, &config)?;
-                let engines = if expected == old_shards {
+                let resharded = expected != old_shards;
+                if resharded {
+                    // Resharded recovery: the old epoch's pinned assignment
+                    // is meaningless for a different count, so routing
+                    // restarts from the pure hash under a fresh epoch.
+                    parts.table.reset_for_shards();
+                }
+                let primary_engines = if resharded {
+                    GretaEngine::<N>::repartition_states(
+                        &query,
+                        &registry,
+                        config.engine,
+                        &parts.shard_states,
+                        expected,
+                        |g| routing.shard_of_group_key(g, expected),
+                    )?
+                } else {
                     parts
                         .shard_states
                         .iter()
@@ -560,22 +850,67 @@ impl<N: TrendNum> StreamExecutor<N> {
                             )
                         })
                         .collect::<Result<Vec<_>, _>>()?
-                } else {
-                    // Resharded recovery: redistribute the per-group
-                    // engine state onto the new shard count. The old
-                    // epoch's pinned assignment is meaningless for a
-                    // different count, so routing restarts from the pure
-                    // hash under a fresh epoch.
-                    parts.table.reset_for_shards();
-                    GretaEngine::<N>::repartition_states(
-                        &query,
-                        &registry,
-                        config.engine,
-                        &parts.shard_states,
-                        expected,
-                        |g| routing.shard_of_group_key(g, expected),
-                    )?
                 };
+                let mut inits = vec![SlotInit {
+                    id: 0,
+                    text: None,
+                    query: query.clone(),
+                    emission: config.emission,
+                    routing,
+                    engines: primary_engines,
+                }];
+                // Registered queries: recompile from the recorded text and
+                // restore (or repartition) their per-shard engine states.
+                type Restore<N> = (
+                    u32,
+                    Option<u64>,
+                    u64,
+                    Vec<WindowResult<N>>,
+                    Option<ResultMerge<N>>,
+                );
+                let mut restores: Vec<Restore<N>> = Vec::new();
+                for ex in std::mem::take(&mut parts.extras) {
+                    let exq = CompiledQuery::parse(&ex.text, &registry).map_err(|e| {
+                        EngineError::Config(format!(
+                            "registered query {} failed to recompile: {e}",
+                            ex.id
+                        ))
+                    })?;
+                    let exr = StreamRouting::new(&exq, &registry);
+                    exr.validate(&exq, &registry)?;
+                    let engines = if resharded {
+                        let exr = &exr;
+                        GretaEngine::<N>::repartition_states(
+                            &exq,
+                            &registry,
+                            config.engine,
+                            &ex.shard_states,
+                            expected,
+                            |g| exr.shard_of_group_key(g, expected),
+                        )?
+                    } else {
+                        ex.shard_states
+                            .iter()
+                            .map(|bytes| {
+                                GretaEngine::import_state(
+                                    exq.clone(),
+                                    registry.clone(),
+                                    config.engine,
+                                    bytes,
+                                )
+                            })
+                            .collect::<Result<Vec<_>, _>>()?
+                    };
+                    restores.push((ex.id, ex.last_close_idx, ex.rows, ex.pending, ex.merge));
+                    inits.push(SlotInit {
+                        id: ex.id,
+                        text: Some(ex.text),
+                        query: exq,
+                        emission: ex.emission,
+                        routing: exr,
+                        engines,
+                    });
+                }
                 let durability = Some(DurabilityState {
                     config: dcfg.clone(),
                     wal,
@@ -583,40 +918,64 @@ impl<N: TrendNum> StreamExecutor<N> {
                     epoch: m.epoch,
                     record_buf: Vec::new(),
                 });
-                let mut exec =
-                    Self::assemble(query, registry, &config, routing, engines, durability)?;
+                let mut exec = Self::assemble(
+                    registry,
+                    &config,
+                    inits,
+                    parts.next_query_id,
+                    parts.query_epoch,
+                    durability,
+                )?;
                 exec.stats = parts.stats;
-                if expected != old_shards {
+                if resharded {
                     // The old per-shard attribution is meaningless for the
                     // new count; restart the load picture.
                     exec.stats.events_per_shard = vec![0; expected];
                 }
                 exec.max_occupancy = parts.max_occupancy;
-                exec.last_close_idx = parts.last_close_idx;
+                exec.queries[0].last_close_idx = parts.last_close_idx;
                 exec.late_windows = parts.late_windows;
-                exec.table = parts.table;
+                exec.groups[0].table = parts.table;
                 exec.group_stats = parts.group_stats;
                 exec.recent_events = parts.recent_events;
                 exec.windows_since_rebalance = parts.windows_since_rebalance;
                 exec.reorder = parts.reorder;
                 exec.diverted = parts.diverted;
-                exec.pending = parts.pending;
+                exec.queries[0].pending = parts.pending;
                 if let Some(mut merge) = parts.merge {
-                    if expected != old_shards {
+                    if resharded {
                         // Fresh workers report their own frontiers; the
                         // released watermark (and buffered rows) carry over
                         // so the ordered stream resumes without repeats.
                         merge.reset_for_shards(expected);
                     }
-                    exec.merge = Some(merge);
+                    exec.queries[0].merge = Some(merge);
+                }
+                for (id, last_close_idx, rows, pending, merge) in restores {
+                    let slot = exec
+                        .queries
+                        .iter_mut()
+                        .find(|s| s.id == id)
+                        .expect("assembled registered slot");
+                    slot.last_close_idx = last_close_idx;
+                    slot.rows = rows;
+                    slot.pending = pending;
+                    if let Some(mut m) = merge {
+                        if resharded {
+                            m.reset_for_shards(expected);
+                        }
+                        slot.merge = Some(m);
+                    }
                 }
                 (exec, m.wal_index)
             }
         };
 
         // Replay the WAL tail through the normal ingest path (without
-        // re-appending). A torn final frame was already repaired by open.
-        let mut tail: Vec<EventRef> = Vec::new();
+        // re-appending): events flow through reorder + routing, register /
+        // deregister records re-run their barriers at the original stream
+        // positions. A torn final frame was already repaired by open.
+        let mut tail: Vec<TailRec> = Vec::new();
         let mut decode_err: Option<CodecError> = None;
         Wal::replay(
             &dcfg.dir,
@@ -626,8 +985,8 @@ impl<N: TrendNum> StreamExecutor<N> {
                 if decode_err.is_some() {
                     return;
                 }
-                match Event::decode(&mut Reader::new(payload)) {
-                    Ok(e) => tail.push(e.into_ref()),
+                match decode_tail_record(payload) {
+                    Ok(rec) => tail.push(rec),
                     Err(e) => decode_err = Some(e),
                 }
             },
@@ -636,21 +995,41 @@ impl<N: TrendNum> StreamExecutor<N> {
         if let Some(e) = decode_err {
             return Err(e.into());
         }
-        for e in tail {
-            exec.stats.pushed += 1;
-            match exec.ingest(e) {
-                // Under LatePolicy::Error the original push() surfaced the
-                // Late error to the caller *after* logging the event, and
-                // the pipeline stayed usable — mirror that here so one
-                // logged-then-rejected record cannot poison recovery.
-                Err(EngineError::Late { .. }) => {}
-                other => other?,
-            }
-            if exec.rebalance_due {
-                exec.run_rebalance_check()?;
-            }
-            if exec.checkpoint_due {
-                exec.checkpoint()?;
+        for rec in tail {
+            match rec {
+                TailRec::Event(e) => {
+                    exec.stats.pushed += 1;
+                    match exec.ingest(e) {
+                        // Under LatePolicy::Error the original push() surfaced
+                        // the Late error to the caller *after* logging the
+                        // event, and the pipeline stayed usable — mirror that
+                        // here so one logged-then-rejected record cannot
+                        // poison recovery.
+                        Err(EngineError::Late { .. }) => {}
+                        other => other?,
+                    }
+                    if exec.rebalance_due {
+                        exec.run_rebalance_check()?;
+                    }
+                    if exec.checkpoint_due {
+                        exec.checkpoint()?;
+                    }
+                }
+                TailRec::Register { id, emission, text } => {
+                    let q = CompiledQuery::parse(&text, &exec.registry).map_err(|e| {
+                        EngineError::Config(format!(
+                            "registered query {id} failed to recompile: {e}"
+                        ))
+                    })?;
+                    exec.apply_register(id, text, emission, q)?;
+                }
+                TailRec::Deregister(id) => {
+                    // Rows the live run handed back at deregistration stay
+                    // in the inactive slot's pending buffer — like every
+                    // other post-checkpoint row, the caller re-reads them
+                    // via poll_results_of.
+                    exec.apply_deregister(id)?;
+                }
             }
         }
         Ok(exec)
@@ -676,22 +1055,77 @@ impl<N: TrendNum> StreamExecutor<N> {
         Ok((routing, shards))
     }
 
-    /// Wire channels and spawn one worker per pre-built engine.
+    /// Wire channels and spawn one worker per shard, each hosting one
+    /// engine per query in `inits` (index 0 = the primary). Queries whose
+    /// routings coincide are folded into shared route groups.
     fn assemble(
-        query: CompiledQuery,
         registry: SchemaRegistry,
         config: &ExecutorConfig,
-        routing: StreamRouting,
-        engines: Vec<GretaEngine<N>>,
+        inits: Vec<SlotInit<N>>,
+        next_query_id: u32,
+        query_epoch: u64,
         durability: Option<DurabilityState>,
     ) -> Result<Self, EngineError> {
-        let shards = engines.len();
+        let shards = inits[0].engines.len();
         let (results_tx, results_rx) = channel::bounded(config.result_capacity.max(1));
+        let mut groups: Vec<RouteGroup> = Vec::new();
+        let mut slots: Vec<QuerySlot<N>> = Vec::with_capacity(inits.len());
+        let mut per_shard: Vec<Vec<EngineSlot<N>>> = (0..shards).map(|_| Vec::new()).collect();
+        for init in inits {
+            let SlotInit {
+                id,
+                text,
+                query,
+                emission,
+                routing,
+                engines,
+            } = init;
+            debug_assert_eq!(engines.len(), shards);
+            let g = match groups.iter().position(|g| g.routing.routes_like(&routing)) {
+                Some(g) => {
+                    groups[g].members += 1;
+                    g
+                }
+                None => {
+                    groups.push(RouteGroup {
+                        routing,
+                        table: RoutingTable::default(),
+                        batch_bufs: (0..shards).map(|_| Vec::new()).collect(),
+                        members: 1,
+                    });
+                    groups.len() - 1
+                }
+            };
+            let ordered = emission == EmissionMode::WindowOrdered;
+            for (shard, engine) in engines.into_iter().enumerate() {
+                per_shard[shard].push(EngineSlot {
+                    query: id,
+                    group: g as u32,
+                    ordered,
+                    engine,
+                    seq: 0,
+                    frontier: 0,
+                });
+            }
+            slots.push(QuerySlot {
+                id,
+                text,
+                emission,
+                group: g as u32,
+                pending: Vec::new(),
+                merge: ordered.then(|| ResultMerge::new(shards)),
+                last_close_idx: None,
+                window_within: query.window.within,
+                window_slide: query.window.slide,
+                rows: 0,
+                active: true,
+                query,
+            });
+        }
+        let export_final = durability.is_some();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        let export_final = durability.is_some();
-        let ordered = config.emission == EmissionMode::WindowOrdered;
-        for (shard, engine) in engines.into_iter().enumerate() {
+        for (shard, engine_slots) in per_shard.into_iter().enumerate() {
             let (tx, rx) = channel::bounded::<Msg<N>>(config.channel_capacity.max(1));
             senders.push(tx);
             let results_tx = results_tx.clone();
@@ -699,7 +1133,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                 std::thread::Builder::new()
                     .name(format!("greta-shard-{shard}"))
                     .spawn(move || {
-                        worker_loop::<N>(engine, shard, rx, results_tx, export_final, ordered)
+                        worker_loop::<N>(engine_slots, shard, rx, results_tx, export_final)
                     })
                     .map_err(|e| EngineError::Worker(e.to_string()))?,
             );
@@ -707,10 +1141,12 @@ impl<N: TrendNum> StreamExecutor<N> {
         drop(results_tx); // workers hold the only senders now
         Ok(StreamExecutor {
             shards,
-            engine_config: config.engine,
             registry,
-            routing,
-            table: RoutingTable::default(),
+            engine_config: config.engine,
+            queries: slots,
+            groups,
+            next_query_id,
+            query_epoch,
             rebalance: config.rebalance,
             group_stats: GroupSketch::new(config.group_stats_capacity),
             recent_events: GroupSketch::new(config.group_stats_capacity),
@@ -722,22 +1158,14 @@ impl<N: TrendNum> StreamExecutor<N> {
             results_rx,
             workers,
             diverted: Vec::new(),
-            pending: Vec::new(),
-            merge: (config.emission == EmissionMode::WindowOrdered)
-                .then(|| ResultMerge::new(shards)),
             stats: ExecutorStats {
                 events_per_shard: vec![0; shards],
                 ..Default::default()
             },
-            batch_bufs: (0..shards).map(|_| Vec::new()).collect(),
             release_scratch: Vec::new(),
             batch_size: config.batch_size.max(1),
             late_windows: BTreeMap::new(),
             max_occupancy: 0,
-            last_close_idx: None,
-            window_within: query.window.within,
-            window_slide: query.window.slide,
-            query,
             durability,
             windows_since_checkpoint: 0,
             checkpoint_due: false,
@@ -754,14 +1182,367 @@ impl<N: TrendNum> StreamExecutor<N> {
     /// assignment is in effect, bumped by every barrier migration (and by a
     /// resharded recovery).
     pub fn routing_epoch(&self) -> u64 {
-        self.table.epoch()
+        self.groups[0].table.epoch()
+    }
+
+    /// Version of the query registry: bumped by every successful
+    /// [`register_query`](Self::register_query) /
+    /// [`deregister_query`](Self::deregister_query) barrier (0 = only the
+    /// primary query has ever been hosted).
+    pub fn query_epoch(&self) -> u64 {
+        self.query_epoch
+    }
+
+    /// Ids of the currently active queries, ascending ([`QueryId::PRIMARY`]
+    /// first).
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| QueryId(s.id))
+            .collect()
+    }
+
+    /// Source text of a registered query (`None` for
+    /// [`QueryId::PRIMARY`], which was constructed from an
+    /// already-compiled plan, and for unknown ids).
+    pub fn query_text(&self, id: QueryId) -> Option<&str> {
+        self.queries
+            .iter()
+            .find(|s| s.id == id.0)
+            .and_then(|s| s.text.as_deref())
+    }
+
+    fn slot(&self, id: u32) -> Option<&QuerySlot<N>> {
+        self.queries.iter().find(|s| s.id == id)
+    }
+
+    fn slot_mut(&mut self, id: u32) -> Option<&mut QuerySlot<N>> {
+        self.queries.iter_mut().find(|s| s.id == id)
+    }
+
+    /// Register another query on this executor's ingest plane at runtime.
+    ///
+    /// The query is compiled from `text` against the executor's schema
+    /// registry and validated first — an invalid query is rejected before
+    /// anything is logged or installed. It then joins via a barrier (the
+    /// same machinery as rebalancing): buffered frames are flushed, every
+    /// shard installs a fresh engine for the query under a bumped
+    /// [`query_epoch`](Self::query_epoch), and FIFO channels guarantee the
+    /// new engines see exactly the events released after the cut — so the
+    /// query's results are byte-identical to a standalone single-query run
+    /// over the same event suffix, at any shard count. If its `GROUP-BY`
+    /// key plane coincides with an already-hosted query's, the two share
+    /// one route group (the event is classified and hashed once for both).
+    /// With durability on, the registration is WAL-logged so
+    /// [`recover`](Self::recover) re-runs it at the same stream position.
+    ///
+    /// Results are drained per query:
+    /// [`poll_results_of`](Self::poll_results_of) with the returned id.
+    ///
+    /// ```
+    /// use greta_core::{EmissionMode, ExecutorConfig, QueryId, StreamExecutor};
+    /// use greta_query::CompiledQuery;
+    /// use greta_types::{EventBuilder, SchemaRegistry, Time};
+    ///
+    /// let mut reg = SchemaRegistry::new();
+    /// reg.register_type("M", &["grp", "load"]).unwrap();
+    /// let count_q = "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+    ///                GROUP-BY grp WITHIN 100 SLIDE 50";
+    /// let q = CompiledQuery::parse(count_q, &reg).unwrap();
+    /// let mut exec = StreamExecutor::<u64>::new(
+    ///     q,
+    ///     reg.clone(),
+    ///     ExecutorConfig { shards: 2, ..Default::default() },
+    /// )
+    /// .unwrap();
+    ///
+    /// // A second query joins the shared ingest plane at runtime: same
+    /// // GROUP-BY key, so routing is shared; different window shape.
+    /// let id = exec
+    ///     .register_query(
+    ///         "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+    ///          GROUP-BY grp WITHIN 50 SLIDE 50",
+    ///         EmissionMode::Unordered,
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(id, QueryId(1));
+    ///
+    /// for t in 0..200u64 {
+    ///     let e = EventBuilder::new(&reg, "M")
+    ///         .unwrap()
+    ///         .at(Time(t))
+    ///         .set("grp", (t % 3) as i64)
+    ///         .unwrap()
+    ///         .set("load", ((t * 31) % 17) as f64)
+    ///         .unwrap()
+    ///         .build();
+    ///     exec.push(e).unwrap();
+    /// }
+    /// let primary_rows = exec.finish().unwrap();
+    /// let count_rows = exec.poll_results_of(id).unwrap();
+    /// assert!(!primary_rows.is_empty());
+    /// assert!(!count_rows.is_empty());
+    /// ```
+    pub fn register_query(
+        &mut self,
+        text: &str,
+        emission: EmissionMode,
+    ) -> Result<QueryId, EngineError> {
+        if self.finished {
+            return Err(EngineError::Config(
+                "register_query after finish() on StreamExecutor".into(),
+            ));
+        }
+        let query = CompiledQuery::parse(text, &self.registry)
+            .map_err(|e| EngineError::Config(format!("query error: {e}")))?;
+        // Validate before WAL-logging: an invalid registration must never
+        // enter the log (replay would fail at the same spot forever).
+        let probe = StreamRouting::new(&query, &self.registry);
+        probe.validate(&query, &self.registry)?;
+        let id = self.next_query_id;
+        if let Some(d) = &mut self.durability {
+            d.record_buf.clear();
+            d.record_buf.push(WAL_REGISTER);
+            put_u32(&mut d.record_buf, id);
+            d.record_buf.push(encode_emission(emission));
+            put_str(&mut d.record_buf, text);
+            d.wal.append(&d.record_buf).map_err(EngineError::from)?;
+        }
+        self.apply_register(id, text.to_string(), emission, query)?;
+        Ok(QueryId(id))
+    }
+
+    /// Install a registered query (shared by `register_query` and WAL
+    /// replay — the latter must not re-append to the log).
+    fn apply_register(
+        &mut self,
+        id: u32,
+        text: String,
+        emission: EmissionMode,
+        query: CompiledQuery,
+    ) -> Result<(), EngineError> {
+        let routing = StreamRouting::new(&query, &self.registry);
+        routing.validate(&query, &self.registry)?;
+        let group = match self
+            .groups
+            .iter()
+            .position(|g| g.routing.routes_like(&routing))
+        {
+            Some(g) => {
+                self.groups[g].members += 1;
+                g
+            }
+            None => {
+                self.groups.push(RouteGroup {
+                    routing,
+                    table: RoutingTable::default(),
+                    batch_bufs: (0..self.shards).map(|_| Vec::new()).collect(),
+                    members: 1,
+                });
+                self.groups.len() - 1
+            }
+        };
+        let ordered = emission == EmissionMode::WindowOrdered;
+        let engines = (0..self.shards)
+            .map(|_| {
+                GretaEngine::with_config(query.clone(), self.registry.clone(), self.engine_config)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // The registration cut: frames buffered before this point must
+        // reach the old engines only, so flush them ahead of the AddQuery
+        // barrier (FIFO channels then order everything after it behind
+        // the new engine's install).
+        self.flush_all_batches()?;
+        let (ack_tx, ack_rx) = channel::bounded::<usize>(self.shards);
+        for (i, engine) in engines.into_iter().enumerate() {
+            self.send(
+                i,
+                Msg::AddQuery {
+                    query: id,
+                    group: group as u32,
+                    ordered,
+                    engine: Box::new(engine),
+                    ack: ack_tx.clone(),
+                },
+            )?;
+        }
+        drop(ack_tx);
+        self.await_acks(&ack_rx)?;
+        self.queries.push(QuerySlot {
+            id,
+            text: Some(text),
+            emission,
+            group: group as u32,
+            pending: Vec::new(),
+            merge: ordered.then(|| ResultMerge::new(self.shards)),
+            last_close_idx: None,
+            window_within: query.window.within,
+            window_slide: query.window.slide,
+            rows: 0,
+            active: true,
+            query,
+        });
+        self.next_query_id = self.next_query_id.max(id + 1);
+        self.query_epoch += 1;
+        Ok(())
+    }
+
+    /// Remove a registered query from the executor and return its
+    /// remaining rows.
+    ///
+    /// The removal is a barrier: buffered frames are flushed, every shard
+    /// finishes the query's engine (closing its open windows and emitting
+    /// their rows), and the registry drops the query under a bumped
+    /// [`query_epoch`](Self::query_epoch). The returned rows are the
+    /// query's not-yet-polled remainder in canonical `(window, group)`
+    /// order — together with everything previously drained via
+    /// [`poll_results_of`](Self::poll_results_of) they are byte-identical
+    /// to a standalone run of the query over the same events, ended at the
+    /// deregistration point. The primary query cannot be deregistered
+    /// (use [`finish`](Self::finish) to stop the stream). With durability
+    /// on, the removal is WAL-logged so [`recover`](Self::recover)
+    /// re-runs it at the same stream position.
+    ///
+    /// ```
+    /// use greta_core::{EmissionMode, ExecutorConfig, QueryId, StreamExecutor};
+    /// use greta_query::CompiledQuery;
+    /// use greta_types::{EventBuilder, SchemaRegistry, Time};
+    ///
+    /// let mut reg = SchemaRegistry::new();
+    /// reg.register_type("M", &["grp", "load"]).unwrap();
+    /// let text = "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+    ///             GROUP-BY grp WITHIN 100 SLIDE 50";
+    /// let q = CompiledQuery::parse(text, &reg).unwrap();
+    /// let mut exec = StreamExecutor::<u64>::new(
+    ///     q,
+    ///     reg.clone(),
+    ///     ExecutorConfig { shards: 2, ..Default::default() },
+    /// )
+    /// .unwrap();
+    /// let id = exec.register_query(text, EmissionMode::Unordered).unwrap();
+    /// for t in 0..120u64 {
+    ///     let e = EventBuilder::new(&reg, "M")
+    ///         .unwrap()
+    ///         .at(Time(t))
+    ///         .set("grp", (t % 3) as i64)
+    ///         .unwrap()
+    ///         .set("load", ((t * 31) % 17) as f64)
+    ///         .unwrap()
+    ///         .build();
+    ///     exec.push(e).unwrap();
+    /// }
+    /// // Mid-stream removal: open windows close, remaining rows come back.
+    /// let rows = exec.deregister_query(id).unwrap();
+    /// assert!(!rows.is_empty());
+    /// assert!(!exec.query_ids().contains(&id));
+    /// exec.finish().unwrap();
+    /// ```
+    pub fn deregister_query(&mut self, id: QueryId) -> Result<Vec<WindowResult<N>>, EngineError> {
+        if self.finished {
+            return Err(EngineError::Config(
+                "deregister_query after finish() on StreamExecutor".into(),
+            ));
+        }
+        if id == QueryId::PRIMARY {
+            return Err(EngineError::Config(
+                "the primary query cannot be deregistered; finish() the executor instead".into(),
+            ));
+        }
+        match self.slot(id.0) {
+            None => {
+                return Err(EngineError::Config(format!("unknown query {id}")));
+            }
+            Some(s) if !s.active => {
+                return Err(EngineError::Config(format!(
+                    "query {id} is already deregistered"
+                )));
+            }
+            Some(_) => {}
+        }
+        if let Some(d) = &mut self.durability {
+            d.record_buf.clear();
+            d.record_buf.push(WAL_DEREGISTER);
+            put_u32(&mut d.record_buf, id.0);
+            d.wal.append(&d.record_buf).map_err(EngineError::from)?;
+        }
+        self.apply_deregister(id.0)?;
+        let slot = self.slot_mut(id.0).expect("slot checked above");
+        Ok(std::mem::take(&mut slot.pending))
+    }
+
+    /// Tear down a registered query (shared by `deregister_query` and WAL
+    /// replay). The slot stays, inactive, with its remaining rows in
+    /// `pending` — canonical order either way (the ordered merge releases
+    /// canonically; unordered remainders are sorted here).
+    fn apply_deregister(&mut self, id: u32) -> Result<(), EngineError> {
+        {
+            let Some(slot) = self.slot(id) else {
+                return Err(EngineError::Config(format!("unknown query q{id}")));
+            };
+            if !slot.active || id == 0 {
+                return Err(EngineError::Config(format!(
+                    "query q{id} cannot be deregistered"
+                )));
+            }
+        }
+        // Flush so every event released before the cut reaches the
+        // query's engines before they are finished.
+        self.flush_all_batches()?;
+        let (ack_tx, ack_rx) = channel::bounded::<usize>(self.shards);
+        for i in 0..self.senders.len() {
+            self.send(
+                i,
+                Msg::RemoveQuery {
+                    query: id,
+                    ack: ack_tx.clone(),
+                },
+            )?;
+        }
+        drop(ack_tx);
+        self.await_acks(&ack_rx)?;
+        // Every shard acked after emitting its final rows; pull them in.
+        self.drain_ready();
+        let slot = self.slot_mut(id).expect("slot checked above");
+        slot.active = false;
+        if let Some(mut m) = slot.merge.take() {
+            let before = slot.pending.len();
+            m.close(&mut slot.pending);
+            slot.rows += (slot.pending.len() - before) as u64;
+        } else {
+            sort_canonical(&mut slot.pending);
+        }
+        let group = slot.group as usize;
+        self.groups[group].members -= 1;
+        self.query_epoch += 1;
+        Ok(())
+    }
+
+    /// Wait for one ack per shard, draining the result channel while
+    /// blocked (workers may be mid-emission; parking without draining
+    /// would deadlock the pipeline).
+    fn await_acks(&mut self, rx: &Receiver<usize>) -> Result<(), EngineError> {
+        let mut got = 0usize;
+        while got < self.shards {
+            match rx.try_recv() {
+                Ok(_) => got += 1,
+                Err(TryRecvError::Empty) => {
+                    if !self.drain_ready() {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return Err(self.reap_after_failure()),
+            }
+        }
+        Ok(())
     }
 
     /// Offer one event. Events may arrive out of order within the
     /// configured slack; beyond it the [`LatePolicy`] applies. With
-    /// durability on, the event is WAL-logged before anything else. When a
-    /// shard's input queue is full, the call drains ready results into an
-    /// internal buffer while it waits (so a caller that never polls cannot
+    /// durability on, the event is WAL-logged before anything else — once,
+    /// no matter how many queries are registered. When a shard's input
+    /// queue is full, the call drains ready results into the per-query
+    /// buffers while it waits (so a caller that never polls cannot
     /// deadlock the pipeline) and returns once the event is queued.
     pub fn push(&mut self, e: Event) -> Result<(), EngineError> {
         self.push_ref(e.into_ref())
@@ -779,6 +1560,7 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
         if let Some(d) = &mut self.durability {
             d.record_buf.clear();
+            d.record_buf.push(WAL_EVENT);
             e.encode(&mut d.record_buf);
             d.wal.append(&d.record_buf).map_err(EngineError::from)?;
         }
@@ -807,7 +1589,8 @@ impl<N: TrendNum> StreamExecutor<N> {
             }
             Err(late) => {
                 self.release_scratch = released;
-                let wid = late.time.ticks() / self.window_slide.max(1);
+                let slide = self.queries[0].window_slide.max(1);
+                let wid = late.time.ticks() / slide;
                 let slot = self.late_windows.entry(wid).or_default();
                 match self.late_policy {
                     LatePolicy::Drop => {
@@ -832,18 +1615,44 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
     }
 
-    /// Absorb one worker message: under unordered emission rows go
-    /// straight to the ready buffer (frontier stamps are dropped); under
-    /// [`EmissionMode::WindowOrdered`] rows park in the merge and frontier
-    /// advances release complete windows into the ready buffer in
+    /// Absorb one worker message into the owning query's buffers: under
+    /// unordered emission rows go straight to that query's ready buffer
+    /// (frontier stamps are dropped); under
+    /// [`EmissionMode::WindowOrdered`] rows park in the query's merge and
+    /// frontier advances release complete windows into its ready buffer in
     /// canonical order.
     fn absorb(&mut self, msg: OutMsg<N>) {
-        match (&mut self.merge, msg) {
-            (None, OutMsg::Row { row, .. }) => self.pending.push(row),
-            (None, OutMsg::Frontier { .. }) => {}
-            (Some(m), OutMsg::Row { shard, seq, row }) => m.offer(shard as usize, seq, row),
-            (Some(m), OutMsg::Frontier { shard, next_window }) => {
-                m.advance(shard as usize, next_window, &mut self.pending)
+        match msg {
+            OutMsg::Row {
+                query,
+                shard,
+                seq,
+                row,
+            } => {
+                let Some(slot) = self.queries.iter_mut().find(|s| s.id == query) else {
+                    return;
+                };
+                match &mut slot.merge {
+                    None => {
+                        slot.pending.push(row);
+                        slot.rows += 1;
+                    }
+                    Some(m) => m.offer(shard as usize, seq, row),
+                }
+            }
+            OutMsg::Frontier {
+                query,
+                shard,
+                next_window,
+            } => {
+                let Some(slot) = self.queries.iter_mut().find(|s| s.id == query) else {
+                    return;
+                };
+                if let Some(m) = &mut slot.merge {
+                    let before = slot.pending.len();
+                    m.advance(shard as usize, next_window, &mut slot.pending);
+                    slot.rows += (slot.pending.len() - before) as u64;
+                }
             }
         }
     }
@@ -858,36 +1667,123 @@ impl<N: TrendNum> StreamExecutor<N> {
         any
     }
 
-    /// Drain every result row emitted so far, without blocking. Windows are
-    /// emitted as the watermark passes their end, so results stream while
-    /// events are still being pushed. Under
+    /// Drain every result row the *primary* query emitted so far, without
+    /// blocking. Windows are emitted as the watermark passes their end, so
+    /// results stream while events are still being pushed. Under
     /// [`EmissionMode::WindowOrdered`] the drained rows are
     /// window-monotone in canonical `(window, group)` order, across calls:
     /// concatenating every drain with the [`finish`](Self::finish)
     /// remainder reproduces the sorted unordered output byte for byte.
+    /// Registered queries are drained separately via
+    /// [`poll_results_of`](Self::poll_results_of).
     pub fn poll_results(&mut self) -> Vec<WindowResult<N>> {
         self.drain_ready();
-        std::mem::take(&mut self.pending)
+        std::mem::take(&mut self.queries[0].pending)
+    }
+
+    /// Drain every result row query `id` emitted so far, without blocking
+    /// ([`poll_results`](Self::poll_results) scoped to one query;
+    /// `poll_results_of(QueryId::PRIMARY)` is equivalent to it). Rows of a
+    /// deregistered query remain pollable here — including after
+    /// [`recover`](Self::recover) replayed the deregistration. Errors on
+    /// an id this executor never hosted.
+    pub fn poll_results_of(&mut self, id: QueryId) -> Result<Vec<WindowResult<N>>, EngineError> {
+        self.drain_ready();
+        let slot = self
+            .queries
+            .iter_mut()
+            .find(|s| s.id == id.0)
+            .ok_or_else(|| EngineError::Config(format!("unknown query {id}")))?;
+        Ok(std::mem::take(&mut slot.pending))
+    }
+
+    /// The released watermark of query `id`'s ordered merge: the smallest
+    /// emission frontier across its shard engines. Windows strictly below
+    /// it have been fully released in canonical order — everything below
+    /// is final, which is exactly the progress signal a cascaded
+    /// downstream executor (or any exactly-once sink) needs before it
+    /// consumes the query's output as its own input. See
+    /// `examples/cascade.rs` for the wiring. Errors unless the query runs
+    /// under [`EmissionMode::WindowOrdered`].
+    ///
+    /// ```
+    /// use greta_core::{EmissionMode, ExecutorConfig, QueryId, StreamExecutor};
+    /// use greta_query::CompiledQuery;
+    /// use greta_types::{EventBuilder, SchemaRegistry, Time};
+    ///
+    /// let mut reg = SchemaRegistry::new();
+    /// reg.register_type("M", &["grp", "load"]).unwrap();
+    /// let q = CompiledQuery::parse(
+    ///     "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+    ///      GROUP-BY grp WITHIN 100 SLIDE 50",
+    ///     &reg,
+    /// )
+    /// .unwrap();
+    /// let mut exec = StreamExecutor::<u64>::new(
+    ///     q,
+    ///     reg.clone(),
+    ///     ExecutorConfig {
+    ///         shards: 2,
+    ///         emission: EmissionMode::WindowOrdered,
+    ///         ..Default::default()
+    ///     },
+    /// )
+    /// .unwrap();
+    /// for t in 0..300u64 {
+    ///     let e = EventBuilder::new(&reg, "M")
+    ///         .unwrap()
+    ///         .at(Time(t))
+    ///         .set("grp", (t % 3) as i64)
+    ///         .unwrap()
+    ///         .set("load", ((t * 31) % 17) as f64)
+    ///         .unwrap()
+    ///         .build();
+    ///     exec.push(e).unwrap();
+    /// }
+    /// // Frontier stamps travel on the result channel; poll until the
+    /// // workers' watermark round trip lands. Every window below the
+    /// // frontier is final: safe to hand to a downstream executor.
+    /// let mut frontier = exec.min_frontier(QueryId::PRIMARY).unwrap();
+    /// while frontier == 0 {
+    ///     let _rows = exec.poll_results();
+    ///     frontier = exec.min_frontier(QueryId::PRIMARY).unwrap();
+    /// }
+    /// exec.finish().unwrap();
+    /// ```
+    pub fn min_frontier(&self, id: QueryId) -> Result<WindowId, EngineError> {
+        let slot = self
+            .slot(id.0)
+            .ok_or_else(|| EngineError::Config(format!("unknown query {id}")))?;
+        match &slot.merge {
+            Some(m) => Ok(m.min_frontier()),
+            None => Err(EngineError::Config(format!(
+                "min_frontier requires EmissionMode::WindowOrdered (query {id} is unordered)"
+            ))),
+        }
     }
 
     /// End of stream: flush the reorder buffer, close all remaining
-    /// windows, take a final checkpoint (durability on), join the workers,
-    /// and return the remaining rows in canonical `(window, group)` order.
-    /// Also finalizes [`stats`](Self::stats). Idempotent. Equivalent to
+    /// windows of every hosted query, take a final checkpoint (durability
+    /// on), join the workers, and return the *primary* query's remaining
+    /// rows in canonical `(window, group)` order (registered queries'
+    /// remainders stay pollable via
+    /// [`poll_results_of`](Self::poll_results_of)). Also finalizes
+    /// [`stats`](Self::stats). Idempotent. Equivalent to
     /// [`drain`](Self::drain) — this is the historical name.
     pub fn finish(&mut self) -> Result<Vec<WindowResult<N>>, EngineError> {
         self.drain()
     }
 
     /// Graceful stop, the serving-layer entry point: stop accepting input,
-    /// flush the reorder buffer, close all remaining windows (flushing the
-    /// ordered merge under [`EmissionMode::WindowOrdered`]), take a
-    /// terminal checkpoint (durability on), join the workers, and return
-    /// the remaining rows in canonical `(window, group)` order — without
-    /// consuming `self`, so a server can still read
-    /// [`stats`](Self::stats) and [`take_diverted`](Self::take_diverted)
-    /// afterwards. Idempotent; byte-identical to
-    /// [`finish`](Self::finish).
+    /// flush the reorder buffer, close all remaining windows of every
+    /// hosted query (flushing each ordered merge), take a terminal
+    /// checkpoint (durability on), join the workers, and return the
+    /// primary query's remaining rows in canonical `(window, group)` order
+    /// — without consuming `self`, so a server can still read
+    /// [`stats`](Self::stats), [`take_diverted`](Self::take_diverted),
+    /// and every registered query's remainder
+    /// ([`poll_results_of`](Self::poll_results_of)) afterwards.
+    /// Idempotent; byte-identical to [`finish`](Self::finish).
     ///
     /// With durability on, the terminal checkpoint is taken *after* every
     /// window closed: [`recover`](Self::recover) from the same directory
@@ -908,19 +1804,27 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.finished = true;
         // Close the input channels regardless, so workers always terminate.
         self.senders.clear();
-        self.batch_bufs.clear();
+        for g in &mut self.groups {
+            g.batch_bufs.clear();
+        }
         // Drain concurrently with the workers' final flush: recv() ends
         // when every worker has dropped its result sender.
         while let Ok(msg) = self.results_rx.recv() {
             self.absorb(msg);
         }
-        if let Some(m) = &mut self.merge {
-            // Every worker terminated: no window can receive further rows.
-            m.close(&mut self.pending);
+        for slot in &mut self.queries {
+            if let Some(m) = &mut slot.merge {
+                // Every worker terminated: no window can receive further
+                // rows for any query.
+                let before = slot.pending.len();
+                m.close(&mut slot.pending);
+                slot.rows += (slot.pending.len() - before) as u64;
+            }
         }
-        let mut rows = std::mem::take(&mut self.pending);
+        let mut rows = std::mem::take(&mut self.queries[0].pending);
+        let primary_ordered = self.queries[0].merge.is_some();
         let mut first_err = route_result.err();
-        let mut final_states: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.workers.len());
+        let mut final_states: Vec<Option<QueryBlobs>> = Vec::with_capacity(self.workers.len());
         for w in self.workers.drain(..) {
             match w.join() {
                 Ok(Ok(report)) => {
@@ -933,7 +1837,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                     for (group, vertices) in report.group_vertices {
                         self.group_stats.add_vertices(&group, vertices);
                     }
-                    final_states.push(report.final_state);
+                    final_states.push(report.final_states);
                 }
                 Ok(Err(e)) => first_err = first_err.or(Some(e)),
                 Err(_) => {
@@ -942,19 +1846,27 @@ impl<N: TrendNum> StreamExecutor<N> {
                 }
             }
         }
+        // Canonicalize registered queries' unordered remainders so
+        // post-finish poll_results_of (and the terminal snapshot) are
+        // deterministic.
+        for slot in self.queries.iter_mut().skip(1) {
+            if slot.merge.is_none() {
+                sort_canonical(&mut slot.pending);
+            }
+        }
         if first_err.is_none() && self.durability.is_some() {
             // Terminal checkpoint *after* the workers closed every window:
             // a graceful shutdown leaves a truncated log and a snapshot
             // from which recovery resumes with nothing to re-emit.
-            let shard_states: Vec<Vec<u8>> = final_states.into_iter().flatten().collect();
-            if shard_states.len() == self.shards {
-                first_err = self.persist_snapshot(&shard_states).err();
+            let per_shard: Vec<Vec<(u32, Vec<u8>)>> = final_states.into_iter().flatten().collect();
+            if per_shard.len() == self.shards {
+                first_err = self.persist_snapshot(&per_shard).err();
             }
         }
         if let Some(e) = first_err {
             return Err(e);
         }
-        if self.merge.is_none() {
+        if !primary_ordered {
             sort_canonical(&mut rows);
         } else {
             debug_assert!(
@@ -968,10 +1880,12 @@ impl<N: TrendNum> StreamExecutor<N> {
 
     /// Executor counters. Engine aggregates and peak memory are only
     /// populated once [`finish`](Self::finish) has run; channel occupancy
-    /// is sampled at the moment of the call.
+    /// is sampled at the moment of the call. Per-query stream counters are
+    /// in [`ExecutorStats::queries`].
     pub fn stats(&self) -> ExecutorStats {
         let mut s = self.stats.clone();
-        s.routing_epoch = self.table.epoch();
+        s.routing_epoch = self.groups[0].table.epoch();
+        s.query_epoch = self.query_epoch;
         s.group_stats = self.group_stats.top_sorted();
         s.late_by_window = self
             .late_windows
@@ -985,13 +1899,34 @@ impl<N: TrendNum> StreamExecutor<N> {
         s.channel_occupancy = self.senders.iter().map(Sender::len).collect();
         s.max_channel_occupancy = self.max_occupancy;
         s.result_occupancy = self.results_rx.len();
-        if let Some(m) = &self.merge {
+        if let Some(m) = &self.queries[0].merge {
             s.merge_released_to = m.released_to();
             let frontiers = m.frontiers();
             let max = frontiers.iter().copied().max().unwrap_or(0);
             s.merge_frontier_lag = frontiers.iter().map(|&f| max - f).collect();
             s.merge_buffered_rows = m.buffered_rows();
         }
+        s.queries = self
+            .queries
+            .iter()
+            .map(|slot| QueryStreamStats {
+                id: QueryId(slot.id),
+                rows: slot.rows,
+                pending_rows: slot.pending.len(),
+                released_to: slot
+                    .merge
+                    .as_ref()
+                    .map(ResultMerge::released_to)
+                    .unwrap_or(0),
+                min_frontier: slot
+                    .merge
+                    .as_ref()
+                    .map(ResultMerge::min_frontier)
+                    .unwrap_or(0),
+                shares_primary_routing: slot.group == 0,
+                active: slot.active,
+            })
+            .collect();
         s
     }
 
@@ -1009,11 +1944,11 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.durability.is_some()
     }
 
-    /// Number of records appended to the WAL so far. Appended is not
-    /// yet durable under [`greta_durability::FsyncPolicy`]s that buffer
-    /// between syncs — use [`sync_wal`](Self::sync_wal) for the
-    /// watermark an ingest acknowledgement can carry. `None` without
-    /// durability.
+    /// Number of records appended to the WAL so far (events plus
+    /// register/deregister records). Appended is not yet durable under
+    /// [`greta_durability::FsyncPolicy`]s that buffer between syncs — use
+    /// [`sync_wal`](Self::sync_wal) for the watermark an ingest
+    /// acknowledgement can carry. `None` without durability.
     pub fn durable_index(&self) -> Option<u64> {
         self.durability.as_ref().map(|d| d.wal.next_index())
     }
@@ -1039,127 +1974,175 @@ impl<N: TrendNum> StreamExecutor<N> {
         std::mem::take(&mut self.diverted)
     }
 
-    /// Shard owning the event's group under the current routing epoch
-    /// (`None` = broadcast). With rebalancing on, also bumps the group's
-    /// event counter — the skew detector's signal. Every path works off
-    /// the event's routing hash: no group key is materialized per event
-    /// (only once, when a group is first tracked by the sketch).
-    fn dest_shard(&mut self, e: &EventRef) -> Option<usize> {
-        if self.routing.is_broadcast(e.type_id) {
+    /// Shard owning the event's group in route group `g` under the current
+    /// routing epoch (`None` = broadcast). For the primary group with
+    /// rebalancing on, also bumps the group's event counter — the skew
+    /// detector's signal. Every path works off the event's routing hash:
+    /// no group key is materialized per event (only once, when a group is
+    /// first tracked by the sketch).
+    fn group_dest_shard(&mut self, g: usize, e: &EventRef) -> Option<usize> {
+        if self.groups[g].routing.is_broadcast(e.type_id) {
             return None;
         }
-        if self.rebalance.is_none() && self.table.is_empty() {
+        if (g != 0 || self.rebalance.is_none()) && self.groups[g].table.is_empty() {
             // Static-assignment fast path: hash straight off the event.
-            return self.routing.shard_of(e, self.shards);
+            return self.groups[g].routing.shard_of(e, self.shards);
         }
-        let h = self.routing.group_hash(e);
-        let shard = self
+        let h = self.groups[g].routing.group_hash(e);
+        let shard = self.groups[g]
             .table
             .shard_for_hash(h)
             .unwrap_or_else(|| shard_of_hash(h, self.shards));
-        if self.rebalance.is_some() {
-            let routing = &self.routing;
+        if g == 0 && self.rebalance.is_some() {
+            let routing = &self.groups[g].routing;
             self.recent_events.bump_events(h, || routing.group_key(e));
             self.group_stats.bump_events(h, || routing.group_key(e));
         }
         Some(shard)
     }
 
-    fn route_all(&mut self, released: &mut Vec<EventRef>) -> Result<(), EngineError> {
-        for e in released.drain(..) {
-            self.stats.released += 1;
-            let wm = e.time;
-            match self.dest_shard(&e) {
-                None => {
+    /// Frame one released event for route group `g` (all of the group's
+    /// member queries see the same frame).
+    fn route_to_group(&mut self, g: usize, e: &EventRef) -> Result<(), EngineError> {
+        match self.group_dest_shard(g, e) {
+            None => {
+                if g == 0 {
                     self.stats.broadcasts += 1;
-                    for i in 0..self.shards {
-                        self.stats.events_per_shard[i] += 1;
-                        self.batch_bufs[i].push(e.clone());
-                        if self.batch_bufs[i].len() >= self.batch_size {
-                            self.flush_shard(i)?;
-                        }
-                    }
                 }
-                Some(shard) => {
-                    self.stats.events_per_shard[shard] += 1;
-                    self.batch_bufs[shard].push(e);
-                    if self.batch_bufs[shard].len() >= self.batch_size {
-                        self.flush_shard(shard)?;
+                for i in 0..self.shards {
+                    if g == 0 {
+                        self.stats.events_per_shard[i] += 1;
+                    }
+                    self.groups[g].batch_bufs[i].push(e.clone());
+                    if self.groups[g].batch_bufs[i].len() >= self.batch_size {
+                        self.flush_group_shard(g, i)?;
                     }
                 }
             }
-            self.note_watermark(wm)?;
+            Some(shard) => {
+                if g == 0 {
+                    self.stats.events_per_shard[shard] += 1;
+                }
+                self.groups[g].batch_bufs[shard].push(e.clone());
+                if self.groups[g].batch_bufs[shard].len() >= self.batch_size {
+                    self.flush_group_shard(g, shard)?;
+                }
+            }
         }
         Ok(())
     }
 
-    /// React to the released watermark reaching `wm`: if it crossed a
-    /// window-close boundary since the last broadcast, flush every buffered
-    /// frame (the watermark must not overtake its events) and broadcast the
-    /// watermark — one message per shard per closed window. With durability
-    /// on, closed windows also drive the checkpoint cadence.
+    fn route_all(&mut self, released: &mut Vec<EventRef>) -> Result<(), EngineError> {
+        for ev in released.iter() {
+            self.stats.released += 1;
+            let wm = ev.time;
+            for g in 0..self.groups.len() {
+                if self.groups[g].members == 0 {
+                    continue;
+                }
+                self.route_to_group(g, ev)?;
+            }
+            self.note_watermark(wm)?;
+        }
+        released.clear();
+        Ok(())
+    }
+
+    /// React to the released watermark reaching `wm`: if it crossed any
+    /// hosted query's window-close boundary since the last broadcast,
+    /// flush every buffered frame (the watermark must not overtake its
+    /// events) and broadcast the watermark — shards that received no
+    /// recent events still close their windows, for every query. The
+    /// *primary* query's closed windows drive the checkpoint and
+    /// rebalance cadences (single-query behaviour is unchanged byte for
+    /// byte).
     fn note_watermark(&mut self, wm: Time) -> Result<(), EngineError> {
         let t = wm.ticks();
-        if t < self.window_within {
+        let mut any_closed = false;
+        let mut primary_closed = 0u64;
+        for slot in &mut self.queries {
+            if !slot.active || t < slot.window_within {
+                continue;
+            }
+            let close_idx = (t - slot.window_within) / slot.window_slide.max(1);
+            if slot.last_close_idx == Some(close_idx) {
+                continue;
+            }
+            let closed = match slot.last_close_idx {
+                Some(prev) => close_idx - prev,
+                None => close_idx + 1,
+            };
+            slot.last_close_idx = Some(close_idx);
+            any_closed = true;
+            if slot.id == 0 {
+                primary_closed = closed;
+            }
+        }
+        if !any_closed {
             return Ok(());
         }
-        let close_idx = (t - self.window_within) / self.window_slide.max(1);
-        if self.last_close_idx == Some(close_idx) {
-            return Ok(());
-        }
-        let closed = match self.last_close_idx {
-            Some(prev) => close_idx - prev,
-            None => close_idx + 1,
-        };
-        self.last_close_idx = Some(close_idx);
         self.stats.watermarks += 1;
         self.flush_all_batches()?;
         for i in 0..self.senders.len() {
             self.send(i, Msg::Watermark(wm))?;
         }
-        if let Some(d) = &self.durability {
-            self.windows_since_checkpoint += closed;
-            if self.windows_since_checkpoint >= d.config.snapshot_every_windows.max(1) {
-                // Defer to the end of the current routing pass: a snapshot
-                // cut mid-release would lose the not-yet-routed remainder.
-                self.checkpoint_due = true;
+        if primary_closed > 0 {
+            if let Some(d) = &self.durability {
+                self.windows_since_checkpoint += primary_closed;
+                if self.windows_since_checkpoint >= d.config.snapshot_every_windows.max(1) {
+                    // Defer to the end of the current routing pass: a
+                    // snapshot cut mid-release would lose the
+                    // not-yet-routed remainder.
+                    self.checkpoint_due = true;
+                }
             }
-        }
-        if let Some(r) = &self.rebalance {
-            if self.shards > 1 {
-                self.windows_since_rebalance += closed;
-                if self.windows_since_rebalance >= r.check_every_windows.max(1) {
-                    // Deferred like checkpoints: the migration barrier must
-                    // not split a reorder release batch.
-                    self.rebalance_due = true;
+            if let Some(r) = &self.rebalance {
+                if self.shards > 1 {
+                    self.windows_since_rebalance += primary_closed;
+                    if self.windows_since_rebalance >= r.check_every_windows.max(1) {
+                        // Deferred like checkpoints: the migration barrier
+                        // must not split a reorder release batch.
+                        self.rebalance_due = true;
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    /// Send shard `i`'s buffered frame, if any.
-    fn flush_shard(&mut self, i: usize) -> Result<(), EngineError> {
-        if self.batch_bufs[i].is_empty() {
+    /// Send route group `g`'s buffered frame for shard `i`, if any.
+    fn flush_group_shard(&mut self, g: usize, i: usize) -> Result<(), EngineError> {
+        if self.groups[g].batch_bufs[i].is_empty() {
             return Ok(());
         }
-        let frame = std::mem::replace(&mut self.batch_bufs[i], Vec::with_capacity(self.batch_size));
+        let frame = std::mem::replace(
+            &mut self.groups[g].batch_bufs[i],
+            Vec::with_capacity(self.batch_size),
+        );
         self.max_occupancy = self.max_occupancy.max(self.senders[i].len() + 1);
         self.stats.frames += 1;
-        self.send(i, Msg::Events(frame))
+        self.send(
+            i,
+            Msg::Events {
+                group: g as u32,
+                frame,
+            },
+        )
     }
 
     fn flush_all_batches(&mut self) -> Result<(), EngineError> {
-        for i in 0..self.shards {
-            self.flush_shard(i)?;
+        for g in 0..self.groups.len() {
+            for i in 0..self.shards {
+                self.flush_group_shard(g, i)?;
+            }
         }
         Ok(())
     }
 
     /// Force a checkpoint now (durability must be configured): flush all
-    /// frames, barrier-snapshot every shard engine, persist the blob,
-    /// advance the manifest, and drop WAL segments and snapshots it made
-    /// obsolete.
+    /// frames, barrier-snapshot every hosted engine, persist the blob
+    /// (query registry included), advance the manifest, and drop WAL
+    /// segments and snapshots it made obsolete.
     ///
     /// Output-commit contract: rows already polled before the checkpoint
     /// are *not* in the snapshot and will never be re-emitted; rows not
@@ -1181,29 +2164,31 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.checkpoint_due = false;
         self.windows_since_checkpoint = 0;
         self.flush_all_batches()?;
-        let shard_states = self.collect_shard_states()?;
-        self.persist_snapshot(&shard_states)
+        let per_shard = self.collect_shard_states()?;
+        self.persist_snapshot(&per_shard)
     }
 
-    /// Barrier-snapshot every shard engine: every message queued before the
-    /// Snapshot request is processed before the shard replies, so the
+    /// Barrier-snapshot every hosted engine: every message queued before
+    /// the Snapshot request is processed before the shard replies, so the
     /// combined state is the exact cut at `stats.pushed` pushed events
-    /// (events still in the reorder buffer live on the ingest side). Rows
-    /// emitted before the barrier are drained into `pending`. Callers must
-    /// flush batched frames first.
-    fn collect_shard_states(&mut self) -> Result<Vec<Vec<u8>>, EngineError> {
+    /// (events still in the reorder buffer live on the ingest side). Each
+    /// shard replies with one `(query, blob)` per hosted query. Rows
+    /// emitted before the barrier are drained into the per-query buffers.
+    /// Callers must flush batched frames first.
+    fn collect_shard_states(&mut self) -> Result<Vec<QueryBlobs>, EngineError> {
         self.stats.barrier_snapshots += 1;
-        let (reply_tx, reply_rx) = channel::bounded::<(usize, Vec<u8>)>(self.shards);
+        let (reply_tx, reply_rx) = channel::bounded::<(usize, QueryBlobs)>(self.shards);
         for i in 0..self.senders.len() {
             self.send(i, Msg::Snapshot(reply_tx.clone()))?;
         }
         drop(reply_tx);
-        let mut shard_states: Vec<Vec<u8>> = (0..self.shards).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<(u32, Vec<u8>)>> =
+            (0..self.shards).map(|_| Vec::new()).collect();
         let mut got = 0usize;
         while got < self.shards {
             match reply_rx.try_recv() {
-                Ok((shard, blob)) => {
-                    shard_states[shard] = blob;
+                Ok((shard, blobs)) => {
+                    per_shard[shard] = blobs;
                     got += 1;
                 }
                 Err(TryRecvError::Empty) => {
@@ -1217,9 +2202,9 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
         // Rows (and frontier stamps) emitted before the barrier are all in
         // flight by now; pull them in so a snapshot carries the un-polled
-        // rows and the merge's frontier reflects the cut.
+        // rows and each merge's frontier reflects the cut.
         self.drain_ready();
-        Ok(shard_states)
+        Ok(per_shard)
     }
 
     /// Run the skew detector and, on imbalance, migrate group state to a
@@ -1256,7 +2241,7 @@ impl<N: TrendNum> StreamExecutor<N> {
         if total == 0 {
             return Ok(());
         }
-        let table = &self.table;
+        let table = &self.groups[0].table;
         let shards = self.shards;
         let current = |k: &PartitionKey| {
             let h = group_key_hash(k);
@@ -1300,15 +2285,18 @@ impl<N: TrendNum> StreamExecutor<N> {
         self.migrate(overrides, moves)
     }
 
-    /// Barrier migration to a new group → shard assignment:
+    /// Barrier migration to a new group → shard assignment for the
+    /// primary route group:
     ///
-    /// 1. flush buffered frames and barrier-snapshot every shard engine
+    /// 1. flush buffered frames and barrier-snapshot every hosted engine
     ///    (drains all in-flight work — the stream is cut at a point where
     ///    no event is between the router and an engine);
     /// 2. install the new table under a bumped routing epoch;
-    /// 3. repartition the snapshots so each group's graphs, incremental
-    ///    aggregates, and replay context follow it to its new owner;
-    /// 4. send each shard its rebuilt engine. Channels are FIFO and
+    /// 3. repartition the snapshots of every query routed through the
+    ///    primary group so each group's graphs, incremental aggregates,
+    ///    and replay context follow it to its new owner (queries on their
+    ///    own key plane keep their engines);
+    /// 4. send each shard its rebuilt engines. Channels are FIFO and
     ///    nothing is routed between the barrier and the install, so every
     ///    frame routed under epoch `e+1` is processed by an epoch-`e+1`
     ///    engine — results stay byte-identical to any static assignment.
@@ -1324,35 +2312,76 @@ impl<N: TrendNum> StreamExecutor<N> {
         moves: usize,
     ) -> Result<(), EngineError> {
         self.flush_all_batches()?;
-        let shard_states = self.collect_shard_states()?;
-        self.table.install(overrides);
-        let table = self.table.clone();
+        let per_shard = self.collect_shard_states()?;
+        self.groups[0].table.install(overrides);
+        let table = self.groups[0].table.clone();
         let shards = self.shards;
-        let engines = GretaEngine::<N>::repartition_states(
-            &self.query,
-            &self.registry,
-            self.engine_config,
-            &shard_states,
-            shards,
-            |g| {
-                let h = group_key_hash(g);
-                table
-                    .shard_for_hash(h)
-                    .unwrap_or_else(|| shard_of_hash(h, shards))
-            },
-        )?;
-        self.stats.rebalances += 1;
-        self.stats.groups_moved += moves as u64;
+        let members: Vec<(u32, CompiledQuery)> = self
+            .queries
+            .iter()
+            .filter(|s| s.active && s.group == 0)
+            .map(|s| (s.id, s.query.clone()))
+            .collect();
+        let member_ids: Vec<u32> = members.iter().map(|(id, _)| *id).collect();
         // Fused rebalance + checkpoint barrier: the repartitioned engines
         // *are* the exact post-migration cut (the new table and counters
         // are already in `self`), so when a cadence checkpoint is owed
         // they are serialized directly — no second barrier drain.
-        let fused_blobs: Option<Vec<Vec<u8>>> = (self.checkpoint_due && self.durability.is_some())
-            .then(|| engines.iter().map(GretaEngine::export_state).collect());
-        for (i, engine) in engines.into_iter().enumerate() {
-            self.send(i, Msg::Install(Box::new(engine)))?;
+        let mut fused_states: Option<Vec<QueryBlobs>> =
+            (self.checkpoint_due && self.durability.is_some()).then(|| {
+                per_shard
+                    .iter()
+                    .map(|blobs| {
+                        blobs
+                            .iter()
+                            .filter(|(q, _)| !member_ids.contains(q))
+                            .cloned()
+                            .collect()
+                    })
+                    .collect()
+            });
+        for (qid, query) in &members {
+            let states: Vec<Vec<u8>> = per_shard
+                .iter()
+                .map(|blobs| {
+                    blobs
+                        .iter()
+                        .find(|(q, _)| q == qid)
+                        .map(|(_, b)| b.clone())
+                        .unwrap_or_default()
+                })
+                .collect();
+            let t = table.clone();
+            let engines = GretaEngine::<N>::repartition_states(
+                query,
+                &self.registry,
+                self.engine_config,
+                &states,
+                shards,
+                move |g| {
+                    let h = group_key_hash(g);
+                    t.shard_for_hash(h)
+                        .unwrap_or_else(|| shard_of_hash(h, shards))
+                },
+            )?;
+            if let Some(fs) = &mut fused_states {
+                for (i, engine) in engines.iter().enumerate() {
+                    fs[i].push((*qid, engine.export_state()));
+                }
+            }
+            for (i, engine) in engines.into_iter().enumerate() {
+                self.send(
+                    i,
+                    Msg::Install {
+                        query: *qid,
+                        engine: Box::new(engine),
+                    },
+                )?;
+            }
         }
-        if let Some(blobs) = fused_blobs {
+        self.stats.rebalances += 1;
+        self.stats.groups_moved += moves as u64;
+        if let Some(blobs) = fused_states {
             // Persist only after every install is queued: a snapshot I/O
             // failure then surfaces as a plain checkpoint error against a
             // fully committed migration, never a half-installed table.
@@ -1366,26 +2395,29 @@ impl<N: TrendNum> StreamExecutor<N> {
 
     /// Serialize, write, and commit a snapshot of the current cut: fsync
     /// the WAL, write the blob, advance the manifest, drop WAL segments
-    /// and snapshots it made obsolete.
-    fn persist_snapshot(&mut self, shard_states: &[Vec<u8>]) -> Result<(), EngineError> {
-        let blob = self.encode_snapshot(shard_states);
+    /// and snapshots it made obsolete. The manifest records the WAL's
+    /// next record index (events *and* registry records), so replay
+    /// resumes exactly past the records the snapshot covers.
+    fn persist_snapshot(&mut self, per_shard: &[Vec<(u32, Vec<u8>)>]) -> Result<(), EngineError> {
+        let blob = self.encode_snapshot(per_shard);
         let d = self.durability.as_mut().expect("durability configured");
         // Order matters: WAL records covered by the manifest must be
         // durable before the manifest points past them.
         d.wal.sync().map_err(EngineError::from)?;
+        let wal_index = d.wal.next_index();
         d.epoch += 1;
         d.snapshots
             .write(d.epoch, &blob)
             .map_err(EngineError::from)?;
         Manifest {
             epoch: d.epoch,
-            wal_index: self.stats.pushed,
+            wal_index,
             shards: self.shards as u32,
         }
         .store(&d.config.dir)
         .map_err(EngineError::from)?;
         d.wal
-            .truncate_segments_before(self.stats.pushed)
+            .truncate_segments_before(wal_index)
             .map_err(EngineError::from)?;
         d.snapshots
             .purge_before(d.epoch)
@@ -1394,8 +2426,10 @@ impl<N: TrendNum> StreamExecutor<N> {
         Ok(())
     }
 
-    /// Serialize the ingest-side state + shard blobs into one snapshot.
-    fn encode_snapshot(&self, shard_states: &[Vec<u8>]) -> Vec<u8> {
+    /// Serialize the ingest-side state + every hosted query's shard blobs
+    /// into one snapshot: a v4-compatible primary section first, then the
+    /// registered-query registry.
+    fn encode_snapshot(&self, per_shard: &[Vec<(u32, Vec<u8>)>]) -> Vec<u8> {
         use crate::state::{encode_events, encode_window_result, put_opt_u64};
         let mut out = Vec::new();
         out.push(SNAPSHOT_VERSION);
@@ -1409,10 +2443,7 @@ impl<N: TrendNum> StreamExecutor<N> {
             LatePolicy::Divert => 1,
             LatePolicy::Error => 2,
         });
-        out.push(match self.merge {
-            None => 0,
-            Some(_) => 1,
-        });
+        out.push(encode_emission(self.queries[0].emission));
         for v in [
             self.stats.pushed,
             self.stats.released,
@@ -1430,14 +2461,14 @@ impl<N: TrendNum> StreamExecutor<N> {
         ] {
             put_u64(&mut out, v);
         }
-        put_opt_u64(&mut out, self.last_close_idx);
+        put_opt_u64(&mut out, self.queries[0].last_close_idx);
         put_u32(&mut out, self.late_windows.len() as u32);
         for (&wid, &(dropped, diverted)) in &self.late_windows {
             put_u64(&mut out, wid);
             put_u64(&mut out, dropped);
             put_u64(&mut out, diverted);
         }
-        self.table.encode(&mut out);
+        self.groups[0].table.encode(&mut out);
         self.group_stats.encode(&mut out);
         put_u64(&mut out, self.windows_since_rebalance);
         self.recent_events.encode(&mut out);
@@ -1447,25 +2478,61 @@ impl<N: TrendNum> StreamExecutor<N> {
         }
         self.reorder.export_state(&mut out);
         encode_events(self.diverted.iter(), &mut out);
-        put_u32(&mut out, self.pending.len() as u32);
-        for row in &self.pending {
+        put_u32(&mut out, self.queries[0].pending.len() as u32);
+        for row in &self.queries[0].pending {
             encode_window_result(row, &mut out);
         }
-        if let Some(m) = &self.merge {
+        if let Some(m) = &self.queries[0].merge {
             m.export_state(&mut out);
         }
-        put_u32(&mut out, shard_states.len() as u32);
-        for blob in shard_states {
+        let empty: Vec<u8> = Vec::new();
+        put_u32(&mut out, per_shard.len() as u32);
+        for blobs in per_shard {
+            let blob = blobs
+                .iter()
+                .find(|(q, _)| *q == 0)
+                .map(|(_, b)| b)
+                .unwrap_or(&empty);
             put_u32(&mut out, blob.len() as u32);
             out.extend_from_slice(blob);
+        }
+        // ── Registry section (v5) ──────────────────────────────────────
+        put_u32(&mut out, self.next_query_id);
+        put_u64(&mut out, self.query_epoch);
+        let extras: Vec<&QuerySlot<N>> = self.queries.iter().skip(1).filter(|s| s.active).collect();
+        put_u32(&mut out, extras.len() as u32);
+        for slot in extras {
+            put_u32(&mut out, slot.id);
+            put_str(&mut out, slot.text.as_deref().unwrap_or(""));
+            out.push(encode_emission(slot.emission));
+            put_opt_u64(&mut out, slot.last_close_idx);
+            put_u64(&mut out, slot.rows);
+            put_u32(&mut out, slot.pending.len() as u32);
+            for row in &slot.pending {
+                encode_window_result(row, &mut out);
+            }
+            if let Some(m) = &slot.merge {
+                m.export_state(&mut out);
+            }
+            put_u32(&mut out, self.shards as u32);
+            for blobs in per_shard {
+                let blob = blobs
+                    .iter()
+                    .find(|(q, _)| *q == slot.id)
+                    .map(|(_, b)| b)
+                    .unwrap_or(&empty);
+                put_u32(&mut out, blob.len() as u32);
+                out.extend_from_slice(blob);
+            }
         }
         out
     }
 
     /// Inverse of [`encode_snapshot`](Self::encode_snapshot). Refuses a
-    /// `config` whose result-shaping knobs (slack, late policy) differ
-    /// from the checkpointed run's — recovering under different values
-    /// would silently break the byte-identical-replay guarantee.
+    /// `config` whose result-shaping knobs (slack, late policy, primary
+    /// emission mode) differ from the checkpointed run's — recovering
+    /// under different values would silently break the
+    /// byte-identical-replay guarantee.
     fn decode_snapshot(
         bytes: &[u8],
         expect_shards: usize,
@@ -1505,11 +2572,7 @@ impl<N: TrendNum> StreamExecutor<N> {
                 config.late_policy
             )));
         }
-        let emission = match r.u8()? {
-            0 => EmissionMode::Unordered,
-            1 => EmissionMode::WindowOrdered,
-            t => return Err(CodecError(format!("bad EmissionMode tag {t}")).into()),
-        };
+        let emission = decode_emission(r.u8()?)?;
         if emission != config.emission {
             return Err(EngineError::Config(format!(
                 "emission-mode mismatch: checkpoint was taken with {emission:?}, \
@@ -1574,6 +2637,48 @@ impl<N: TrendNum> StreamExecutor<N> {
         for _ in 0..n_states {
             shard_states.push(r.bytes()?.to_vec());
         }
+        // ── Registry section (v5) ──────────────────────────────────────
+        let next_query_id = r.u32()?;
+        let query_epoch = r.u64()?;
+        let n_extra = r.seq_len(22)?;
+        let mut extras = Vec::with_capacity(n_extra);
+        for _ in 0..n_extra {
+            let id = r.u32()?;
+            let text = r.str()?.to_string();
+            let ex_emission = decode_emission(r.u8()?)?;
+            let ex_last_close_idx = get_opt_u64(r)?;
+            let rows = r.u64()?;
+            let n_pending = r.seq_len(9)?;
+            let mut ex_pending = Vec::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                ex_pending.push(decode_window_result(r)?);
+            }
+            let ex_merge = match ex_emission {
+                EmissionMode::Unordered => None,
+                EmissionMode::WindowOrdered => Some(ResultMerge::import_state(r)?),
+            };
+            let n_ex_states = r.seq_len(4)?;
+            if n_ex_states != shards {
+                return Err(CodecError(format!(
+                    "registered query {id} carries {n_ex_states} state blobs, expected {shards}"
+                ))
+                .into());
+            }
+            let mut ex_states = Vec::with_capacity(n_ex_states);
+            for _ in 0..n_ex_states {
+                ex_states.push(r.bytes()?.to_vec());
+            }
+            extras.push(ExtraParts {
+                id,
+                text,
+                emission: ex_emission,
+                last_close_idx: ex_last_close_idx,
+                rows,
+                pending: ex_pending,
+                merge: ex_merge,
+                shard_states: ex_states,
+            });
+        }
         if !r.is_empty() {
             return Err(
                 CodecError(format!("{} trailing bytes after snapshot", r.remaining())).into(),
@@ -1593,14 +2698,17 @@ impl<N: TrendNum> StreamExecutor<N> {
             pending,
             merge,
             shard_states,
+            next_query_id,
+            query_epoch,
+            extras,
         })
     }
 
     /// Deliver `msg` to a shard without ever blocking this thread for good:
     /// while the shard's input queue is full, drain the result channel into
-    /// the pending buffer (the pushing thread is the only result consumer,
-    /// so parking in a blocking `send` while workers wait to emit rows
-    /// would deadlock the pipeline).
+    /// the per-query buffers (the pushing thread is the only result
+    /// consumer, so parking in a blocking `send` while workers wait to
+    /// emit rows would deadlock the pipeline).
     fn send(&mut self, shard: usize, msg: Msg<N>) -> Result<(), EngineError> {
         let mut msg = msg;
         loop {
@@ -1669,98 +2777,203 @@ impl<N: TrendNum> Drop for StreamExecutor<N> {
     }
 }
 
+/// Emit one engine slot's ready rows (and, when ordered, its advanced
+/// emission frontier). Returns false if the executor hung up.
+fn flush_engine_slot<N: TrendNum>(
+    slot: &mut EngineSlot<N>,
+    shard: usize,
+    results_tx: &Sender<OutMsg<N>>,
+) -> bool {
+    for row in slot.engine.poll_results() {
+        slot.seq += 1;
+        if results_tx
+            .send(OutMsg::Row {
+                query: slot.query,
+                shard: shard as u32,
+                seq: slot.seq,
+                row,
+            })
+            .is_err()
+        {
+            return false;
+        }
+    }
+    if slot.ordered {
+        let next = slot.engine.emission_frontier();
+        if next > slot.frontier {
+            slot.frontier = next;
+            if results_tx
+                .send(OutMsg::Frontier {
+                    query: slot.query,
+                    shard: shard as u32,
+                    next_window: next,
+                })
+                .is_err()
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 fn worker_loop<N: TrendNum>(
-    mut engine: GretaEngine<N>,
+    mut slots: Vec<EngineSlot<N>>,
     shard: usize,
     rx: Receiver<Msg<N>>,
     results_tx: Sender<OutMsg<N>>,
     export_final: bool,
-    ordered: bool,
 ) -> Result<WorkerReport, EngineError> {
-    let report = |engine: &GretaEngine<N>| WorkerReport {
-        stats: engine.stats(),
-        peak_bytes: engine.peak_memory_bytes().max(engine.memory_bytes()),
-        group_vertices: engine.group_vertices(),
-        final_state: None,
+    let report = |slots: &[EngineSlot<N>]| {
+        let mut stats = EngineStats::default();
+        let mut peak_bytes = 0usize;
+        let mut group_vertices = Vec::new();
+        for s in slots {
+            let es = s.engine.stats();
+            stats.events += es.events;
+            stats.vertices += es.vertices;
+            stats.edges += es.edges;
+            stats.results += es.results;
+            peak_bytes += s.engine.peak_memory_bytes().max(s.engine.memory_bytes());
+            if s.query == 0 {
+                group_vertices = s.engine.group_vertices();
+            }
+        }
+        WorkerReport {
+            stats,
+            peak_bytes,
+            group_vertices,
+            final_states: None,
+        }
     };
-    // Per-shard emission counter and last frontier sent: rows are stamped
-    // `(shard, seq)`, and a frontier message follows whenever the engine's
-    // emission frontier advanced — after the rows it covers, so the
-    // ordered merge can never release a window ahead of its rows.
-    let mut seq = 0u64;
-    let mut frontier = 0;
     for msg in rx.iter() {
         match msg {
-            Msg::Events(batch) => {
-                for e in &batch {
-                    engine.process_ref(e)?;
+            Msg::Events { group, frame } => {
+                // Every query in the frame's route group processes the
+                // same shared events (Arc clones — no copies).
+                for s in slots.iter_mut().filter(|s| s.group == group) {
+                    for e in &frame {
+                        s.engine.process_ref(e)?;
+                    }
                 }
             }
-            Msg::Watermark(t) => engine.advance_watermark(t),
+            Msg::Watermark(t) => {
+                for s in slots.iter_mut() {
+                    s.engine.advance_watermark(t);
+                }
+            }
             Msg::Snapshot(reply) => {
                 // Rows of previous messages were already flushed below, so
-                // the exported state and the emitted rows never overlap.
-                let _ = reply.send((shard, engine.export_state()));
+                // the exported states and the emitted rows never overlap.
+                let blobs = slots
+                    .iter()
+                    .map(|s| (s.query, s.engine.export_state()))
+                    .collect();
+                let _ = reply.send((shard, blobs));
                 continue;
             }
-            Msg::Install(next) => {
+            Msg::Install { query, engine } => {
                 // Barrier-migration commit: adopt the repartitioned engine.
                 // Its inherited watermark (the max across source engines)
                 // may already be past some windows' close times — close
                 // them now so their rows flow out with this drain instead
                 // of waiting for the next message.
-                engine = *next;
-                engine.close_overdue();
+                if let Some(s) = slots.iter_mut().find(|s| s.query == query) {
+                    s.engine = *engine;
+                    s.engine.close_overdue();
+                }
+            }
+            Msg::AddQuery {
+                query,
+                group,
+                ordered,
+                engine,
+                ack,
+            } => {
+                // Register-barrier commit: FIFO channels guarantee this
+                // engine sees exactly the frames sent after the cut.
+                slots.push(EngineSlot {
+                    query,
+                    group,
+                    ordered,
+                    engine: *engine,
+                    seq: 0,
+                    frontier: 0,
+                });
+                let _ = ack.send(shard);
+                continue;
+            }
+            Msg::RemoveQuery { query, ack } => {
+                // Deregister-barrier commit: finish the engine (closing
+                // its open windows), emit the remainder tagged, then ack —
+                // the executor drains the rows before tearing the slot
+                // down, so nothing is lost.
+                if let Some(pos) = slots.iter().position(|s| s.query == query) {
+                    let mut s = slots.remove(pos);
+                    for row in s.engine.finish() {
+                        s.seq += 1;
+                        if results_tx
+                            .send(OutMsg::Row {
+                                query: s.query,
+                                shard: shard as u32,
+                                seq: s.seq,
+                                row,
+                            })
+                            .is_err()
+                        {
+                            return Ok(report(&slots));
+                        }
+                    }
+                    if s.ordered
+                        && results_tx
+                            .send(OutMsg::Frontier {
+                                query: s.query,
+                                shard: shard as u32,
+                                next_window: WindowId::MAX,
+                            })
+                            .is_err()
+                    {
+                        return Ok(report(&slots));
+                    }
+                }
+                let _ = ack.send(shard);
+                continue;
             }
         }
-        for row in engine.poll_results() {
-            seq += 1;
+        let all_sent = slots
+            .iter_mut()
+            .all(|slot| flush_engine_slot(slot, shard, &results_tx));
+        if !all_sent {
+            // Executor dropped without finish(): stop quietly.
+            return Ok(report(&slots));
+        }
+    }
+    for slot in slots.iter_mut() {
+        for row in slot.engine.finish() {
+            slot.seq += 1;
             if results_tx
                 .send(OutMsg::Row {
+                    query: slot.query,
                     shard: shard as u32,
-                    seq,
+                    seq: slot.seq,
                     row,
                 })
                 .is_err()
             {
-                // Executor dropped without finish(): stop quietly.
-                return Ok(report(&engine));
+                break;
             }
-        }
-        if ordered {
-            let next = engine.emission_frontier();
-            if next > frontier {
-                frontier = next;
-                if results_tx
-                    .send(OutMsg::Frontier {
-                        shard: shard as u32,
-                        next_window: next,
-                    })
-                    .is_err()
-                {
-                    return Ok(report(&engine));
-                }
-            }
-        }
-    }
-    for row in engine.finish() {
-        seq += 1;
-        if results_tx
-            .send(OutMsg::Row {
-                shard: shard as u32,
-                seq,
-                row,
-            })
-            .is_err()
-        {
-            break;
         }
     }
     // No explicit final frontier: the executor treats this worker's
     // channel disconnect as frontier = ∞.
-    let mut rep = report(&engine);
+    let mut rep = report(&slots);
     if export_final {
-        rep.final_state = Some(engine.export_state());
+        rep.final_states = Some(
+            slots
+                .iter()
+                .map(|s| (s.query, s.engine.export_state()))
+                .collect(),
+        );
     }
     Ok(rep)
 }
@@ -1780,7 +2993,6 @@ pub(crate) fn drive_batch<N: TrendNum>(
     out.extend(engine.finish());
     Ok(out)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2116,9 +3328,9 @@ mod tests {
         exec.push(acc).unwrap();
         exec.push(pos).unwrap(); // advances the reorder horizon past t=1
         assert_eq!(exec.stats().broadcasts, 1);
-        assert_eq!(exec.batch_bufs.len(), 3);
-        let first = &exec.batch_bufs[0][0];
-        for buf in &exec.batch_bufs[1..] {
+        assert_eq!(exec.groups[0].batch_bufs.len(), 3);
+        let first = &exec.groups[0].batch_bufs[0][0];
+        for buf in &exec.groups[0].batch_bufs[1..] {
             assert!(
                 std::sync::Arc::ptr_eq(first, &buf[0]),
                 "broadcast event was copied instead of shared"

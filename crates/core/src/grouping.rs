@@ -488,6 +488,21 @@ impl StreamRouting {
     pub fn shard_of_group_key(&self, key: &PartitionKey, shards: usize) -> usize {
         shard_of_hash(group_key_hash(key), shards)
     }
+
+    /// True when `other` routes every event exactly like `self`: the same
+    /// broadcast classification per event type and the same `GROUP-BY`
+    /// attribute slots (so [`group_hash`](Self::group_hash) agrees on every
+    /// event). Queries whose routings agree this way can share one routed
+    /// event plane — and one [`RoutingTable`] — inside a multi-query
+    /// executor: each event is classified and hashed once for the whole
+    /// set.
+    pub fn routes_like(&self, other: &StreamRouting) -> bool {
+        self.n_group == other.n_group
+            && self.root_types == other.root_types
+            && self.broadcast_types == other.broadcast_types
+            && self.extractor.n_attrs == other.extractor.n_attrs
+            && self.extractor.per_type == other.extractor.per_type
+    }
 }
 
 #[cfg(test)]

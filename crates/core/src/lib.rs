@@ -52,7 +52,8 @@ pub use agg::{AggLayout, AggState, TrendNum};
 pub use engine::{EngineConfig, EngineStats, GretaEngine};
 pub use error::EngineError;
 pub use executor::{
-    EmissionMode, ExecutorConfig, ExecutorStats, LatePolicy, RebalanceConfig, StreamExecutor,
+    EmissionMode, ExecutorConfig, ExecutorStats, LatePolicy, QueryId, QueryStreamStats,
+    RebalanceConfig, StreamExecutor,
 };
 pub use grouping::{group_key_hash, shard_of_hash, PartitionKey, RoutingTable, StreamRouting};
 pub use memory::MemoryFootprint;

@@ -2,7 +2,7 @@
 //! partitions the stream into sub-streams that are processed in parallel
 //! independently from each other", evaluated in §10.4).
 //!
-//! Since the [`StreamExecutor`](crate::executor::StreamExecutor) landed,
+//! Since the [`StreamExecutor`] landed,
 //! this module is a **compatibility wrapper**: [`run_parallel`] builds an
 //! executor with `threads` shards, feeds it the batch (polling as it goes,
 //! so bounded channels never back up), and returns the combined rows

@@ -3,7 +3,7 @@
 //! binary, and any embedding that wants to talk to a remote executor.
 
 use crate::protocol::{self, IngestAck, ProtoError, Request, Response, SessionOptions};
-use greta_core::WindowResult;
+use greta_core::{EmissionMode, WindowResult};
 use greta_types::{Event, SchemaRegistry};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -67,7 +67,8 @@ impl Client {
         Ok(resp)
     }
 
-    /// Submit a query; returns the new session id.
+    /// Submit a query; returns the new session id (its primary query has
+    /// id `0`).
     pub fn submit(
         &mut self,
         query: &str,
@@ -78,8 +79,47 @@ impl Client {
             query: query.to_string(),
             registry: registry.clone(),
             options,
+            attach_to: None,
         })? {
-            Response::SubmitOk { session } => Ok(session),
+            Response::SubmitOk { session, .. } => Ok(session),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Register an additional query on an existing session's shared
+    /// ingest stream (compiled server-side against the session's
+    /// registry); returns the assigned query id for `subscribe_query` /
+    /// `detach`.
+    pub fn register(
+        &mut self,
+        session: u64,
+        query: &str,
+        emission: EmissionMode,
+    ) -> Result<u32, ClientError> {
+        match self.call(&Request::Submit {
+            query: query.to_string(),
+            registry: SchemaRegistry::new(),
+            options: SessionOptions {
+                emission,
+                ..SessionOptions::default()
+            },
+            attach_to: Some(session),
+        })? {
+            Response::SubmitOk { query, .. } => Ok(query),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Deregister a query from a session mid-stream; returns its
+    /// undelivered remainder (rows its subscribers had not received —
+    /// disjoint from, and completing, the subscribed stream).
+    pub fn detach(
+        &mut self,
+        session: u64,
+        query: u32,
+    ) -> Result<Vec<WindowResult<f64>>, ClientError> {
+        match self.call(&Request::Detach { session, query })? {
+            Response::DetachOk { rows, .. } => Ok(rows),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -87,7 +127,7 @@ impl Client {
     /// Bind this connection to an existing session.
     pub fn attach(&mut self, session: u64) -> Result<u64, ClientError> {
         match self.call(&Request::Attach { session })? {
-            Response::SubmitOk { session } => Ok(session),
+            Response::SubmitOk { session, .. } => Ok(session),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
@@ -154,11 +194,24 @@ impl Client {
         }
     }
 
-    /// Turn this connection into a result subscription. Rows stream in
-    /// wire order (canonical `(window, group)` order under the default
-    /// `WindowOrdered` emission) until the session drains.
-    pub fn subscribe(mut self, session: u64) -> Result<Subscription, ClientError> {
-        protocol::write_request(&mut self.stream, &Request::Subscribe { session })?;
+    /// Turn this connection into a result subscription on the session's
+    /// primary query. Rows stream in wire order (canonical
+    /// `(window, group)` order under the default `WindowOrdered`
+    /// emission) until the session drains.
+    pub fn subscribe(self, session: u64) -> Result<Subscription, ClientError> {
+        self.subscribe_query(session, 0)
+    }
+
+    /// Turn this connection into a result subscription on one query of a
+    /// multi-query session (`0` = primary; registered queries use the id
+    /// from [`register`](Self::register)). The stream ends when the
+    /// query detaches or the session drains.
+    pub fn subscribe_query(
+        mut self,
+        session: u64,
+        query: u32,
+    ) -> Result<Subscription, ClientError> {
+        protocol::write_request(&mut self.stream, &Request::Subscribe { session, query })?;
         Ok(Subscription {
             stream: self.stream,
             done: false,

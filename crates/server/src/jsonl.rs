@@ -5,12 +5,16 @@
 //!
 //! Requests:
 //! `{"submit":{"query":…,"schemas":[…],"options":{…}}}` ·
+//! `{"register":{"session":N,"query":…,"emission":…}}` ·
 //! `{"attach":{"session":N}}` · `{"ingest":{"session":N,"events":[…]}}` ·
-//! `{"subscribe":{"session":N}}` · `{"drain":{"session":N}}` ·
-//! `{"stats":{}}` · `{"shutdown":{}}` · `{"ping":{}}`
+//! `{"subscribe":{"session":N,"query":Q}}` (`query` optional, default
+//! the primary query 0) · `{"detach":{"session":N,"query":Q}}` ·
+//! `{"drain":{"session":N}}` · `{"stats":{}}` · `{"shutdown":{}}` ·
+//! `{"ping":{}}`
 //!
-//! Responses: `{"submitted":{…}}` · `{"ack":{…}}` · a stream of
-//! `{"rows":{…}}` then `{"end":{…}}` for subscriptions ·
+//! Responses: `{"submitted":{"session":N,"query":Q}}` · `{"ack":{…}}` ·
+//! a stream of `{"rows":{…}}` then `{"end":{…}}` for subscriptions ·
+//! `{"detached":{"session":N,"query":Q,"rows":[…]}}` ·
 //! `{"drained":{…}}` · `{"stats":{"text":…}}` · `{"shutdown":"ok"}` ·
 //! `{"pong":{}}` · `{"error":"…"}`.
 
@@ -80,13 +84,37 @@ fn serve_line(writer: &mut TcpStream, shared: &Arc<Shared>, line: &str) -> Resul
                 None => SessionOptions::default(),
                 Some(o) => options_from_json(o)?,
             };
-            let session = shared.submit(query, reg, options)?;
-            Ok(format!("{{\"submitted\":{{\"session\":{session}}}}}"))
+            let (session, query) = shared.submit(query, reg, options, None)?;
+            Ok(format!(
+                "{{\"submitted\":{{\"session\":{session},\"query\":{query}}}}}"
+            ))
+        }
+        "register" => {
+            let session = session_of(body)?;
+            let query = body
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or("register lacks `query`")?;
+            let mut options = SessionOptions::default();
+            if let Some(e) = body.get("emission").and_then(Json::as_str) {
+                options.emission = match e {
+                    "unordered" => EmissionMode::Unordered,
+                    "ordered" => EmissionMode::WindowOrdered,
+                    e => return Err(format!("unknown emission `{e}`")),
+                };
+            }
+            let (session, query) =
+                shared.submit(query, SchemaRegistry::new(), options, Some(session))?;
+            Ok(format!(
+                "{{\"submitted\":{{\"session\":{session},\"query\":{query}}}}}"
+            ))
         }
         "attach" => {
             let session = session_of(body)?;
             let session = shared.attach(session)?;
-            Ok(format!("{{\"submitted\":{{\"session\":{session}}}}}"))
+            Ok(format!(
+                "{{\"submitted\":{{\"session\":{session},\"query\":0}}}}"
+            ))
         }
         "ingest" => {
             let session = session_of(body)?;
@@ -103,17 +131,39 @@ fn serve_line(writer: &mut TcpStream, shared: &Arc<Shared>, line: &str) -> Resul
         }
         "subscribe" => {
             let session = session_of(body)?;
-            match shared.subscribe(session)? {
-                None => Ok(format!("{{\"end\":{{\"session\":{session}}}}}")),
+            let query = query_of(body)?;
+            match shared.subscribe(session, query)? {
+                None => Ok(format!(
+                    "{{\"end\":{{\"session\":{session},\"query\":{query}}}}}"
+                )),
                 Some(rx) => {
                     while let Ok(SubMsg::Rows(rows)) = rx.recv() {
-                        let line = encode_rows(session, &rows);
+                        let line = encode_rows(session, query, &rows);
                         writeln!(writer, "{line}").map_err(|e| e.to_string())?;
                         writer.flush().map_err(|e| e.to_string())?;
                     }
-                    Ok(format!("{{\"end\":{{\"session\":{session}}}}}"))
+                    Ok(format!(
+                        "{{\"end\":{{\"session\":{session},\"query\":{query}}}}}"
+                    ))
                 }
             }
+        }
+        "detach" => {
+            let session = session_of(body)?;
+            let query = body
+                .get("query")
+                .and_then(Json::as_u64)
+                .ok_or("detach lacks a numeric `query`")?;
+            let query = u32::try_from(query).map_err(|_| "query id out of range")?;
+            let rows = shared.detach(session, query)?;
+            let mut out = String::new();
+            let _ = write!(
+                out,
+                "{{\"detached\":{{\"session\":{session},\"query\":{query},\"rows\":"
+            );
+            push_rows_array(&mut out, &rows);
+            out.push_str("}}");
+            Ok(out)
         }
         "drain" => {
             let session = session_of(body)?;
@@ -137,6 +187,17 @@ fn session_of(body: &Json) -> Result<u64, String> {
     body.get("session")
         .and_then(Json::as_u64)
         .ok_or_else(|| "request lacks a numeric `session`".to_string())
+}
+
+/// Optional `query` field, defaulting to the primary query 0.
+fn query_of(body: &Json) -> Result<u32, String> {
+    match body.get("query") {
+        None => Ok(0),
+        Some(q) => q
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| "`query` must be a query id".to_string()),
+    }
 }
 
 fn options_from_json(o: &Json) -> Result<SessionOptions, String> {
@@ -206,10 +267,21 @@ fn encode_ack(a: &IngestAck) -> String {
     out
 }
 
-/// `{"rows":{"session":N,"rows":[{"window":…,"group":[…],"values":[…]},…]}}`
-pub(crate) fn encode_rows(session: u64, rows: &[WindowResult<f64>]) -> String {
+/// `{"rows":{"session":N,"query":Q,"rows":[{"window":…,"group":[…],"values":[…]},…]}}`
+pub(crate) fn encode_rows(session: u64, query: u32, rows: &[WindowResult<f64>]) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{{\"rows\":{{\"session\":{session},\"rows\":[");
+    let _ = write!(
+        out,
+        "{{\"rows\":{{\"session\":{session},\"query\":{query},\"rows\":"
+    );
+    push_rows_array(&mut out, rows);
+    out.push_str("}}");
+    out
+}
+
+/// `[{"window":…,"group":[…],"values":[…]},…]`
+fn push_rows_array(out: &mut String, rows: &[WindowResult<f64>]) {
+    out.push('[');
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -221,7 +293,7 @@ pub(crate) fn encode_rows(session: u64, rows: &[WindowResult<f64>]) -> String {
             }
             match g {
                 None => out.push_str("null"),
-                Some(v) => push_wire_value(&mut out, v),
+                Some(v) => push_wire_value(out, v),
             }
         }
         out.push_str("],\"values\":[");
@@ -230,14 +302,13 @@ pub(crate) fn encode_rows(session: u64, rows: &[WindowResult<f64>]) -> String {
                 out.push(',');
             }
             match v {
-                OutValue::Count(n) => push_num_field(&mut out, "Count", *n),
-                OutValue::Float(x) => push_num_field(&mut out, "Float", *x),
+                OutValue::Count(n) => push_num_field(out, "Count", *n),
+                OutValue::Float(x) => push_num_field(out, "Float", *x),
             }
         }
         out.push_str("]}");
     }
-    out.push_str("]}}");
-    out
+    out.push(']');
 }
 
 fn push_wire_value(out: &mut String, v: &Value) {

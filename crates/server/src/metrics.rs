@@ -64,6 +64,9 @@ pub(crate) struct SessionMetrics<'a> {
     pub drained: bool,
     /// Latest stats snapshot.
     pub stats: ExecutorStats,
+    /// Query texts by id (the primary plus every registered query),
+    /// joined with [`ExecutorStats::queries`] for the per-query series.
+    pub queries: &'a [(u32, String)],
 }
 
 /// Server-level counters for the page header.
@@ -262,6 +265,100 @@ pub(crate) fn render(server: &ServerMetrics, sessions: &[SessionMetrics<'_>]) ->
         }
     }
 
+    // Per-query stream families: one series per (session, query), from
+    // ExecutorStats::queries joined with the handle's query texts.
+    r.family(
+        "greta_query_epoch",
+        "gauge",
+        "Version of the session's query registry (bumps on every register/deregister barrier).",
+    );
+    for s in sessions {
+        let id = s.id.to_string();
+        r.series(
+            "greta_query_epoch",
+            &[("session", &id)],
+            s.stats.query_epoch as f64,
+        );
+    }
+    r.family(
+        "greta_query_info",
+        "gauge",
+        "Hosted query identity: text and routing sharing as labels, value 1.",
+    );
+    for s in sessions {
+        let id = s.id.to_string();
+        for q in &s.stats.queries {
+            let qid = q.id.0.to_string();
+            let text = s
+                .queries
+                .iter()
+                .find(|(i, _)| *i == q.id.0)
+                .map(|(_, t)| t.as_str())
+                .unwrap_or("");
+            let shares = if q.shares_primary_routing {
+                "true"
+            } else {
+                "false"
+            };
+            let active = if q.active { "true" } else { "false" };
+            r.series(
+                "greta_query_info",
+                &[
+                    ("session", &id),
+                    ("query", &qid),
+                    ("text", text),
+                    ("shares_primary_routing", shares),
+                    ("active", active),
+                ],
+                1.0,
+            );
+        }
+    }
+    type QueryGetter = fn(&greta_core::QueryStreamStats) -> f64;
+    type QueryFamily = (&'static str, &'static str, &'static str, QueryGetter);
+    let per_query: &[QueryFamily] = &[
+        (
+            "greta_query_rows_total",
+            "counter",
+            "Result rows produced for this query (delivered or pending).",
+            |q| q.rows as f64,
+        ),
+        (
+            "greta_query_pending_rows",
+            "gauge",
+            "Rows buffered for this query awaiting poll.",
+            |q| q.pending_rows as f64,
+        ),
+        (
+            "greta_query_released_watermark",
+            "gauge",
+            "Windows below this id are fully released in canonical order (0 when unordered).",
+            |q| q.released_to as f64,
+        ),
+        (
+            "greta_query_min_frontier",
+            "gauge",
+            "Minimum cross-shard emission frontier: the window id every shard has passed.",
+            |q| q.min_frontier as f64,
+        ),
+        (
+            "greta_query_active",
+            "gauge",
+            "1 while the query is registered, 0 after it detached.",
+            |q| q.active as u8 as f64,
+        ),
+    ];
+    for (name, kind, help, get) in per_query {
+        r.family(name, kind, help);
+        for s in sessions {
+            let id = s.id.to_string();
+            for q in &s.stats.queries {
+                let qid = q.id.0.to_string();
+                r.series(name, &[("session", &id), ("query", &qid)], get(q));
+            }
+        }
+    }
+
     // Per-shard vectors: one series per (session, shard).
     r.family(
         "greta_shard_events_total",
@@ -337,16 +434,38 @@ mod tests {
     fn renders_all_families_with_help_and_type() {
         let stats = ExecutorStats {
             pushed: 5,
+            query_epoch: 2,
+            queries: vec![
+                greta_core::QueryStreamStats {
+                    id: greta_core::QueryId(0),
+                    rows: 7,
+                    shares_primary_routing: true,
+                    active: true,
+                    ..Default::default()
+                },
+                greta_core::QueryStreamStats {
+                    id: greta_core::QueryId(1),
+                    rows: 3,
+                    pending_rows: 1,
+                    active: true,
+                    ..Default::default()
+                },
+            ],
             events_per_shard: vec![3, 2],
             channel_occupancy: vec![0, 1],
             merge_frontier_lag: vec![0, 4],
             ..Default::default()
         };
+        let queries = vec![
+            (0u32, "RETURN COUNT(*) PATTERN SEQ(A a)".to_string()),
+            (1u32, "RETURN COUNT(*) PATTERN SEQ(B b)".to_string()),
+        ];
         let text = page(&[SessionMetrics {
             id: 1,
             query: "RETURN COUNT(*) PATTERN SEQ(A a)",
             drained: false,
             stats,
+            queries: &queries,
         }]);
         // Valid exposition format: every series line's metric name has a
         // preceding HELP/TYPE header.
@@ -356,6 +475,15 @@ mod tests {
         assert!(text.contains("greta_shard_events_total{session=\"1\",shard=\"0\"} 3"));
         assert!(text.contains("greta_merge_frontier_lag_windows{session=\"1\",shard=\"1\"} 4"));
         assert!(text.contains("greta_session_info{session=\"1\",query="));
+        // Per-query families: one series per (session, query).
+        assert!(text.contains("greta_query_epoch{session=\"1\"} 2"));
+        assert!(text.contains("greta_query_rows_total{session=\"1\",query=\"0\"} 7"));
+        assert!(text.contains("greta_query_rows_total{session=\"1\",query=\"1\"} 3"));
+        assert!(text.contains("greta_query_pending_rows{session=\"1\",query=\"1\"} 1"));
+        assert!(text.contains(
+            "greta_query_info{session=\"1\",query=\"1\",text=\"RETURN COUNT(*) PATTERN SEQ(B b)\""
+        ));
+        assert!(text.contains("shares_primary_routing=\"true\""));
         // At least 12 distinct ExecutorStats-backed families.
         let families = text
             .lines()
@@ -371,6 +499,7 @@ mod tests {
             query: "line1\nline2 \"quoted\" back\\slash",
             drained: true,
             stats: ExecutorStats::default(),
+            queries: &[],
         }]);
         assert!(text.contains("line1\\nline2 \\\"quoted\\\" back\\\\slash"));
     }

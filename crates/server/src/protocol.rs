@@ -20,7 +20,12 @@ use std::io::{self, Read, Write};
 /// Connection preamble magic for the binary protocol.
 pub const MAGIC: [u8; 4] = *b"GRTA";
 /// Binary protocol version carried after [`MAGIC`].
-pub const VERSION: u16 = 1;
+///
+/// Version 2 made sessions multi-query: `Submit` can attach a query to
+/// an existing session, `SubmitOk` carries the assigned query id,
+/// `Subscribe`/`Rows`/`End` are query-scoped, and `Detach` deregisters
+/// a query mid-stream, returning its final rows.
+pub const VERSION: u16 = 2;
 /// Hard cap on a single frame's payload (16 MiB). The length prefix is
 /// validated against this before any payload allocation.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
@@ -144,14 +149,23 @@ pub struct IngestAck {
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Compile `query` against `registry` and start a session.
+    /// Compile `query` and either start a session or, with `attach_to`,
+    /// register it as an additional query on an existing session's
+    /// shared ingest stream.
     Submit {
         /// Query-language text (see `greta-query`).
         query: String,
-        /// Event schemas the query and its events refer to.
+        /// Event schemas the query and its events refer to. Ignored when
+        /// `attach_to` is set — an attached query compiles against the
+        /// target session's registry (one stream, one schema set).
         registry: SchemaRegistry,
-        /// Executor options.
+        /// Executor options. For an attached query only
+        /// [`SessionOptions::emission`] applies (the session's executor
+        /// already fixed sharding, slack, and durability).
         options: SessionOptions,
+        /// `None` starts a new session; `Some(id)` registers the query
+        /// on session `id`, sharing its ingest plane.
+        attach_to: Option<u64>,
     },
     /// Bind this connection to an existing session.
     Attach {
@@ -165,10 +179,22 @@ pub enum Request {
         /// Events in stream order.
         events: Vec<Event>,
     },
-    /// Stream the session's results over this connection until drain.
+    /// Stream one query's results over this connection until the query
+    /// detaches or the session drains.
     Subscribe {
         /// Target session.
         session: u64,
+        /// Target query within the session (`0` = the primary query).
+        query: u32,
+    },
+    /// Deregister a query from a session mid-stream (barrier cut). The
+    /// reply carries the query's final rows; its subscriptions end.
+    Detach {
+        /// Target session.
+        session: u64,
+        /// Query to deregister (the primary query `0` cannot detach —
+        /// drain the session instead).
+        query: u32,
     },
     /// Gracefully drain one session: flush ordered output, take a
     /// terminal checkpoint, end its subscriptions.
@@ -187,10 +213,14 @@ pub enum Request {
 /// Server → client frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Session created (or attached).
+    /// Session created (or attached, or a query registered).
     SubmitOk {
         /// The session id to use in subsequent frames.
         session: u64,
+        /// The query id within the session: `0` for a new session's
+        /// primary query, the assigned id for a `Submit` with
+        /// `attach_to`.
+        query: u32,
     },
     /// Ingest acknowledgement.
     Ack(IngestAck),
@@ -198,14 +228,31 @@ pub enum Response {
     Rows {
         /// Source session.
         session: u64,
+        /// Source query within the session.
+        query: u32,
         /// Result rows; under `WindowOrdered` these arrive in canonical
         /// `(window, group)` order across all `Rows` frames.
         rows: Vec<WindowResult<f64>>,
     },
-    /// Subscription terminator: the session drained, no more rows.
+    /// Subscription terminator: the query detached or the session
+    /// drained; no more rows.
     End {
         /// Source session.
         session: u64,
+        /// Source query within the session.
+        query: u32,
+    },
+    /// Detach finished; the query is deregistered.
+    DetachOk {
+        /// The session the query detached from.
+        session: u64,
+        /// The deregistered query.
+        query: u32,
+        /// The query's undelivered remainder: rows released by the
+        /// detach barrier (plus everything still pending when nothing
+        /// ever subscribed). Disjoint from rows already streamed to
+        /// subscribers — union is exactly-once.
+        rows: Vec<WindowResult<f64>>,
     },
     /// Drain finished; the durability directory (if any) holds a
     /// terminal checkpoint.
@@ -237,6 +284,7 @@ const K_DRAIN: u8 = 0x05;
 const K_SHUTDOWN: u8 = 0x06;
 const K_STATS: u8 = 0x07;
 const K_PING: u8 = 0x08;
+const K_DETACH: u8 = 0x09;
 
 const K_SUBMIT_OK: u8 = 0x81;
 const K_ACK: u8 = 0x82;
@@ -247,6 +295,7 @@ const K_STATS_TEXT: u8 = 0x86;
 const K_PONG: u8 = 0x87;
 const K_SHUTDOWN_OK: u8 = 0x88;
 const K_END: u8 = 0x89;
+const K_DETACH_OK: u8 = 0x8A;
 
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
@@ -346,11 +395,13 @@ impl Request {
                 query,
                 registry,
                 options,
+                attach_to,
             } => {
                 out.push(K_SUBMIT);
                 put_str(out, query);
                 registry.encode(out);
                 options.encode(out);
+                put_opt_u64(out, *attach_to);
             }
             Request::Attach { session } => {
                 out.push(K_ATTACH);
@@ -364,9 +415,15 @@ impl Request {
                     e.encode(out);
                 }
             }
-            Request::Subscribe { session } => {
+            Request::Subscribe { session, query } => {
                 out.push(K_SUBSCRIBE);
                 put_u64(out, *session);
+                put_u32(out, *query);
+            }
+            Request::Detach { session, query } => {
+                out.push(K_DETACH);
+                put_u64(out, *session);
+                put_u32(out, *query);
             }
             Request::Drain { session } => {
                 out.push(K_DRAIN);
@@ -388,6 +445,7 @@ impl Request {
                 query: r.str()?.to_string(),
                 registry: SchemaRegistry::decode(&mut r)?,
                 options: SessionOptions::decode(&mut r)?,
+                attach_to: get_opt_u64(&mut r)?,
             },
             K_ATTACH => Request::Attach { session: r.u64()? },
             K_INGEST => {
@@ -399,7 +457,14 @@ impl Request {
                 }
                 Request::Ingest { session, events }
             }
-            K_SUBSCRIBE => Request::Subscribe { session: r.u64()? },
+            K_SUBSCRIBE => Request::Subscribe {
+                session: r.u64()?,
+                query: r.u32()?,
+            },
+            K_DETACH => Request::Detach {
+                session: r.u64()?,
+                query: r.u32()?,
+            },
             K_DRAIN => Request::Drain { session: r.u64()? },
             K_SHUTDOWN => Request::Shutdown,
             K_STATS => Request::Stats,
@@ -424,9 +489,10 @@ impl Response {
     /// Append this frame's kind byte and payload to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            Response::SubmitOk { session } => {
+            Response::SubmitOk { session, query } => {
                 out.push(K_SUBMIT_OK);
                 put_u64(out, *session);
+                put_u32(out, *query);
             }
             Response::Ack(a) => {
                 out.push(K_ACK);
@@ -436,17 +502,36 @@ impl Response {
                 put_opt_u64(out, a.watermark);
                 out.push(a.busy as u8);
             }
-            Response::Rows { session, rows } => {
+            Response::Rows {
+                session,
+                query,
+                rows,
+            } => {
                 out.push(K_ROWS);
                 put_u64(out, *session);
+                put_u32(out, *query);
                 put_u32(out, rows.len() as u32);
                 for row in rows {
                     row.encode(out);
                 }
             }
-            Response::End { session } => {
+            Response::End { session, query } => {
                 out.push(K_END);
                 put_u64(out, *session);
+                put_u32(out, *query);
+            }
+            Response::DetachOk {
+                session,
+                query,
+                rows,
+            } => {
+                out.push(K_DETACH_OK);
+                put_u64(out, *session);
+                put_u32(out, *query);
+                put_u32(out, rows.len() as u32);
+                for row in rows {
+                    row.encode(out);
+                }
             }
             Response::DrainOk { session } => {
                 out.push(K_DRAIN_OK);
@@ -471,7 +556,10 @@ impl Response {
         let mut r = Reader::new(payload);
         let kind = r.u8()?;
         let resp = match kind {
-            K_SUBMIT_OK => Response::SubmitOk { session: r.u64()? },
+            K_SUBMIT_OK => Response::SubmitOk {
+                session: r.u64()?,
+                query: r.u32()?,
+            },
             K_ACK => Response::Ack(IngestAck {
                 session: r.u64()?,
                 pushed: r.u64()?,
@@ -481,14 +569,36 @@ impl Response {
             }),
             K_ROWS => {
                 let session = r.u64()?;
+                let query = r.u32()?;
                 let n = r.seq_len(8)?;
                 let mut rows = Vec::with_capacity(n);
                 for _ in 0..n {
                     rows.push(WindowResult::decode(&mut r)?);
                 }
-                Response::Rows { session, rows }
+                Response::Rows {
+                    session,
+                    query,
+                    rows,
+                }
             }
-            K_END => Response::End { session: r.u64()? },
+            K_END => Response::End {
+                session: r.u64()?,
+                query: r.u32()?,
+            },
+            K_DETACH_OK => {
+                let session = r.u64()?;
+                let query = r.u32()?;
+                let n = r.seq_len(8)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(WindowResult::decode(&mut r)?);
+                }
+                Response::DetachOk {
+                    session,
+                    query,
+                    rows,
+                }
+            }
             K_DRAIN_OK => Response::DrainOk { session: r.u64()? },
             K_SHUTDOWN_OK => Response::ShutdownOk,
             K_STATS_TEXT => Response::StatsText {
@@ -637,6 +747,13 @@ mod tests {
                 recover: true,
                 ..SessionOptions::default()
             },
+            attach_to: None,
+        });
+        roundtrip_request(Request::Submit {
+            query: "RETURN COUNT(*) PATTERN SEQ(Stock s)".into(),
+            registry: sample_registry(),
+            options: SessionOptions::default(),
+            attach_to: Some(12),
         });
         roundtrip_request(Request::Attach { session: 7 });
         roundtrip_request(Request::Ingest {
@@ -650,7 +767,14 @@ mod tests {
                 ),
             ],
         });
-        roundtrip_request(Request::Subscribe { session: 3 });
+        roundtrip_request(Request::Subscribe {
+            session: 3,
+            query: 2,
+        });
+        roundtrip_request(Request::Detach {
+            session: 3,
+            query: 1,
+        });
         roundtrip_request(Request::Drain { session: 3 });
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Stats);
@@ -659,7 +783,14 @@ mod tests {
 
     #[test]
     fn response_roundtrips() {
-        roundtrip_response(Response::SubmitOk { session: 9 });
+        roundtrip_response(Response::SubmitOk {
+            session: 9,
+            query: 0,
+        });
+        roundtrip_response(Response::SubmitOk {
+            session: 9,
+            query: 3,
+        });
         roundtrip_response(Response::Ack(IngestAck {
             session: 9,
             pushed: 100,
@@ -669,13 +800,26 @@ mod tests {
         }));
         roundtrip_response(Response::Rows {
             session: 9,
+            query: 1,
             rows: vec![WindowResult {
                 window: 2,
                 group: PartitionKey(vec![Some(Value::Int(1))]),
                 values: vec![OutValue::Count(3.0), OutValue::Float(1.5)],
             }],
         });
-        roundtrip_response(Response::End { session: 9 });
+        roundtrip_response(Response::End {
+            session: 9,
+            query: 1,
+        });
+        roundtrip_response(Response::DetachOk {
+            session: 9,
+            query: 2,
+            rows: vec![WindowResult {
+                window: 4,
+                group: PartitionKey(vec![None]),
+                values: vec![OutValue::Count(1.0)],
+            }],
+        });
         roundtrip_response(Response::DrainOk { session: 9 });
         roundtrip_response(Response::ShutdownOk);
         roundtrip_response(Response::StatsText {

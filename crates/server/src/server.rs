@@ -100,15 +100,39 @@ impl Shared {
         }
     }
 
-    /// Compile the query and start a session. Refused while draining.
+    /// Compile the query and start a session — or, with `attach_to`,
+    /// register it as an additional query on an existing session's
+    /// shared ingest stream. Returns `(session, query)`; the query id is
+    /// `0` for a new session. Refused while draining.
     pub(crate) fn submit(
         &self,
         query_text: &str,
         registry: SchemaRegistry,
         options: SessionOptions,
-    ) -> Result<u64, String> {
+        attach_to: Option<u64>,
+    ) -> Result<(u64, u32), String> {
         if self.draining.load(Ordering::SeqCst) {
             return Err("server is draining; no new sessions".into());
+        }
+        if let Some(sid) = attach_to {
+            let h = self.session(sid)?;
+            if h.drained.load(Ordering::SeqCst) {
+                return Err(format!("session {sid} is drained"));
+            }
+            // The session thread compiles against its own registry — one
+            // stream, one schema set — and runs the register barrier.
+            let (reply_tx, reply_rx) = bounded(1);
+            h.cmd_tx
+                .send(SessionCmd::Register {
+                    text: query_text.to_string(),
+                    emission: options.emission,
+                    reply: reply_tx,
+                })
+                .map_err(|_| format!("session {sid} is gone"))?;
+            let q = reply_rx
+                .recv()
+                .map_err(|_| format!("session {sid} died during register"))??;
+            return Ok((sid, q));
         }
         let compiled =
             CompiledQuery::parse(query_text, &registry).map_err(|e| format!("query error: {e}"))?;
@@ -118,7 +142,30 @@ impl Shared {
             .lock()
             .map_err(|_| "session registry poisoned".to_string())?
             .insert(id, Arc::new(handle));
-        Ok(id)
+        Ok((id, 0))
+    }
+
+    /// Deregister a query from a live session; returns its undelivered
+    /// remainder (see [`SessionCmd::Deregister`]).
+    pub(crate) fn detach(
+        &self,
+        id: u64,
+        query: u32,
+    ) -> Result<Vec<greta_core::WindowResult<f64>>, String> {
+        let h = self.session(id)?;
+        if h.drained.load(Ordering::SeqCst) {
+            return Err(format!("session {id} is drained"));
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        h.cmd_tx
+            .send(SessionCmd::Deregister {
+                query,
+                reply: reply_tx,
+            })
+            .map_err(|_| format!("session {id} is gone"))?;
+        reply_rx
+            .recv()
+            .map_err(|_| format!("session {id} died during detach"))?
     }
 
     /// Check a session id exists (the `Attach` frame).
@@ -151,15 +198,19 @@ impl Shared {
             .map_err(|_| format!("session {id} died during ingest"))?
     }
 
-    /// Register a subscriber channel on a session. Returns `None` when
-    /// the session already drained (the caller should send `End`).
+    /// Register a subscriber channel on one query of a session. Returns
+    /// `None` when the session already drained (the caller should send
+    /// `End`). An unknown query id yields a live channel that receives
+    /// an immediate `End` from the session thread.
     pub(crate) fn subscribe(
         &self,
         id: u64,
+        query: u32,
     ) -> Result<Option<crossbeam::channel::Receiver<SubMsg>>, String> {
         let h = self.session(id)?;
         let (tx, rx) = SessionHandle::subscriber_channel();
-        if h.drained.load(Ordering::SeqCst) || h.cmd_tx.send(SessionCmd::Subscribe { tx }).is_err()
+        if h.drained.load(Ordering::SeqCst)
+            || h.cmd_tx.send(SessionCmd::Subscribe { query, tx }).is_err()
         {
             return Ok(None);
         }
@@ -208,26 +259,36 @@ impl Shared {
         if let Ok(tail) = self.drained_tail.lock() {
             handles.extend(tail.iter().cloned());
         }
-        let mut rows: Vec<(u64, String, bool, greta_core::ExecutorStats)> = handles
+        type SessionRow = (
+            u64,
+            String,
+            bool,
+            greta_core::ExecutorStats,
+            Vec<(u32, String)>,
+        );
+        let mut rows: Vec<SessionRow> = handles
             .iter()
             .map(|h| {
                 let stats = h.last_stats.lock().map(|g| g.clone()).unwrap_or_default();
+                let texts = h.query_texts.lock().map(|g| g.clone()).unwrap_or_default();
                 (
                     h.id,
                     h.query_text.clone(),
                     h.drained.load(Ordering::SeqCst),
                     stats,
+                    texts,
                 )
             })
             .collect();
         rows.sort_by_key(|r| r.0);
         let sessions: Vec<SessionMetrics<'_>> = rows
             .iter()
-            .map(|(id, query, drained, stats)| SessionMetrics {
+            .map(|(id, query, drained, stats, texts)| SessionMetrics {
                 id: *id,
                 query,
                 drained: *drained,
                 stats: stats.clone(),
+                queries: texts,
             })
             .collect();
         metrics::render(
@@ -422,21 +483,30 @@ fn serve_request(stream: &mut TcpStream, shared: &Arc<Shared>, req: Request) -> 
             query,
             registry,
             options,
-        } => match shared.submit(&query, registry, options) {
-            Ok(session) => Response::SubmitOk { session },
+            attach_to,
+        } => match shared.submit(&query, registry, options, attach_to) {
+            Ok((session, query)) => Response::SubmitOk { session, query },
             Err(msg) => Response::Error { msg },
         },
         Request::Attach { session } => match shared.attach(session) {
-            Ok(session) => Response::SubmitOk { session },
+            Ok(session) => Response::SubmitOk { session, query: 0 },
             Err(msg) => Response::Error { msg },
         },
         Request::Ingest { session, events } => match shared.ingest(session, events) {
             Ok(ack) => Response::Ack(ack),
             Err(msg) => Response::Error { msg },
         },
-        Request::Subscribe { session } => {
-            return serve_subscription(stream, shared, session);
+        Request::Subscribe { session, query } => {
+            return serve_subscription(stream, shared, session, query);
         }
+        Request::Detach { session, query } => match shared.detach(session, query) {
+            Ok(rows) => Response::DetachOk {
+                session,
+                query,
+                rows,
+            },
+            Err(msg) => Response::Error { msg },
+        },
         Request::Drain { session } => match shared.drain_session(session) {
             Ok(()) => Response::DrainOk { session },
             Err(msg) => Response::Error { msg },
@@ -453,26 +523,40 @@ fn serve_request(stream: &mut TcpStream, shared: &Arc<Shared>, req: Request) -> 
     protocol::write_response(stream, &resp).is_ok()
 }
 
-/// Stream `Rows` frames until the session drains (`End`), then return to
-/// the request loop.
-fn serve_subscription(stream: &mut TcpStream, shared: &Arc<Shared>, session: u64) -> bool {
-    let rx = match shared.subscribe(session) {
+/// Stream one query's `Rows` frames until it detaches or the session
+/// drains (`End`), then return to the request loop.
+fn serve_subscription(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    session: u64,
+    query: u32,
+) -> bool {
+    let rx = match shared.subscribe(session, query) {
         Ok(Some(rx)) => rx,
         Ok(None) => {
             // Already drained: nothing more will ever arrive.
-            return protocol::write_response(stream, &Response::End { session }).is_ok();
+            return protocol::write_response(stream, &Response::End { session, query }).is_ok();
         }
         Err(msg) => return protocol::write_response(stream, &Response::Error { msg }).is_ok(),
     };
     loop {
         match rx.recv() {
             Ok(SubMsg::Rows(rows)) => {
-                if protocol::write_response(stream, &Response::Rows { session, rows }).is_err() {
+                if protocol::write_response(
+                    stream,
+                    &Response::Rows {
+                        session,
+                        query,
+                        rows,
+                    },
+                )
+                .is_err()
+                {
                     return false;
                 }
             }
             Ok(SubMsg::End) | Err(_) => {
-                return protocol::write_response(stream, &Response::End { session }).is_ok();
+                return protocol::write_response(stream, &Response::End { session, query }).is_ok();
             }
         }
     }

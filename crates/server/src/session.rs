@@ -1,6 +1,8 @@
-//! One session = one query = one [`StreamExecutor`] owned by a dedicated
-//! thread. Connections talk to it through a bounded command channel;
-//! subscribers get result rows fanned out over bounded channels.
+//! One session = one shared ingest stream = one [`StreamExecutor`] owned
+//! by a dedicated thread, hosting the primary query plus any number of
+//! queries registered at runtime. Connections talk to it through a
+//! bounded command channel; each query's subscribers get its result rows
+//! fanned out over bounded channels.
 //!
 //! Backpressure is layered: the command channel bounds in-flight ingest
 //! batches, the session stops polling `poll_results()` once its pending
@@ -11,7 +13,9 @@
 
 use crate::protocol::{IngestAck, SessionOptions};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use greta_core::{ExecutorConfig, ExecutorStats, StreamExecutor, WindowResult};
+use greta_core::{
+    EmissionMode, ExecutorConfig, ExecutorStats, QueryId, StreamExecutor, WindowResult,
+};
 use greta_durability::DurabilityConfig;
 use greta_query::compile::CompiledQuery;
 use greta_types::{Event, SchemaRegistry};
@@ -38,10 +42,31 @@ pub(crate) enum SessionCmd {
         /// Ack channel (capacity 1).
         reply: Sender<Result<IngestAck, String>>,
     },
-    /// Register a subscriber for result rows.
+    /// Register a subscriber for one query's result rows. An unknown
+    /// query id gets an immediate `End`.
     Subscribe {
+        /// Query within the session (`0` = primary).
+        query: u32,
         /// Row fan-out channel owned by the subscribing connection.
         tx: Sender<SubMsg>,
+    },
+    /// Register an additional query on the shared ingest stream
+    /// (barrier cut); reply with its assigned query id.
+    Register {
+        /// Query-language text, compiled against the session's registry.
+        text: String,
+        /// Result emission mode for the new query's stream.
+        emission: EmissionMode,
+        /// Reply channel (capacity 1).
+        reply: Sender<Result<u32, String>>,
+    },
+    /// Deregister a query (barrier cut); reply with its undelivered
+    /// remainder after its subscribers received everything pending.
+    Deregister {
+        /// Query to remove (`0` is refused — drain the session).
+        query: u32,
+        /// Reply channel (capacity 1).
+        reply: Sender<Result<Vec<WindowResult<f64>>, String>>,
     },
     /// Graceful drain; reply once the terminal checkpoint is on disk.
     Drain {
@@ -89,6 +114,10 @@ pub(crate) struct SessionHandle {
     /// Stats snapshot refreshed by the session thread after every command
     /// burst, so `/metrics` never blocks on a busy executor.
     pub(crate) last_stats: Arc<Mutex<ExecutorStats>>,
+    /// Query texts by id, ascending — the primary plus every query ever
+    /// registered (deregistered ones stay for metrics continuity;
+    /// `ExecutorStats::queries` marks them inactive).
+    pub(crate) query_texts: Arc<Mutex<Vec<(u32, String)>>>,
     /// Set once the session has drained (terminal checkpoint taken).
     pub(crate) drained: Arc<AtomicBool>,
     pub(crate) join: Mutex<Option<JoinHandle<()>>>,
@@ -134,8 +163,20 @@ pub(crate) fn spawn_session(
 
     let (cmd_tx, cmd_rx) = bounded(CMD_CHANNEL_CAPACITY);
     let last_stats = Arc::new(Mutex::new(exec.stats()));
+    // A recovered executor may come back hosting queries registered in a
+    // previous run; seed the text table from its registry.
+    let mut texts: Vec<(u32, String)> = exec
+        .query_ids()
+        .iter()
+        .map(|q| (q.0, exec.query_text(*q).unwrap_or(&query_text).to_string()))
+        .collect();
+    if texts.is_empty() {
+        texts.push((0, query_text.clone()));
+    }
+    let query_texts = Arc::new(Mutex::new(texts));
     let drained = Arc::new(AtomicBool::new(false));
     let thread_stats = Arc::clone(&last_stats);
+    let thread_texts = Arc::clone(&query_texts);
     let thread_drained = Arc::clone(&drained);
     let join = std::thread::Builder::new()
         .name(format!("greta-session-{id}"))
@@ -147,6 +188,7 @@ pub(crate) fn spawn_session(
                 opts,
                 cmd_rx,
                 thread_stats,
+                thread_texts,
                 thread_drained,
             )
         })
@@ -157,6 +199,7 @@ pub(crate) fn spawn_session(
         query_text,
         cmd_tx,
         last_stats,
+        query_texts,
         drained,
         join: Mutex::new(Some(join)),
     })
@@ -171,25 +214,46 @@ struct Subscriber {
     next: u64,
 }
 
-struct SessionLoop {
-    id: u64,
-    exec: StreamExecutor<f64>,
-    registry: SchemaRegistry,
+/// One hosted query's result stream: its own pending backlog and its
+/// own subscribers, fed from `poll_results_of(query)`.
+struct QueryStream {
+    /// Query id within the session's executor (`0` = primary).
+    query: u32,
     subs: Vec<Subscriber>,
     /// Rows polled from the executor but not yet accepted by every
     /// subscriber (or never subscribed for — they also feed the final
-    /// drain flush).
+    /// drain flush and the detach reply).
     pending: VecDeque<WindowResult<f64>>,
     /// Absolute index of `pending[0]`: the head advances only past rows
     /// the slowest subscriber has already received.
     pending_base: u64,
-    /// Stop polling `poll_results` past this many pending rows so the
-    /// executor's result channel backs up and `busy` trips.
+}
+
+impl QueryStream {
+    fn new(query: u32) -> QueryStream {
+        QueryStream {
+            query,
+            subs: Vec::new(),
+            pending: VecDeque::new(),
+            pending_base: 0,
+        }
+    }
+}
+
+struct SessionLoop {
+    id: u64,
+    exec: StreamExecutor<f64>,
+    registry: SchemaRegistry,
+    /// One stream per hosted query, ascending by query id.
+    streams: Vec<QueryStream>,
+    /// Stop polling results past this many pending rows (per query) so
+    /// the executor's result channel backs up and `busy` trips.
     pending_high: usize,
     channel_capacity: usize,
     result_capacity: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     id: u64,
     exec: StreamExecutor<f64>,
@@ -197,15 +261,24 @@ fn run_session(
     opts: SessionOptions,
     cmd_rx: Receiver<SessionCmd>,
     last_stats: Arc<Mutex<ExecutorStats>>,
+    query_texts: Arc<Mutex<Vec<(u32, String)>>>,
     drained: Arc<AtomicBool>,
 ) {
+    // One stream per query the executor hosts at start — just the
+    // primary on a fresh session, more after a multi-query recovery.
+    let streams: Vec<QueryStream> = {
+        let ids = exec.query_ids();
+        if ids.is_empty() {
+            vec![QueryStream::new(0)]
+        } else {
+            ids.iter().map(|q| QueryStream::new(q.0)).collect()
+        }
+    };
     let mut s = SessionLoop {
         id,
         exec,
         registry,
-        subs: Vec::new(),
-        pending: VecDeque::new(),
-        pending_base: 0,
+        streams,
         pending_high: (opts.result_capacity.max(1)) as usize,
         channel_capacity: (opts.channel_capacity.max(1)) as usize,
         result_capacity: (opts.result_capacity.max(1)) as usize,
@@ -232,14 +305,42 @@ fn run_session(
                         return;
                     }
                 }
-                Ok(SessionCmd::Subscribe { tx }) => {
+                Ok(SessionCmd::Subscribe { query, tx }) => {
                     worked = true;
-                    // A new subscriber starts at the head of the retained
-                    // backlog, like every subscriber before it.
-                    s.subs.push(Subscriber {
-                        tx,
-                        next: s.pending_base,
-                    });
+                    match s.streams.iter_mut().find(|st| st.query == query) {
+                        // A new subscriber starts at the head of the
+                        // retained backlog, like every one before it.
+                        Some(st) => st.subs.push(Subscriber {
+                            tx,
+                            next: st.pending_base,
+                        }),
+                        // Unknown (or already-detached) query: nothing
+                        // will ever arrive.
+                        None => {
+                            let _ = tx.send(SubMsg::End);
+                        }
+                    }
+                }
+                Ok(SessionCmd::Register {
+                    text,
+                    emission,
+                    reply,
+                }) => {
+                    worked = true;
+                    let res = s.register(&text, emission);
+                    if let Ok(q) = &res {
+                        if let Ok(mut g) = query_texts.lock() {
+                            g.push((*q, text));
+                        }
+                    }
+                    s.publish_stats(&last_stats);
+                    let _ = reply.send(res);
+                }
+                Ok(SessionCmd::Deregister { query, reply }) => {
+                    worked = true;
+                    let res = s.deregister(query);
+                    s.publish_stats(&last_stats);
+                    let _ = reply.send(res);
                 }
                 Ok(SessionCmd::Drain { reply }) => {
                     let res = s.drain();
@@ -321,97 +422,100 @@ impl SessionLoop {
         Ok(())
     }
 
-    /// The credit signal: busy when any executor channel (or this
-    /// session's own pending buffer) is at least half full.
+    /// The credit signal: busy when any executor channel (or any
+    /// query stream's own pending buffer) is at least half full.
     fn busy(&self, stats: &ExecutorStats) -> bool {
         stats.result_occupancy * 2 >= self.result_capacity
-            || self.pending.len() * 2 >= self.pending_high
+            || self
+                .streams
+                .iter()
+                .any(|st| st.pending.len() * 2 >= self.pending_high)
             || stats
                 .channel_occupancy
                 .iter()
                 .any(|&o| o * 2 >= self.channel_capacity)
     }
 
-    /// Poll results (up to the high-water mark) and fan batches out to
-    /// subscribers. Returns true if anything moved.
+    /// Poll every query's results (up to the per-query high-water mark)
+    /// and fan batches out to its subscribers. Returns true if anything
+    /// moved.
     fn pump(&mut self) -> bool {
         let mut moved = false;
-        if self.pending.len() < self.pending_high {
-            let polled = self.exec.poll_results();
-            if !polled.is_empty() {
-                moved = true;
-                self.pending.extend(polled);
-            }
-        }
-        moved |= self.flush_subs(false);
-        moved
-    }
-
-    /// Push pending rows to every subscriber, each from its own cursor,
-    /// so a fast subscriber never sees a row twice while a slow one
-    /// catches up. With `block` the sends wait for room (drain path);
-    /// otherwise a full subscriber just stops advancing its cursor
-    /// (slow-consumer backpressure propagates to the `busy` bit instead
-    /// of dropping rows). Rows leave `pending` only once the slowest
-    /// subscriber has received them.
-    fn flush_subs(&mut self, block: bool) -> bool {
-        if self.subs.is_empty() {
-            return false;
-        }
-        let mut moved = false;
-        let base = self.pending_base;
-        let end = base + self.pending.len() as u64;
-        let mut alive = Vec::with_capacity(self.subs.len());
-        for mut sub in self.subs.drain(..) {
-            let mut dead = false;
-            while sub.next < end {
-                let start = (sub.next - base) as usize;
-                let n = (self.pending.len() - start).min(SUB_BATCH_ROWS);
-                let batch: Vec<WindowResult<f64>> =
-                    self.pending.iter().skip(start).take(n).cloned().collect();
-                let sent = if block {
-                    sub.tx.send(SubMsg::Rows(batch)).map_err(|_| true)
-                } else {
-                    sub.tx
-                        .try_send(SubMsg::Rows(batch))
-                        .map_err(|e| matches!(e, crossbeam::channel::TrySendError::Disconnected(_)))
-                };
-                match sent {
-                    Ok(()) => {
-                        sub.next += n as u64;
+        for st in &mut self.streams {
+            if st.pending.len() < self.pending_high {
+                if let Ok(polled) = self.exec.poll_results_of(QueryId(st.query)) {
+                    if !polled.is_empty() {
                         moved = true;
-                    }
-                    Err(disconnected) => {
-                        dead = disconnected;
-                        break;
+                        st.pending.extend(polled);
                     }
                 }
             }
-            if !dead {
-                alive.push(sub);
-            }
-        }
-        self.subs = alive;
-        // Advance the shared head past everything the slowest live
-        // subscriber has received. With no subscribers left, the backlog
-        // stays for late subscribers and the final drain flush.
-        if let Some(min_next) = self.subs.iter().map(|s| s.next).min() {
-            let consumed = (min_next - base) as usize;
-            if consumed > 0 {
-                self.pending.drain(..consumed);
-                self.pending_base = min_next;
-            }
+            moved |= flush_stream(st, false);
         }
         moved
     }
 
-    /// Graceful drain: flush ordered output, take the terminal
-    /// checkpoint, deliver every remaining row, end subscriptions.
+    /// Register a new query on the shared stream (barrier cut at the
+    /// current release frontier).
+    fn register(&mut self, text: &str, emission: EmissionMode) -> Result<u32, String> {
+        let q = self
+            .exec
+            .register_query(text, emission)
+            .map_err(|e| e.to_string())?;
+        self.streams.push(QueryStream::new(q.0));
+        Ok(q.0)
+    }
+
+    /// Deregister a query: catch its subscribers up (blocking), end
+    /// their streams, and return the undelivered remainder — rows the
+    /// detach barrier released, plus the whole backlog when nothing ever
+    /// subscribed. Streamed rows and returned rows are disjoint: their
+    /// union is the query's exactly-once output.
+    fn deregister(&mut self, query: u32) -> Result<Vec<WindowResult<f64>>, String> {
+        if query == 0 {
+            return Err("the primary query cannot detach; drain the session".into());
+        }
+        let pos = self
+            .streams
+            .iter()
+            .position(|st| st.query == query)
+            .ok_or_else(|| format!("unknown query {query}"))?;
+        let barrier_rows = self
+            .exec
+            .deregister_query(QueryId(query))
+            .map_err(|e| e.to_string())?;
+        let mut st = self.streams.remove(pos);
+        flush_stream(&mut st, true);
+        for sub in st.subs.drain(..) {
+            let _ = sub.tx.send(SubMsg::End);
+        }
+        // After the blocking flush anything still pending was not
+        // delivered to any live subscriber (no subscribers, or they all
+        // disconnected) — it belongs in the reply.
+        let mut rows: Vec<WindowResult<f64>> = st.pending.drain(..).collect();
+        rows.extend(barrier_rows);
+        Ok(rows)
+    }
+
+    /// Graceful drain: flush ordered output of every hosted query, take
+    /// the terminal checkpoint, deliver every remaining row, end all
+    /// subscriptions.
     fn drain(&mut self) -> Result<(), String> {
         match self.exec.drain() {
             Ok(rows) => {
-                self.pending.extend(rows);
-                self.flush_subs(true);
+                // drain() returns the primary remainder; registered
+                // queries' remainders stay pollable afterwards.
+                let mut primary_rows = Some(rows);
+                for st in &mut self.streams {
+                    if st.query == 0 {
+                        if let Some(rows) = primary_rows.take() {
+                            st.pending.extend(rows);
+                        }
+                    } else if let Ok(polled) = self.exec.poll_results_of(QueryId(st.query)) {
+                        st.pending.extend(polled);
+                    }
+                    flush_stream(st, true);
+                }
                 self.broadcast_end();
                 Ok(())
             }
@@ -423,8 +527,10 @@ impl SessionLoop {
     }
 
     fn broadcast_end(&mut self) {
-        for sub in self.subs.drain(..) {
-            let _ = sub.tx.send(SubMsg::End);
+        for st in &mut self.streams {
+            for sub in st.subs.drain(..) {
+                let _ = sub.tx.send(SubMsg::End);
+            }
         }
     }
 
@@ -433,6 +539,65 @@ impl SessionLoop {
             *g = self.exec.stats();
         }
     }
+}
+
+/// Push one stream's pending rows to every one of its subscribers, each
+/// from its own cursor, so a fast subscriber never sees a row twice
+/// while a slow one catches up. With `block` the sends wait for room
+/// (drain/detach path); otherwise a full subscriber just stops advancing
+/// its cursor (slow-consumer backpressure propagates to the `busy` bit
+/// instead of dropping rows). Rows leave `pending` only once the slowest
+/// subscriber has received them.
+fn flush_stream(st: &mut QueryStream, block: bool) -> bool {
+    if st.subs.is_empty() {
+        return false;
+    }
+    let mut moved = false;
+    let base = st.pending_base;
+    let end = base + st.pending.len() as u64;
+    let mut alive = Vec::with_capacity(st.subs.len());
+    for mut sub in st.subs.drain(..) {
+        let mut dead = false;
+        while sub.next < end {
+            let start = (sub.next - base) as usize;
+            let n = (st.pending.len() - start).min(SUB_BATCH_ROWS);
+            let batch: Vec<WindowResult<f64>> =
+                st.pending.iter().skip(start).take(n).cloned().collect();
+            let sent = if block {
+                sub.tx.send(SubMsg::Rows(batch)).map_err(|_| true)
+            } else {
+                sub.tx
+                    .try_send(SubMsg::Rows(batch))
+                    .map_err(|e| matches!(e, crossbeam::channel::TrySendError::Disconnected(_)))
+            };
+            match sent {
+                Ok(()) => {
+                    sub.next += n as u64;
+                    moved = true;
+                }
+                Err(disconnected) => {
+                    dead = disconnected;
+                    break;
+                }
+            }
+        }
+        if !dead {
+            alive.push(sub);
+        }
+    }
+    st.subs = alive;
+    // Advance the shared head past everything the slowest live
+    // subscriber has received. With no subscribers left, the backlog
+    // stays for late subscribers, the final drain flush, and the
+    // detach reply.
+    if let Some(min_next) = st.subs.iter().map(|s| s.next).min() {
+        let consumed = (min_next - base) as usize;
+        if consumed > 0 {
+            st.pending.drain(..consumed);
+            st.pending_base = min_next;
+        }
+    }
+    moved
 }
 
 impl SessionHandle {

@@ -1,0 +1,479 @@
+//! Integration tests for the multi-query executor (ISSUE 9): one ingest
+//! plane (reorder buffer + WAL, paid once per event) fanning out to N
+//! registered queries, each with its own compiled plan, emission mode, and
+//! result channel. Every query's output must be byte-identical to its
+//! standalone single-query run — across shard counts, live
+//! register/deregister barriers (under rebalancing), crash/recovery with
+//! the registry in the snapshot/WAL, and a two-stage cascaded DAG driven
+//! by `min_frontier`.
+
+use greta::core::{
+    sort_canonical, EmissionMode, ExecutorConfig, GretaEngine, PartitionKey, QueryId,
+    RebalanceConfig, StreamExecutor, StreamRouting, WindowResult,
+};
+use greta::durability::DurabilityConfig;
+use greta::query::CompiledQuery;
+use greta::types::{Event, EventBuilder, SchemaRegistry, Time, Value};
+use std::path::PathBuf;
+
+fn sorted(mut rows: Vec<WindowResult<f64>>) -> Vec<WindowResult<f64>> {
+    sort_canonical(&mut rows);
+    rows
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("greta-multiq-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn assert_canonical_order(rows: &[WindowResult<f64>], ctx: &str) {
+    for w in rows.windows(2) {
+        assert!(
+            w[0].order_key() <= w[1].order_key(),
+            "{ctx}: out-of-order emission: ({}, {:?}) then ({}, {:?})",
+            w[0].window,
+            w[0].group,
+            w[1].window,
+            w[1].group,
+        );
+    }
+}
+
+/// One `M` stream, three query shapes over it: the primary and QB share
+/// the `grp` key plane (one routed frame feeds both); QC groups by `aux`,
+/// its own plane.
+const QA: &str = "RETURN grp, COUNT(*), SUM(S.load) PATTERN M S+ \
+                  WHERE S.load < NEXT(S).load GROUP-BY grp WITHIN 40 SLIDE 20";
+const QB: &str = "RETURN grp, COUNT(*) PATTERN M+ WHERE M.load < NEXT(M).load \
+                  GROUP-BY grp WITHIN 60 SLIDE 30";
+const QC: &str = "RETURN aux, SUM(M.load) PATTERN M+ WHERE M.load < NEXT(M).load \
+                  GROUP-BY aux WITHIN 50 SLIDE 25";
+
+fn setup() -> SchemaRegistry {
+    let mut reg = SchemaRegistry::new();
+    reg.register_type("M", &["grp", "aux", "load"]).unwrap();
+    reg
+}
+
+fn events(reg: &SchemaRegistry, n: usize) -> Vec<Event> {
+    (0..n as u64)
+        .map(|t| {
+            EventBuilder::new(reg, "M")
+                .unwrap()
+                .at(Time(t))
+                .set("grp", (t % 5) as i64)
+                .unwrap()
+                .set("aux", (t % 7) as i64)
+                .unwrap()
+                .set("load", ((t * 31) % 17) as f64)
+                .unwrap()
+                .build()
+        })
+        .collect()
+}
+
+/// Single-engine oracle: the canonical output of `text` over `events`.
+fn oracle(text: &str, reg: &SchemaRegistry, events: &[Event]) -> Vec<WindowResult<f64>> {
+    let q = CompiledQuery::parse(text, reg).unwrap();
+    let mut engine = GretaEngine::<f64>::new(q, reg.clone()).unwrap();
+    sorted(engine.run(events).unwrap())
+}
+
+#[test]
+fn three_queries_share_one_stream_byte_identical() {
+    let reg = setup();
+    let events = events(&reg, 500);
+    let expect_a = oracle(QA, &reg, &events);
+    let expect_b = oracle(QB, &reg, &events);
+    let expect_c = oracle(QC, &reg, &events);
+    for shards in [1usize, 2, 4] {
+        let qa = CompiledQuery::parse(QA, &reg).unwrap();
+        let mut exec = StreamExecutor::<f64>::new(
+            qa,
+            reg.clone(),
+            ExecutorConfig {
+                shards,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let qb = exec
+            .register_query(QB, EmissionMode::WindowOrdered)
+            .unwrap();
+        let qc = exec.register_query(QC, EmissionMode::Unordered).unwrap();
+        assert_eq!(exec.query_ids(), vec![QueryId::PRIMARY, qb, qc]);
+        assert_eq!(exec.query_text(qb), Some(QB));
+        let (mut rows_a, mut rows_b, mut rows_c) = (Vec::new(), Vec::new(), Vec::new());
+        for e in &events {
+            exec.push(e.clone()).unwrap();
+            rows_a.extend(exec.poll_results());
+            rows_b.extend(exec.poll_results_of(qb).unwrap());
+            rows_c.extend(exec.poll_results_of(qc).unwrap());
+        }
+        rows_a.extend(exec.finish().unwrap());
+        rows_b.extend(exec.poll_results_of(qb).unwrap());
+        rows_c.extend(exec.poll_results_of(qc).unwrap());
+        let stats = exec.stats();
+        // One ingest plane: each event was WAL-less here but released and
+        // routed exactly once, whatever the query count.
+        assert_eq!(stats.pushed, events.len() as u64);
+        assert_eq!(stats.released, events.len() as u64);
+        let qb_stats = stats.queries.iter().find(|q| q.id == qb).unwrap();
+        let qc_stats = stats.queries.iter().find(|q| q.id == qc).unwrap();
+        assert!(
+            qb_stats.shares_primary_routing,
+            "QB groups by grp: must ride the primary's routed frames"
+        );
+        assert!(
+            !qc_stats.shares_primary_routing,
+            "QC groups by aux: must route on its own key plane"
+        );
+        // Byte-identity per query vs its standalone run.
+        assert_eq!(sorted(rows_a), expect_a, "QA shards={shards}");
+        assert_canonical_order(&rows_b, &format!("QB shards={shards}"));
+        assert_eq!(rows_b, expect_b, "QB shards={shards}");
+        assert_eq!(sorted(rows_c), expect_c, "QC shards={shards}");
+    }
+}
+
+#[test]
+fn register_and_deregister_mid_stream_under_rebalancing() {
+    let reg = setup();
+    // Skewed stream: the hot grp keys all hash to shard 0 of 4 so the
+    // detector migrates state mid-run while queries come and go.
+    let qa = CompiledQuery::parse(QA, &reg).unwrap();
+    let routing = StreamRouting::new(&qa, &reg);
+    let hot: Vec<i64> = (0..10_000i64)
+        .filter(|g| routing.shard_of_group_key(&PartitionKey(vec![Some(Value::Int(*g))]), 4) == 0)
+        .take(3)
+        .collect();
+    let events: Vec<Event> = (0..600u64)
+        .map(|t| {
+            let grp = if t % 10 < 9 {
+                hot[(t % 3) as usize]
+            } else {
+                100_000 + (t % 23) as i64
+            };
+            EventBuilder::new(&reg, "M")
+                .unwrap()
+                .at(Time(t))
+                .set("grp", grp)
+                .unwrap()
+                .set("aux", (t % 7) as i64)
+                .unwrap()
+                .set("load", ((t * 31) % 17) as f64)
+                .unwrap()
+                .build()
+        })
+        .collect();
+    let (reg_at, dereg_at) = (150usize, 450usize);
+    // The register/deregister barrier cuts at the *release* frontier: with
+    // slack 0 and strictly increasing stamps the reorder buffer still
+    // holds the most recently pushed event (its successor has not proven
+    // the stamp complete), so a query registered before push k and
+    // deregistered before push j observes exactly the slice [k-1, j-1).
+    let expect_b = oracle(QB, &reg, &events[reg_at - 1..dereg_at - 1]);
+    let expect_a = oracle(QA, &reg, &events);
+    let mut exec = StreamExecutor::<f64>::new(
+        qa,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 4,
+            rebalance: Some(RebalanceConfig {
+                check_every_windows: 2,
+                imbalance_ratio: 1.2,
+                min_moves: 1,
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut qb = None;
+    let epoch_before = exec.query_epoch();
+    for (i, e) in events.iter().enumerate() {
+        if i == reg_at {
+            qb = Some(exec.register_query(QB, EmissionMode::Unordered).unwrap());
+        }
+        if i == dereg_at {
+            let id = qb.unwrap();
+            rows_b.extend(exec.poll_results_of(id).unwrap());
+            rows_b.extend(exec.deregister_query(id).unwrap());
+            assert!(!exec.query_ids().contains(&id));
+        }
+        exec.push(e.clone()).unwrap();
+        rows_a.extend(exec.poll_results());
+        if let Some(id) = qb {
+            if i >= reg_at && i < dereg_at {
+                rows_b.extend(exec.poll_results_of(id).unwrap());
+            }
+        }
+    }
+    rows_a.extend(exec.finish().unwrap());
+    let stats = exec.stats();
+    assert!(stats.rebalances >= 1, "stream must migrate mid-run");
+    assert_eq!(
+        exec.query_epoch(),
+        epoch_before + 2,
+        "register + deregister"
+    );
+    assert_eq!(sorted(rows_b), expect_b, "registered window of the stream");
+    assert_eq!(sorted(rows_a), expect_a, "primary must be undisturbed");
+}
+
+#[test]
+fn crash_recovery_restores_all_registered_queries() {
+    let reg = setup();
+    let events = events(&reg, 500);
+    let expect_a = oracle(QA, &reg, &events);
+    let expect_b = oracle(QB, &reg, &events);
+    let expect_c = oracle(QC, &reg, &events);
+    let dir = tmpdir("recover");
+    let mk_cfg = || ExecutorConfig {
+        shards: 3,
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..Default::default()
+    };
+    let qa = CompiledQuery::parse(QA, &reg).unwrap();
+    let (mut rows_a, mut rows_b, mut rows_c) = (Vec::new(), Vec::new(), Vec::new());
+    let (qb, qc);
+    {
+        let mut exec = StreamExecutor::<f64>::new(qa.clone(), reg.clone(), mk_cfg()).unwrap();
+        qb = exec
+            .register_query(QB, EmissionMode::WindowOrdered)
+            .unwrap();
+        qc = exec.register_query(QC, EmissionMode::Unordered).unwrap();
+        for e in &events[..220] {
+            exec.push(e.clone()).unwrap();
+            rows_a.extend(exec.poll_results());
+            rows_b.extend(exec.poll_results_of(qb).unwrap());
+            rows_c.extend(exec.poll_results_of(qc).unwrap());
+        }
+        exec.checkpoint().unwrap();
+        // Past the checkpoint, push without polling: these events live
+        // only in the WAL and must replay — registry intact — on recovery.
+        for e in &events[220..300] {
+            exec.push(e.clone()).unwrap();
+        }
+    } // crash
+    let mut exec = StreamExecutor::<f64>::recover(qa, reg.clone(), mk_cfg()).unwrap();
+    assert_eq!(
+        exec.query_ids(),
+        vec![QueryId::PRIMARY, qb, qc],
+        "recovery must restore the whole registry"
+    );
+    assert_eq!(exec.query_text(qb), Some(QB));
+    assert_eq!(exec.query_text(qc), Some(QC));
+    for e in &events[300..] {
+        exec.push(e.clone()).unwrap();
+        rows_a.extend(exec.poll_results());
+        rows_b.extend(exec.poll_results_of(qb).unwrap());
+        rows_c.extend(exec.poll_results_of(qc).unwrap());
+    }
+    rows_a.extend(exec.finish().unwrap());
+    rows_b.extend(exec.poll_results_of(qb).unwrap());
+    rows_c.extend(exec.poll_results_of(qc).unwrap());
+    assert_eq!(sorted(rows_a), expect_a, "primary across crash");
+    assert_canonical_order(&rows_b, "ordered registered query across crash");
+    assert_eq!(rows_b, expect_b, "ordered registered query across crash");
+    assert_eq!(
+        sorted(rows_c),
+        expect_c,
+        "unordered registered query across crash"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_replays_registration_made_after_the_last_checkpoint() {
+    let reg = setup();
+    let events = events(&reg, 400);
+    // Registration lands at the release frontier: event 259 is still in
+    // the reorder buffer at the cut and is released after it, so the
+    // query's stream starts at index 259 (see the rebalancing test).
+    let expect_b = oracle(QB, &reg, &events[259..]);
+    let dir = tmpdir("wal-register");
+    let mk_cfg = || ExecutorConfig {
+        shards: 2,
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..Default::default()
+    };
+    let qa = CompiledQuery::parse(QA, &reg).unwrap();
+    let qb;
+    {
+        let mut exec = StreamExecutor::<f64>::new(qa.clone(), reg.clone(), mk_cfg()).unwrap();
+        for e in &events[..200] {
+            exec.push(e.clone()).unwrap();
+        }
+        exec.checkpoint().unwrap();
+        for e in &events[200..260] {
+            exec.push(e.clone()).unwrap();
+        }
+        // Registered *after* the checkpoint: only the WAL knows. Replay
+        // must re-run the registration at the same stream position so the
+        // query sees exactly the events [260..].
+        qb = exec.register_query(QB, EmissionMode::Unordered).unwrap();
+        for e in &events[260..300] {
+            exec.push(e.clone()).unwrap();
+        }
+    } // crash without a second checkpoint
+    let mut exec = StreamExecutor::<f64>::recover(qa, reg.clone(), mk_cfg()).unwrap();
+    assert!(exec.query_ids().contains(&qb));
+    let mut rows_b = exec.poll_results_of(qb).unwrap();
+    for e in &events[300..] {
+        exec.push(e.clone()).unwrap();
+        rows_b.extend(exec.poll_results_of(qb).unwrap());
+    }
+    exec.finish().unwrap();
+    rows_b.extend(exec.poll_results_of(qb).unwrap());
+    assert_eq!(sorted(rows_b), expect_b);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two-stage cascaded DAG: stage 1 counts trends per `grp` under ordered
+/// emission; its rows become stage 2's input events, gated by
+/// `min_frontier` so only final windows flow downstream. Equivalent to
+/// running the stages sequentially.
+#[test]
+fn cascaded_dag_equals_sequential_oracle() {
+    let reg = setup();
+    let events = events(&reg, 500);
+    let stage1 = CompiledQuery::parse(QB, &reg).unwrap();
+
+    // Stage 2 consumes stage-1 rows as `W(grp, trends)` events stamped
+    // with their window id.
+    let mut reg2 = SchemaRegistry::new();
+    reg2.register_type("W", &["grp", "trends"]).unwrap();
+    const STAGE2: &str = "RETURN grp, COUNT(*) PATTERN W+ \
+                          WHERE W.trends < NEXT(W).trends \
+                          GROUP-BY grp WITHIN 6 SLIDE 3";
+    let row_to_event = |reg2: &SchemaRegistry, r: &WindowResult<f64>| -> Event {
+        let Some(Value::Int(grp)) = r.group.0[0] else {
+            panic!("stage 1 groups by an int key");
+        };
+        EventBuilder::new(reg2, "W")
+            .unwrap()
+            .at(Time(r.window))
+            .set("grp", grp)
+            .unwrap()
+            .set("trends", r.values[0].to_f64())
+            .unwrap()
+            .build()
+    };
+
+    // Sequential oracle: full stage 1, then full stage 2 over its rows.
+    let stage1_rows = oracle(QB, &reg, &events);
+    let stage2_input: Vec<Event> = stage1_rows.iter().map(|r| row_to_event(&reg2, r)).collect();
+    let expect = oracle(STAGE2, &reg2, &stage2_input);
+
+    // Cascaded deployment: both stages live, stage-1 rows stream into
+    // stage 2 as soon as the released watermark proves them final.
+    let mut up = StreamExecutor::<f64>::new(
+        stage1,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 4,
+            emission: EmissionMode::WindowOrdered,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut down = StreamExecutor::<f64>::new(
+        CompiledQuery::parse(STAGE2, &reg2).unwrap(),
+        reg2.clone(),
+        ExecutorConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut staged: Vec<WindowResult<f64>> = Vec::new();
+    let mut out = Vec::new();
+    let mut forwarded = 0usize;
+    for e in &events {
+        up.push(e.clone()).unwrap();
+        staged.extend(up.poll_results());
+        // Ordered emission releases only complete windows, but a window
+        // may still release in pieces across polls: `min_frontier` is the
+        // watermark below which no further rows can appear — safe to
+        // forward.
+        let frontier = up.min_frontier(QueryId::PRIMARY).unwrap();
+        let mut keep = Vec::new();
+        for r in staged.drain(..) {
+            if r.window < frontier {
+                forwarded += 1;
+                down.push(row_to_event(&reg2, &r)).unwrap();
+            } else {
+                keep.push(r);
+            }
+        }
+        staged = keep;
+        out.extend(down.poll_results());
+    }
+    // Frontier stamps travel on the result channel: give the async
+    // workers a moment to land one so the live-cascade path is exercised.
+    for _ in 0..2000 {
+        staged.extend(up.poll_results());
+        if up.min_frontier(QueryId::PRIMARY).unwrap() > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let frontier = up.min_frontier(QueryId::PRIMARY).unwrap();
+    assert!(frontier > 0, "min_frontier never advanced");
+    let mut keep = Vec::new();
+    for r in staged.drain(..) {
+        if r.window < frontier {
+            forwarded += 1;
+            down.push(row_to_event(&reg2, &r)).unwrap();
+        } else {
+            keep.push(r);
+        }
+    }
+    staged = keep;
+    assert!(
+        forwarded > 0,
+        "min_frontier never released a window while both stages were live"
+    );
+    staged.extend(up.finish().unwrap());
+    for r in &staged {
+        down.push(row_to_event(&reg2, r)).unwrap();
+    }
+    out.extend(down.finish().unwrap());
+    assert_eq!(sorted(out), expect);
+}
+
+#[test]
+fn registration_guards_reject_bad_input() {
+    let reg = setup();
+    let qa = CompiledQuery::parse(QA, &reg).unwrap();
+    let mut exec = StreamExecutor::<f64>::new(
+        qa,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Unparsable text is refused before anything is logged or installed.
+    assert!(exec
+        .register_query("RETURN nonsense", EmissionMode::Unordered)
+        .is_err());
+    assert_eq!(exec.query_ids(), vec![QueryId::PRIMARY]);
+    // The primary cannot be deregistered; unknown ids are errors.
+    assert!(exec.deregister_query(QueryId::PRIMARY).is_err());
+    assert!(exec.deregister_query(QueryId(99)).is_err());
+    assert!(exec.poll_results_of(QueryId(99)).is_err());
+    // min_frontier needs an ordered merge.
+    assert!(exec.min_frontier(QueryId::PRIMARY).is_err());
+    let qb = exec.register_query(QB, EmissionMode::Unordered).unwrap();
+    let rows = exec.deregister_query(qb).unwrap();
+    assert!(rows.is_empty(), "no events ever flowed");
+    // Double deregistration is an error; its (empty) results stay pollable.
+    assert!(exec.deregister_query(qb).is_err());
+    assert!(exec.poll_results_of(qb).unwrap().is_empty());
+    exec.finish().unwrap();
+}

@@ -2,7 +2,8 @@
 //! wire ingest (binary and JSON) byte-identical to the in-process
 //! executor, ordered subscription monotonicity, backpressure under a
 //! slow consumer, graceful-drain-vs-crash recovery, the Prometheus
-//! endpoint, and malformed-frame handling.
+//! endpoint, malformed-frame handling, and multi-query sessions
+//! (runtime register/detach on a shared ingest stream).
 
 use greta::core::{EmissionMode, ExecutorConfig, LatePolicy, StreamExecutor, WindowResult};
 use greta::durability::DurabilityConfig;
@@ -474,7 +475,7 @@ fn malformed_and_oversized_frames_are_rejected() {
     // Oversized length prefix after a valid preamble: Error frame, no
     // 4 GiB allocation, connection closed.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.write_all(b"GRTA\x01\x00").unwrap();
+    s.write_all(b"GRTA\x02\x00").unwrap();
     s.write_all(&u32::MAX.to_le_bytes()).unwrap();
     s.flush().unwrap();
     let reply = read_all_tolerant(&mut s);
@@ -483,7 +484,7 @@ fn malformed_and_oversized_frames_are_rejected() {
 
     // Garbage payload under a sane length: decode error reported.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.write_all(b"GRTA\x01\x00").unwrap();
+    s.write_all(b"GRTA\x02\x00").unwrap();
     s.write_all(&8u32.to_le_bytes()).unwrap();
     s.write_all(&[0xFFu8; 8]).unwrap();
     s.flush().unwrap();
@@ -698,6 +699,183 @@ fn drained_sessions_age_out_of_the_registry() {
     assert!(!stats.contains("session=\"2\"}"));
     let err = client.ingest(1, events).unwrap_err();
     assert!(err.to_string().contains("unknown session"), "{err}");
+    server.shutdown().unwrap();
+}
+
+/// A second query registered on a live session shares its ingest
+/// stream: both queries' wire output is byte-identical to an in-process
+/// executor running the same register/detach sequence, and the detach
+/// reply completes the subscribed stream exactly once.
+#[test]
+fn registered_query_shares_the_session_stream_and_detaches_cleanly() {
+    let (reg, events) = stock(20_000);
+    let dense = "RETURN company, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company] AND S.price > NEXT(S).price \
+                 GROUP-BY company WITHIN 200 SLIDE 100";
+    let half = events.len() / 2;
+
+    // In-process oracle running the identical sequence: register before
+    // the first event, deregister after `half` events.
+    let q = CompiledQuery::parse(Q1, &reg).unwrap();
+    let mut oracle = StreamExecutor::<f64>::new(
+        q,
+        reg.clone(),
+        ExecutorConfig {
+            shards: 2,
+            emission: EmissionMode::WindowOrdered,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let oq = oracle
+        .register_query(dense, EmissionMode::WindowOrdered)
+        .unwrap();
+    let mut oracle_dense = Vec::new();
+    let mut oracle_primary = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if i == half {
+            oracle_dense.extend(oracle.deregister_query(oq).unwrap());
+        }
+        oracle.push(e.clone()).unwrap();
+        oracle_primary.extend(oracle.poll_results());
+        if i < half {
+            oracle_dense.extend(oracle.poll_results_of(oq).unwrap());
+        }
+    }
+    oracle_primary.extend(oracle.finish().unwrap());
+    assert!(!oracle_primary.is_empty());
+    assert!(!oracle_dense.is_empty());
+
+    // The same sequence over the wire.
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client
+        .submit(
+            Q1,
+            &reg,
+            SessionOptions {
+                shards: 2,
+                ..SessionOptions::default()
+            },
+        )
+        .unwrap();
+    let dense_q = client
+        .register(session, dense, EmissionMode::WindowOrdered)
+        .unwrap();
+    assert_eq!(dense_q, 1, "first registered query gets id 1");
+    let primary_sub = Client::connect(addr).unwrap().subscribe(session).unwrap();
+    let primary_t = std::thread::spawn(move || primary_sub.collect_rows().unwrap());
+    let dense_sub = Client::connect(addr)
+        .unwrap()
+        .subscribe_query(session, dense_q)
+        .unwrap();
+    let dense_t = std::thread::spawn(move || dense_sub.collect_rows().unwrap());
+
+    for chunk in events[..half].chunks(512) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+    // Mid-stream detach: subscribers got everything polled so far, the
+    // reply carries the barrier remainder — disjoint, exactly-once.
+    let detach_rows = client.detach(session, dense_q).unwrap();
+    let dense_streamed = dense_t.join().unwrap();
+    let mut dense_rows = dense_streamed;
+    dense_rows.extend(detach_rows);
+
+    for chunk in events[half..].chunks(512) {
+        client.ingest(session, chunk.to_vec()).unwrap();
+    }
+
+    // Per-query metrics are live before the drain.
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.contains("greta_query_rows_total{session=\"1\",query=\"1\"}"),
+        "{stats}"
+    );
+    assert!(
+        stats.contains("greta_query_epoch{session=\"1\"} 2"),
+        "{stats}"
+    );
+    assert!(
+        stats.contains("greta_query_active{session=\"1\",query=\"1\"} 0"),
+        "{stats}"
+    );
+
+    client.drain(session).unwrap();
+    let primary_rows = primary_t.join().unwrap();
+
+    assert_eq!(
+        encode_rows(&primary_rows),
+        encode_rows(&oracle_primary),
+        "primary query must be unaffected by the registered query"
+    );
+    assert_eq!(
+        encode_rows(&dense_rows),
+        encode_rows(&oracle_dense),
+        "streamed + detach rows must equal the in-process register/deregister run"
+    );
+
+    // A subscription to the detached query ends immediately.
+    let late = Client::connect(addr)
+        .unwrap()
+        .subscribe_query(session, dense_q)
+        .unwrap();
+    assert!(late.collect_rows().unwrap().is_empty());
+    server.shutdown().unwrap();
+}
+
+/// The JSON-line protocol speaks register/detach too, and the primary
+/// query 0 refuses to detach.
+#[test]
+fn jsonl_register_and_detach_roundtrip() {
+    let (reg, events) = stock(2_000);
+    let server = GretaServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let session = client.submit(Q1, &reg, SessionOptions::default()).unwrap();
+    client.ingest(session, events).unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut r = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream;
+    let mut line = String::new();
+
+    let dense = "RETURN company, COUNT(*) PATTERN Stock S+ \
+                 WHERE [company] AND S.price > NEXT(S).price \
+                 GROUP-BY company WITHIN 200 SLIDE 100";
+    writeln!(
+        w,
+        "{{\"register\":{{\"session\":{session},\"query\":{},\"emission\":\"ordered\"}}}}",
+        json::str_lit(dense)
+    )
+    .unwrap();
+    r.read_line(&mut line).unwrap();
+    assert!(
+        line.contains(&format!(
+            "\"submitted\":{{\"session\":{session},\"query\":1}}"
+        )),
+        "bad register reply: {line}"
+    );
+
+    writeln!(w, "{{\"detach\":{{\"session\":{session},\"query\":1}}}}").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("\"detached\""), "bad detach reply: {line}");
+    assert!(
+        line.contains("\"rows\":["),
+        "detach reply lacks rows: {line}"
+    );
+
+    // The primary query refuses to detach — drain the session instead.
+    writeln!(w, "{{\"detach\":{{\"session\":{session},\"query\":0}}}}").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("error") && line.contains("primary"),
+        "detaching query 0 must fail: {line}"
+    );
+
+    client.drain(session).unwrap();
     server.shutdown().unwrap();
 }
 
