@@ -1,0 +1,41 @@
+//! # greta-analysis
+//!
+//! `greta-lint`: the workspace invariant analyzer. Four static passes
+//! protect the executor's hardest-won properties structurally, so they
+//! survive refactors that example-driven tests and the ±15 % bench band
+//! would miss:
+//!
+//! | pass | invariant | scope |
+//! |------|-----------|-------|
+//! | `hot-path` | zero-copy event plane stays allocation-free (PR 3's −41 %) | `// lint:hot-path` regions |
+//! | `panic` | serving + durability degrade via typed errors, never panics | `crates/server`, `crates/durability`, CI tools |
+//! | `codec` | every encoder has a decoder; every format version is stamped *and* dispatched | codec modules |
+//! | `lock` | declared lock order; no lock held across a socket write | `server.rs`, `session.rs` |
+//!
+//! Everything is hand-rolled on a small Rust lexer ([`lexer`]) — the
+//! workspace is offline, so no syn/proc-macro stack. The passes are
+//! lexical and conservative: they can flag code that is actually fine
+//! (then you narrow the code or add a justified
+//! `// lint:allow(<pass>): <reason>`), but a clean run means the
+//! invariant holds *as written* everywhere in scope.
+//!
+//! The runtime twin of the `codec` pass lives in
+//! `tests/codec_roundtrip.rs` (proptest round-trips), and the barrier
+//! protocol these passes guard is model-checked in
+//! `greta_core::protocol_model`.
+//!
+//! Entry points: [`workspace::lint_workspace`] for the real tree,
+//! [`workspace::lint_source`] for one buffer (what the CI red-path
+//! self-test injects violations into). The CLI is `tools/greta_lint.rs`
+//! (`cargo run -p greta-analysis --bin greta_lint`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+pub use report::{Finding, Pass};

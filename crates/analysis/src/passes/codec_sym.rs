@@ -1,0 +1,215 @@
+//! Codec-symmetry pass.
+//!
+//! The v4→v5 snapshot bump taught the lesson structurally encoded here:
+//! every serializer must have a deserializer it round-trips through, and
+//! every on-disk format version must be both *written* by an encoder and
+//! *dispatched on* by a decoder — a version constant bumped on the
+//! encode side but missing a decode arm is exactly how a recovery path
+//! rots.
+//!
+//! Checks, per file in scope (the codec modules of `greta-types`,
+//! `greta-core`, and `greta-durability`):
+//!
+//! 1. Every free function `encode_<x>` has a sibling `decode_<x>` in the
+//!    same file, and vice versa.
+//! 2. Every `impl` block defining `fn encode` also defines `fn decode`
+//!    (and vice versa) — trait impls and inherent codecs alike.
+//! 3. Every `const` whose name contains `VERSION` is used by at least
+//!    one encode-side function (name contains `encode`/`write`/`persist`
+//!    /`save`) and one decode-side function (`decode`/`read`/`load`/
+//!    `open`/`recover`/`parse`) — i.e. the version is both stamped and
+//!    checked.
+
+use crate::report::{Finding, Pass};
+use crate::source::{impl_blocks, SourceFile};
+
+const ENCODE_SIDE: &[&str] = &["encode", "write", "persist", "save", "store"];
+const DECODE_SIDE: &[&str] = &["decode", "read", "load", "open", "recover", "parse"];
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    pair_check(file, out);
+    impl_pair_check(file, out);
+    version_check(file, out);
+}
+
+/// Free-function `encode_<x>` / `decode_<x>` pairing.
+fn pair_check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let non_test_fns: Vec<_> = file
+        .fns
+        .iter()
+        .filter(|f| !file.in_test(f.fn_tok))
+        .collect();
+    for f in &non_test_fns {
+        let (prefix, partner_prefix) = if f.name.starts_with("encode_") {
+            ("encode_", "decode_")
+        } else if f.name.starts_with("decode_") {
+            ("decode_", "encode_")
+        } else {
+            continue;
+        };
+        let suffix = &f.name[prefix.len()..];
+        let partner = format!("{partner_prefix}{suffix}");
+        if !non_test_fns.iter().any(|g| g.name == partner) {
+            report(
+                file,
+                f.line,
+                format!("`{}` has no paired `{partner}` in this file", f.name),
+                out,
+            );
+        }
+    }
+}
+
+/// `fn encode` / `fn decode` pairing inside each impl/trait block.
+fn impl_pair_check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (line, (start, end)) in impl_blocks(file) {
+        if file.in_test(start) {
+            continue;
+        }
+        // Only methods directly owned by this block (innermost): a
+        // nested closure can't define fns, so containment is enough as
+        // long as we skip fns owned by *inner* impl blocks (none occur).
+        let has = |name: &str| {
+            file.fns
+                .iter()
+                .any(|f| f.fn_tok >= start && f.fn_tok < end && f.name == name)
+        };
+        match (has("encode"), has("decode")) {
+            (true, false) => report(
+                file,
+                line,
+                "impl defines `fn encode` without a paired `fn decode`".into(),
+                out,
+            ),
+            (false, true) => report(
+                file,
+                line,
+                "impl defines `fn decode` without a paired `fn encode`".into(),
+                out,
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Version constants must appear on both sides of the codec.
+fn version_check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    // `const <NAME>` where NAME contains VERSION.
+    let mut consts: Vec<(String, u32)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind.is_ident("const") && !file.in_test(i) {
+            if let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) {
+                if name.contains("VERSION") {
+                    consts.push((name.to_string(), toks[i].line));
+                }
+            }
+        }
+    }
+    for (name, line) in consts {
+        let mut encode_use = false;
+        let mut decode_use = false;
+        for (i, t) in toks.iter().enumerate() {
+            if !t.kind.is_ident(&name) || file.in_test(i) {
+                continue;
+            }
+            // Skip the declaration itself.
+            if i > 0 && toks[i - 1].kind.is_ident("const") {
+                continue;
+            }
+            for f in file.enclosing_fns(i) {
+                let n = f.name.as_str();
+                if ENCODE_SIDE.iter().any(|k| n.contains(k)) {
+                    encode_use = true;
+                }
+                if DECODE_SIDE.iter().any(|k| n.contains(k)) {
+                    decode_use = true;
+                }
+            }
+        }
+        if !encode_use {
+            report(
+                file,
+                line,
+                format!("version constant `{name}` is never written by an encode-side function"),
+                out,
+            );
+        }
+        if !decode_use {
+            report(
+                file,
+                line,
+                format!(
+                    "version constant `{name}` is never dispatched on by a decode-side function"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn report(file: &SourceFile, line: u32, what: String, out: &mut Vec<Finding>) {
+    if file.allowed(Pass::Codec.key(), line) {
+        return;
+    }
+    out.push(Finding {
+        pass: Pass::Codec,
+        path: file.path.clone(),
+        line,
+        message: what,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unpaired_free_fn_flagged() {
+        let src = "fn encode_key(k: &K) {}\nfn decode_key(r: &mut R) {}\nfn encode_orphan() {}\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("encode_orphan"));
+    }
+
+    #[test]
+    fn unpaired_impl_method_flagged() {
+        let src = "impl A { fn encode(&self) {} fn decode() {} }\nimpl B { fn encode(&self) {} }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("without a paired `fn decode`"));
+    }
+
+    #[test]
+    fn version_constant_must_be_written_and_dispatched() {
+        let good = "
+            const VERSION: u8 = 2;
+            fn encode(&self) { out.push(VERSION); }
+            fn decode() { if data[0] != VERSION { } }
+        ";
+        assert!(findings(good).is_empty());
+        let write_only = "
+            const SNAP_VERSION: u8 = 2;
+            fn encode(&self) { out.push(SNAP_VERSION); }
+            fn decode() {}
+        ";
+        let f = findings(write_only);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("never dispatched"));
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src =
+            "// lint:allow(codec): decoder lives in the recover module\nfn encode_tail() {}\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Hot-path allocation pass.
+//!
+//! Regions opened by `// lint:hot-path` (the next `fn` item's body)
+//! must not allocate: the zero-copy event plane's −41 % routing win
+//! (PR 3) regresses silently if a refactor re-introduces a per-event
+//! allocation, and the bench gate's ±15 % band is too coarse to catch a
+//! single small `clone()` on a many-branch path.
+//!
+//! Denied inside a hot region:
+//!
+//! * `.clone()`, `.to_vec()`, `.to_owned()`, `.to_string()`, `.collect(...)`
+//! * `format!`, `vec!`
+//! * `Vec::new`, `String::new`, `String::from`, `Box::new` (boxed
+//!   trait-object construction included — it is just `Box::new` at an
+//!   `dyn` coercion site)
+//!
+//! Intentional allocations (an `Arc` refcount clone on the broadcast
+//! path, a frame buffer swap that allocates once per *frame*, not per
+//! event) carry `// lint:allow(hot-path): <reason>` at the call site.
+
+use crate::lexer::{DirectiveKind, TokenKind};
+use crate::report::{Finding, Pass};
+use crate::source::SourceFile;
+
+const DENIED_METHODS: &[&str] = &["clone", "to_vec", "to_owned", "to_string", "collect"];
+const DENIED_MACROS: &[&str] = &["format", "vec"];
+const DENIED_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("Box", "new"),
+];
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Each `lint:hot-path` directive marks the next fn that starts
+    // strictly after it.
+    let mut regions: Vec<(u32, usize, usize)> = Vec::new(); // (directive line, body range)
+    for d in &file.directives {
+        if d.kind != DirectiveKind::HotPath {
+            continue;
+        }
+        let marked = file
+            .fns
+            .iter()
+            .filter(|f| f.line > d.line)
+            .min_by_key(|f| f.line);
+        match marked {
+            Some(f) if f.body.1 > f.body.0 => regions.push((d.line, f.body.0, f.body.1)),
+            _ => out.push(Finding {
+                pass: Pass::Annotation,
+                path: file.path.clone(),
+                line: d.line,
+                message: "`lint:hot-path` does not precede a function with a body".into(),
+            }),
+        }
+    }
+    for &(_, start, end) in &regions {
+        scan_region(file, start, end, out);
+    }
+}
+
+fn scan_region(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in start..end {
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        let line = toks[i].line;
+        let prev = i.checked_sub(1).map(|p| &toks[p].kind);
+        let next = toks.get(i + 1).map(|t| &t.kind);
+        // `.method(` — denied allocating methods.
+        if DENIED_METHODS.contains(&id)
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next_is_call(toks, i + 1)
+        {
+            report(file, line, format!(".{id}() allocates"), out);
+        }
+        // `macro!` — denied allocating macros.
+        if DENIED_MACROS.contains(&id) && next.is_some_and(|n| n.is_punct('!')) {
+            report(file, line, format!("{id}! allocates"), out);
+        }
+        // `Type::ctor` — denied allocating constructors.
+        for &(ty, ctor) in DENIED_PATHS {
+            if id == ty
+                && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.kind.is_ident(ctor))
+            {
+                report(file, line, format!("{ty}::{ctor} allocates"), out);
+            }
+        }
+    }
+}
+
+/// After a method name, a call is `(`, or `::<Turbofish>(`.
+fn next_is_call(toks: &[crate::lexer::Token], mut i: usize) -> bool {
+    if toks.get(i).is_some_and(|t| t.kind.is_punct(':'))
+        && toks.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.kind.is_punct('<'))
+    {
+        // Skip the turbofish by angle counting.
+        let mut depth = 0usize;
+        i += 2;
+        while i < toks.len() {
+            match &toks[i].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    toks.get(i).is_some_and(|t| t.kind.is_punct('('))
+}
+
+fn report(file: &SourceFile, line: u32, what: String, out: &mut Vec<Finding>) {
+    if file.allowed(Pass::HotPath.key(), line) {
+        return;
+    }
+    out.push(Finding {
+        pass: Pass::HotPath,
+        path: file.path.clone(),
+        line,
+        message: format!("{what} inside a `lint:hot-path` region"),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn denies_alloc_in_marked_fn_only() {
+        let src = "
+            // lint:hot-path
+            fn hot(&self) { let k = v.clone(); let s = format!(\"x\"); }
+            fn cold(&self) { let k = v.clone(); }
+        ";
+        let f = findings(src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.pass == Pass::HotPath));
+    }
+
+    #[test]
+    fn denies_ctors_and_turbofish_collect() {
+        let src = "
+            // lint:hot-path
+            fn hot() { let v = Vec::new(); let s: Vec<u8> = it.collect::<Vec<u8>>(); let b = Box::new(x); }
+        ";
+        assert_eq!(findings(src).len(), 3);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "
+            // lint:hot-path
+            fn hot(&self) {
+                // lint:allow(hot-path): Arc refcount bump, not a deep copy
+                buf.push(e.clone());
+            }
+        ";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn clone_in_nested_closure_still_denied() {
+        let src = "
+            // lint:hot-path
+            fn hot(&self) { xs.iter().for_each(|x| { ys.push(x.to_vec()); }); }
+        ";
+        assert_eq!(findings(src).len(), 1);
+    }
+
+    #[test]
+    fn dangling_directive_is_reported() {
+        let f = findings("fn above() {}\n// lint:hot-path\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pass, Pass::Annotation);
+    }
+
+    #[test]
+    fn clone_ident_without_call_is_fine() {
+        // `Clone` bounds / derive words must not trip the pass.
+        let src = "
+            // lint:hot-path
+            fn hot<T: Clone>(x: &T) { takes_fn(T::clone); }
+        ";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Lock-discipline pass for the serving layer.
+//!
+//! Two rules, over a declared acquisition order:
+//!
+//! 1. **Ordering** — every file in scope that calls `.lock()` declares
+//!    `// lint:lock-order: a < b < c` once; acquiring lock `b` while `a`
+//!    is (possibly) held requires `a` to precede `b` in that order, and
+//!    re-acquiring a held lock is always flagged (std `Mutex` is not
+//!    reentrant). Locks not named in the declaration are flagged too, so
+//!    the declaration can't silently go stale.
+//! 2. **No lock across a socket write** — while any guard is live, calls
+//!    to the wire-writing functions (`write_response`, `write_payload`,
+//!    `write_all`, ...) are denied: a peer that stops reading would then
+//!    hold the lock hostage for the whole send timeout, stalling every
+//!    other connection that touches the registry.
+//!
+//! Guard liveness is a conservative lexical approximation (this is a
+//! hand-rolled lint, not a borrow checker):
+//!
+//! * `if let` / `while let` / `match` on a `.lock()` result → the guard
+//!   lives to the end of the block that follows;
+//! * `let`-bound (incl. chains that consume the guard in-statement) →
+//!   to the end of the enclosing block;
+//! * un-bound chains → to the end of the statement.
+//!
+//! Over-approximation can only produce false *positives*; the fix is to
+//! narrow the guard's scope (usually the right call anyway) or justify
+//! with `// lint:allow(lock): <reason>`.
+
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Pass};
+use crate::source::SourceFile;
+
+/// Functions that write to a connection's socket.
+const SOCKET_WRITE_FNS: &[&str] = &[
+    "write_response",
+    "write_payload",
+    "write_preamble",
+    "write_all",
+    "write_fmt",
+];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    line: u32,
+    /// Token index of the `lock` identifier.
+    acq: usize,
+    /// Guard considered live for tokens in `[acq, scope_end)`.
+    scope_end: usize,
+}
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    let guards = find_guards(file);
+    if guards.is_empty() {
+        return;
+    }
+    let Some(order) = file.lock_order() else {
+        report(
+            file,
+            1,
+            "file acquires locks but declares no `// lint:lock-order:`".into(),
+            out,
+        );
+        return;
+    };
+    let rank = |name: &str| order.iter().position(|n| n == name);
+    for g in &guards {
+        if rank(&g.name).is_none() {
+            report(
+                file,
+                g.line,
+                format!("lock `{}` is not in the declared lock-order", g.name),
+                out,
+            );
+        }
+    }
+    // Ordering: an acquisition inside another guard's live scope must
+    // rank strictly higher.
+    for outer in &guards {
+        for inner in &guards {
+            if inner.acq <= outer.acq || inner.acq >= outer.scope_end {
+                continue;
+            }
+            match (rank(&outer.name), rank(&inner.name)) {
+                (Some(a), Some(b)) if a < b => {}
+                (None, _) | (_, None) => {} // already reported above
+                _ => report(
+                    file,
+                    inner.line,
+                    format!(
+                        "lock `{}` acquired while `{}` (line {}) may be held — violates declared order",
+                        inner.name, outer.name, outer.line
+                    ),
+                    out,
+                ),
+            }
+        }
+    }
+    // Socket writes under a lock.
+    for (i, t) in file.tokens.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        if !SOCKET_WRITE_FNS.contains(&id)
+            || !file.tokens.get(i + 1).is_some_and(|n| n.kind.is_punct('('))
+        {
+            continue;
+        }
+        for g in &guards {
+            if i > g.acq && i < g.scope_end {
+                report(
+                    file,
+                    t.line,
+                    format!(
+                        "socket write `{id}` while lock `{}` (line {}) may be held",
+                        g.name, g.line
+                    ),
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Every `<name>.lock()` acquisition in non-test code, with its
+/// approximated live scope.
+fn find_guards(file: &SourceFile) -> Vec<Guard> {
+    let toks = &file.tokens;
+    let mut guards = Vec::new();
+    for i in 0..toks.len() {
+        let is_lock_call = toks[i].kind.is_ident("lock")
+            && !file.in_test(i)
+            && i >= 2
+            && toks[i - 1].kind.is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+        if !is_lock_call {
+            continue;
+        }
+        let Some(name) = toks[i - 2].kind.ident() else {
+            continue;
+        };
+        let scope_end = guard_scope(file, i);
+        guards.push(Guard {
+            name: name.to_string(),
+            line: toks[i].line,
+            acq: i,
+            scope_end,
+        });
+    }
+    guards
+}
+
+/// See the module docs for the three liveness cases.
+fn guard_scope(file: &SourceFile, acq: usize) -> usize {
+    let toks = &file.tokens;
+    // Scan back to the nearest statement boundary, noting binding forms.
+    let mut has_cond = false; // if / while / match
+    let mut has_let = false;
+    let mut j = acq;
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokenKind::Punct(';' | '{' | '}') => break,
+            TokenKind::Punct(')' | ']') => {
+                // Jump over completed groups so a previous statement's
+                // keywords (inside closure args etc.) don't leak in.
+                let open = file.matching[j];
+                if open != usize::MAX && open < j {
+                    j = open;
+                }
+            }
+            TokenKind::Ident(id) if id == "if" || id == "while" || id == "match" => {
+                has_cond = true;
+            }
+            TokenKind::Ident(id) if id == "let" => has_let = true,
+            _ => {}
+        }
+    }
+    if has_cond {
+        // Guard bound by the condition: live in the block that follows.
+        let mut k = acq;
+        while k < toks.len() {
+            match &toks[k].kind {
+                TokenKind::Punct('(' | '[') => {
+                    let c = file.matching[k];
+                    if c == usize::MAX {
+                        return toks.len();
+                    }
+                    k = c + 1;
+                    continue;
+                }
+                TokenKind::Punct('{') => {
+                    let c = file.matching[k];
+                    return if c == usize::MAX { toks.len() } else { c };
+                }
+                TokenKind::Punct(';') => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        return toks.len();
+    }
+    if has_let {
+        // Live to the end of the enclosing block.
+        let mut depth = 0i64;
+        let mut k = acq;
+        while k < toks.len() {
+            match &toks[k].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return toks.len();
+    }
+    // Transient: to the end of the statement.
+    let mut k = acq;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokenKind::Punct('(' | '[' | '{') => {
+                let c = file.matching[k];
+                if c == usize::MAX {
+                    return toks.len();
+                }
+                k = c + 1;
+                continue;
+            }
+            TokenKind::Punct(';') => return k,
+            TokenKind::Punct('}') => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+fn report(file: &SourceFile, line: u32, what: String, out: &mut Vec<Finding>) {
+    if file.allowed(Pass::Lock.key(), line) {
+        return;
+    }
+    out.push(Finding {
+        pass: Pass::Lock,
+        path: file.path.clone(),
+        line,
+        message: what,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_declaration_flagged() {
+        let f = findings("fn f(&self) { self.a.lock(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("lock-order"));
+    }
+
+    #[test]
+    fn ascending_order_is_clean() {
+        let src = "
+            // lint:lock-order: a < b
+            fn f(&self) {
+                let g = self.a.lock().unwrap();
+                if let Ok(h) = self.b.lock() { use_it(h); }
+            }
+        ";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn descending_order_flagged() {
+        let src = "
+            // lint:lock-order: a < b
+            fn f(&self) {
+                let g = self.b.lock().unwrap();
+                if let Ok(h) = self.a.lock() { use_it(h); }
+            }
+        ";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("violates declared order"));
+    }
+
+    #[test]
+    fn reacquire_flagged_but_sequential_blocks_are_fine() {
+        let src = "
+            // lint:lock-order: a
+            fn f(&self) {
+                if let Ok(g) = self.a.lock() { touch(g); }
+                if let Ok(g) = self.a.lock() { touch(g); }
+            }
+        ";
+        assert!(findings(src).is_empty());
+        let nested = "
+            // lint:lock-order: a
+            fn f(&self) {
+                if let Ok(g) = self.a.lock() { let h = self.a.lock(); }
+            }
+        ";
+        assert_eq!(findings(nested).len(), 1);
+    }
+
+    #[test]
+    fn undeclared_lock_flagged() {
+        let src = "// lint:lock-order: a\nfn f(&self) { self.mystery.lock(); }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn socket_write_under_lock_flagged_transient_chain_is_fine() {
+        let held = "
+            // lint:lock-order: a
+            fn f(&self) {
+                let g = self.a.lock().unwrap();
+                write_response(stream, &resp);
+            }
+        ";
+        let f = findings(held);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("socket write"));
+        let transient = "
+            // lint:lock-order: a
+            fn f(&self) {
+                self.a.lock().ok().map(|g| g.count());
+                write_response(stream, &resp);
+            }
+        ";
+        assert!(findings(transient).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Panic-freedom pass.
+//!
+//! Session threads and the WAL must degrade through typed errors — a
+//! panic in a session thread silently kills one query's stream, and a
+//! panic mid-WAL-append can leave a torn tail the next recovery has to
+//! repair (PR 6 review findings). So in the serving and durability
+//! crates (plus the two CI tools, which escape clippy's strictest
+//! settings), non-test code may not contain:
+//!
+//! * `.unwrap()` / `.expect(...)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * `assert!` / `assert_eq!` / `assert_ne!` (debug_assert* stays legal:
+//!   compiled out in release builds)
+//! * slice/array indexing `x[i]` (including range indexing `x[a..b]`) —
+//!   use `get`/pattern matching, or justify with an allow
+//!
+//! Genuinely-unreachable sites carry
+//! `// lint:allow(panic): <reason>` with the justification checked in.
+//! `#[cfg(test)]` items and `#[test]` fns are exempt.
+
+use crate::report::{Finding, Pass};
+use crate::source::SourceFile;
+
+const DENIED_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (array literals in `let`/`return`/... position, or the
+/// `#[attr]` / `![...]` forms handled separately).
+const NON_INDEX_PREV_KEYWORDS: &[&str] = &[
+    "let", "return", "in", "if", "while", "match", "else", "move", "mut", "ref", "box", "as",
+    "break", "const", "static", "type", "where", "dyn", "impl", "fn", "use", "pub",
+];
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let line = toks[i].line;
+        match &toks[i].kind {
+            crate::lexer::TokenKind::Ident(id) => {
+                let prev_dot = i > 0 && toks[i - 1].kind.is_punct('.');
+                let next_paren = toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('));
+                let next_bang = toks.get(i + 1).is_some_and(|t| t.kind.is_punct('!'));
+                if prev_dot && next_paren && (id == "unwrap" || id == "expect") {
+                    report(file, line, format!(".{id}() can panic"), out);
+                } else if next_bang && DENIED_MACROS.contains(&id.as_str()) {
+                    // `x != y` lexes as Ident('x') Punct('!') Punct('=');
+                    // macro names in DENIED_MACROS can't appear as plain
+                    // expressions before `!=`, except via paths — a `::`
+                    // prefix (std::assert!) still matches here, fine.
+                    if !toks.get(i + 2).is_some_and(|t| t.kind.is_punct('=')) {
+                        report(file, line, format!("{id}! can panic"), out);
+                    }
+                }
+            }
+            crate::lexer::TokenKind::Punct('[') if is_index_expr(file, i) => {
+                report(
+                    file,
+                    line,
+                    "slice/array indexing can panic (use get/patterns)".to_string(),
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `[` is an index expression when the previous token ends an
+/// expression: an identifier (that is not a keyword), a closing
+/// bracket/paren, or `?`. Everything else — attributes `#[...]`, array
+/// literals `[0u8; 4]` after `=`/`(`/`,`, types `&[u8]`, macro brackets
+/// `vec![...]`, patterns after keywords — is not.
+fn is_index_expr(file: &SourceFile, i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &file.tokens[p].kind) else {
+        return false;
+    };
+    match prev {
+        crate::lexer::TokenKind::Ident(id) => !NON_INDEX_PREV_KEYWORDS.contains(&id.as_str()),
+        crate::lexer::TokenKind::Punct(')') | crate::lexer::TokenKind::Punct(']') => true,
+        crate::lexer::TokenKind::Punct('?') => true,
+        _ => false,
+    }
+}
+
+fn report(file: &SourceFile, line: u32, what: String, out: &mut Vec<Finding>) {
+    if file.allowed(Pass::Panic.key(), line) {
+        return;
+    }
+    out.push(Finding {
+        pass: Pass::Panic,
+        path: file.path.clone(),
+        line,
+        message: what,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn denies_unwrap_expect_and_panicking_macros() {
+        let src = "
+            fn f() {
+                x.unwrap();
+                y.expect(\"reason\");
+                panic!(\"boom\");
+                unreachable!();
+                assert_eq!(a, b);
+            }
+        ";
+        assert_eq!(findings(src).len(), 5);
+    }
+
+    #[test]
+    fn debug_assert_and_ne_operator_are_fine() {
+        let src = "fn f() { debug_assert!(x); if a != b { } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_types_attrs_literals_are_not() {
+        let src = "
+            #[derive(Debug)]
+            fn f(s: &[u8], a: [u8; 4]) -> Vec<u8> {
+                let lit = [0u8; 4];
+                let v = vec![1, 2];
+                let x = s[0];
+                let y = buf[pos..pos + 4];
+                let z = calls()[1];
+            }
+        ";
+        assert_eq!(findings(src).len(), 3);
+    }
+
+    #[test]
+    fn let_array_pattern_not_flagged() {
+        assert!(findings("fn f() { let [a, b] = pair; }").is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt_and_allow_respected() {
+        let src = "
+            fn f() {
+                // lint:allow(panic): index bounded by the loop above
+                let x = s[0];
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+        ";
+        assert!(findings(src).is_empty());
+    }
+}

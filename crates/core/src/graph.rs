@@ -203,6 +203,7 @@ impl<N: TrendNum> AltRuntime<N> {
     /// `on_root_end` is called once per window entry of every END vertex
     /// inserted into the **root** graph (drives incremental final
     /// aggregation, Algorithm 2 line 8).
+    // lint:hot-path
     pub fn process(
         &mut self,
         ctx: &Ctx<'_>,
@@ -215,6 +216,7 @@ impl<N: TrendNum> AltRuntime<N> {
         }
     }
 
+    // lint:hot-path
     fn process_graph(
         &mut self,
         ctx: &Ctx<'_>,
@@ -254,6 +256,7 @@ impl<N: TrendNum> AltRuntime<N> {
             let is_end = so.is_end;
 
             // --- predecessor collection ------------------------------------
+            // lint:allow(hot-path): per-state scratch; hoisting it would alias the storage borrow taken inside visit_candidates
             let mut preds: Vec<VertexId> = Vec::new();
             let lo = Time(e.time.ticks().saturating_sub(ctx.window.within - 1));
             for po in &so.preds {
@@ -323,9 +326,11 @@ impl<N: TrendNum> AltRuntime<N> {
             }
 
             // --- aggregate propagation (Theorem 9.1) ------------------------
-            let mut aggs: Vec<(WindowId, AggState<N>)> = windows_of(e.time, &ctx.window)
-                .map(|w| (w, AggState::zero(ctx.layout)))
-                .collect();
+            // lint:allow(hot-path): these aggregates ARE the new vertex's owned state — the allocation is the data structure, not a copy
+            let mut aggs: Vec<(WindowId, AggState<N>)> = Vec::new();
+            for w in windows_of(e.time, &ctx.window) {
+                aggs.push((w, AggState::zero(ctx.layout)));
+            }
             let mut latest_start = if is_start { e.time } else { Time::ZERO };
             {
                 let storage = &self.graphs[gi].storage;
@@ -345,6 +350,7 @@ impl<N: TrendNum> AltRuntime<N> {
             }
 
             let vertex = Vertex {
+                // lint:allow(hot-path): EventRef is an Arc — clone() is a refcount bump, not a payload copy
                 event: e.clone(),
                 state,
                 seq: event_seq,

@@ -40,6 +40,7 @@ pub mod grouping;
 pub mod memory;
 pub mod negation;
 pub mod parallel;
+pub mod protocol_model;
 pub mod reorder;
 pub mod results;
 pub mod semantics;

@@ -1,0 +1,766 @@
+//! A checkable model of the executor's barrier cut protocol.
+//!
+//! [`crate::executor::StreamExecutor`] coordinates its shard workers
+//! over FIFO channels: events are routed as frames, and checkpoints,
+//! rebalances, and query registration changes travel **in-band** on the
+//! same channels. A barrier cut (`Msg::Snapshot` in the executor) is
+//! acked by every shard only after it has processed everything queued
+//! before the barrier, and the coordinator drains result rows while it
+//! waits (`collect_shard_states`) so the cut can never deadlock or tear.
+//!
+//! That protocol is easy to break in refactors and impossible to cover
+//! with example tests — which interleaving of shard progress and
+//! coordinator progress a real run takes is up to the OS scheduler.
+//! This module re-states the protocol as a small pure-state-machine
+//! model and **exhaustively explores every interleaving** with a
+//! deterministic scheduler (a loom-lite: depth-first replay over a
+//! choice stack, no threads involved). Four invariants are checked in
+//! every schedule:
+//!
+//! 1. **All shards cut at the same sequence** — when a barrier
+//!    completes, the union of the shards' processed-event sets is
+//!    exactly the ingest prefix `1..=cut`, each event at exactly one
+//!    shard.
+//! 2. **No row crosses a barrier** — once a shard acked barrier `B`, a
+//!    pre-cut row from that shard can never appear on the results
+//!    channel again (it must have been carried inside the snapshot).
+//! 3. **Snapshot accounting** — `barrier_snapshots == checkpoints +
+//!    rebalances − fused_barriers`: adjacent cuts fuse into one
+//!    snapshot, and none goes missing.
+//! 4. **Exactly-once delivery** — every `(query, event)` result row is
+//!    delivered exactly once across all paths: normal emission,
+//!    snapshot carriage, deregister remainders, and the final drain.
+//!
+//! The checker also has a red path ([`Fault`]): injecting a shard that
+//! skips its cut, or acks a barrier early, must produce a
+//! [`Violation`] — a model checker that stops seeing broken protocols
+//! fails CI (see `tests/protocol_model.rs` and the `static-analysis`
+//! job).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One scripted coordinator operation (the model's ingest plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Ingest the next event; it is routed to shard `seq % shards`.
+    Ingest,
+    /// Cut a checkpoint barrier across every shard.
+    Checkpoint,
+    /// Cut a rebalance barrier across every shard. Adjacent to a
+    /// [`Op::Checkpoint`] (either order) the two fuse into one snapshot.
+    Rebalance,
+    /// Register query `id` on every shard (in-band, like the executor's
+    /// `Msg::AddQuery`).
+    Register(u32),
+    /// Deregister query `id`; each shard must deliver its buffered
+    /// remainder rows for the query exactly once.
+    Deregister(u32),
+}
+
+/// A deliberately broken shard variant, used to prove the checker still
+/// catches protocol violations (the model checker's red-path self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// Faithful protocol.
+    #[default]
+    None,
+    /// The shard acks barriers *without* cutting its pending rows into
+    /// the snapshot — the rows later leak onto the results channel past
+    /// the barrier (violates invariants 2 and 4).
+    SkipCut {
+        /// Index of the misbehaving shard.
+        shard: usize,
+    },
+    /// The shard acks a barrier ahead of events queued before it — its
+    /// snapshot misses part of the prefix (violates invariant 1).
+    EarlyAck {
+        /// Index of the misbehaving shard.
+        shard: usize,
+    },
+}
+
+/// What to explore: shard count, coordinator script, optional fault.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of shard workers (1..=4; the state space is exponential).
+    pub shards: usize,
+    /// The coordinator's operation script, executed in order.
+    pub script: Vec<Op>,
+    /// Fault injection for the checker's own red path.
+    pub fault: Fault,
+    /// Hard cap on explored schedules; exceeding it is an error (the
+    /// configuration is too large to explore exhaustively).
+    pub max_schedules: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            shards: 2,
+            script: Vec::new(),
+            fault: Fault::None,
+            max_schedules: 2_000_000,
+        }
+    }
+}
+
+/// Result of a complete exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Number of distinct complete schedules executed.
+    pub schedules: u64,
+    /// Longest schedule, in scheduler decisions (branching points only).
+    pub max_decisions: usize,
+    /// Longest schedule, in total model steps (including forced moves).
+    pub max_steps: usize,
+}
+
+/// An invariant violation, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// 1-based index of the violating schedule in exploration order.
+    pub schedule: u64,
+    /// Which invariant broke (short stable name).
+    pub invariant: &'static str,
+    /// Human-readable description of the broken state.
+    pub detail: String,
+    /// The full action trace of the violating schedule.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule {}: [{}] {} (trace: {} steps)",
+            self.schedule,
+            self.invariant,
+            self.detail,
+            self.trace.len()
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Coordinator → shard messages (the executor's `Msg`, reduced to what
+/// the barrier protocol depends on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    Events { seq: u64 },
+    Barrier { id: u32 },
+    AddQuery(u32),
+    RemoveQuery(u32),
+    Finish,
+}
+
+/// How a row reached the coordinator (all count as one delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    Normal,
+    Remainder,
+    Final,
+}
+
+/// Shard → coordinator messages.
+#[derive(Debug, Clone)]
+enum Reply {
+    Row {
+        query: u32,
+        seq: u64,
+        kind: RowKind,
+    },
+    BarrierAck {
+        id: u32,
+        /// Every event seq this shard has processed so far.
+        processed: Vec<u64>,
+        /// Pending rows cut into the snapshot.
+        snapshot: Vec<(u32, u64)>,
+    },
+    FinishAck,
+}
+
+/// One scheduler decision, kept compact so traces are cheap to record.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    ShardProcess(usize),
+    ShardEmit(usize),
+    Advance,
+}
+
+impl Action {
+    fn describe(self) -> String {
+        match self {
+            Action::ShardProcess(s) => format!("shard {s}: process next message"),
+            Action::ShardEmit(s) => format!("shard {s}: emit oldest pending row"),
+            Action::Advance => "coordinator: advance script".to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    queue: VecDeque<Msg>,
+    active: Vec<u32>,
+    /// Result rows produced but not yet emitted: `(query, seq)`.
+    pending: VecDeque<(u32, u64)>,
+    /// Every event seq processed so far (cumulative; barrier acks report it).
+    processed: Vec<u64>,
+    out: VecDeque<Reply>,
+}
+
+#[derive(Debug)]
+struct BarrierWait {
+    id: u32,
+    cut: u64,
+    pending_acks: usize,
+    processed_union: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    checkpoints: u64,
+    rebalances: u64,
+    fused_barriers: u64,
+    barrier_snapshots: u64,
+}
+
+/// One execution of the model under a scheduler choice prefix.
+struct Run<'a> {
+    cfg: &'a ModelConfig,
+    shards: Vec<Shard>,
+    script_pos: usize,
+    seq: u64,
+    next_barrier_id: u32,
+    actives: Vec<u32>,
+    barrier: Option<BarrierWait>,
+    /// Per shard: the global cut seq of the last barrier it acked.
+    last_cut_acked: Vec<Option<u64>>,
+    counters: Counters,
+    finish_sent: bool,
+    finish_acks: usize,
+    /// Delivery ledger: `(query, seq)` → `(expected, deliveries)`.
+    ledger: BTreeMap<(u32, u64), (bool, u32)>,
+    trace: Vec<Action>,
+    steps: usize,
+}
+
+/// The outcome of a single run: executed `(choice, branching factor)`
+/// pairs at every *branching* point (forced moves are not recorded).
+struct RunOutcome {
+    decisions: Vec<(usize, usize)>,
+    steps: usize,
+    violation: Option<(&'static str, String)>,
+}
+
+impl<'a> Run<'a> {
+    fn new(cfg: &'a ModelConfig) -> Run<'a> {
+        Run {
+            cfg,
+            shards: (0..cfg.shards).map(|_| Shard::default()).collect(),
+            script_pos: 0,
+            seq: 0,
+            next_barrier_id: 0,
+            actives: Vec::new(),
+            barrier: None,
+            last_cut_acked: vec![None; cfg.shards],
+            counters: Counters::default(),
+            finish_sent: false,
+            finish_acks: 0,
+            ledger: BTreeMap::new(),
+            trace: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Deterministically ordered enabled actions at the current state.
+    fn enabled(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !shard.queue.is_empty() {
+                acts.push(Action::ShardProcess(s));
+            }
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            if !shard.pending.is_empty() {
+                acts.push(Action::ShardEmit(s));
+            }
+        }
+        if self.barrier.is_none() && (self.script_pos < self.cfg.script.len() || !self.finish_sent)
+        {
+            acts.push(Action::Advance);
+        }
+        acts
+    }
+
+    fn broadcast(&mut self, m: Msg) {
+        for shard in &mut self.shards {
+            shard.queue.push_back(m);
+        }
+    }
+
+    /// Coordinator: execute the next scripted op (or the final drain).
+    fn advance(&mut self) {
+        if self.script_pos >= self.cfg.script.len() {
+            self.broadcast(Msg::Finish);
+            self.finish_sent = true;
+            return;
+        }
+        match self.cfg.script[self.script_pos] {
+            Op::Ingest => {
+                self.seq += 1;
+                let seq = self.seq;
+                for &q in &self.actives {
+                    self.ledger.entry((q, seq)).or_insert((false, 0)).0 = true;
+                }
+                let dest = (seq % self.cfg.shards as u64) as usize;
+                if let Some(shard) = self.shards.get_mut(dest) {
+                    shard.queue.push_back(Msg::Events { seq });
+                }
+                self.script_pos += 1;
+            }
+            Op::Checkpoint | Op::Rebalance => {
+                // Gather the run of adjacent cut requests: they fuse into
+                // one barrier snapshot (the executor's fused_barriers).
+                let mut fused = 0u64;
+                while let Some(op) = self.cfg.script.get(self.script_pos) {
+                    match op {
+                        Op::Checkpoint => self.counters.checkpoints += 1,
+                        Op::Rebalance => self.counters.rebalances += 1,
+                        _ => break,
+                    }
+                    fused += 1;
+                    self.script_pos += 1;
+                }
+                self.counters.fused_barriers += fused - 1;
+                self.counters.barrier_snapshots += 1;
+                let id = self.next_barrier_id;
+                self.next_barrier_id += 1;
+                self.broadcast(Msg::Barrier { id });
+                self.barrier = Some(BarrierWait {
+                    id,
+                    cut: self.seq,
+                    pending_acks: self.cfg.shards,
+                    processed_union: Vec::new(),
+                });
+            }
+            Op::Register(q) => {
+                if !self.actives.contains(&q) {
+                    self.actives.push(q);
+                }
+                self.broadcast(Msg::AddQuery(q));
+                self.script_pos += 1;
+            }
+            Op::Deregister(q) => {
+                self.actives.retain(|&a| a != q);
+                self.broadcast(Msg::RemoveQuery(q));
+                self.script_pos += 1;
+            }
+        }
+    }
+
+    /// Shard `s`: process one queued message. A faithful shard takes the
+    /// queue head (FIFO); an [`Fault::EarlyAck`] shard jumps a queued
+    /// barrier past the events in front of it.
+    fn shard_process(&mut self, s: usize) {
+        let early_ack = matches!(self.cfg.fault, Fault::EarlyAck { shard } if shard == s);
+        let skip_cut = matches!(self.cfg.fault, Fault::SkipCut { shard } if shard == s);
+        let Some(shard) = self.shards.get_mut(s) else {
+            return;
+        };
+        let msg = if early_ack {
+            match shard
+                .queue
+                .iter()
+                .position(|m| matches!(m, Msg::Barrier { .. }))
+            {
+                Some(i) => shard.queue.remove(i),
+                None => shard.queue.pop_front(),
+            }
+        } else {
+            shard.queue.pop_front()
+        };
+        let Some(msg) = msg else { return };
+        match msg {
+            Msg::Events { seq } => {
+                shard.processed.push(seq);
+                for &q in &shard.active {
+                    shard.pending.push_back((q, seq));
+                }
+            }
+            Msg::Barrier { id } => {
+                let snapshot = if skip_cut {
+                    Vec::new()
+                } else {
+                    shard.pending.drain(..).collect()
+                };
+                shard.out.push_back(Reply::BarrierAck {
+                    id,
+                    processed: shard.processed.clone(),
+                    snapshot,
+                });
+            }
+            Msg::AddQuery(q) => {
+                if !shard.active.contains(&q) {
+                    shard.active.push(q);
+                }
+            }
+            Msg::RemoveQuery(q) => {
+                let mut kept = VecDeque::with_capacity(shard.pending.len());
+                for (query, seq) in shard.pending.drain(..) {
+                    if query == q {
+                        shard.out.push_back(Reply::Row {
+                            query,
+                            seq,
+                            kind: RowKind::Remainder,
+                        });
+                    } else {
+                        kept.push_back((query, seq));
+                    }
+                }
+                shard.pending = kept;
+                shard.active.retain(|&a| a != q);
+            }
+            Msg::Finish => {
+                for (query, seq) in shard.pending.drain(..) {
+                    shard.out.push_back(Reply::Row {
+                        query,
+                        seq,
+                        kind: RowKind::Final,
+                    });
+                }
+                shard.out.push_back(Reply::FinishAck);
+            }
+        }
+    }
+
+    /// Shard `s`: emit its oldest pending row (the normal results path).
+    fn shard_emit(&mut self, s: usize) {
+        if let Some(shard) = self.shards.get_mut(s) {
+            if let Some((query, seq)) = shard.pending.pop_front() {
+                shard.out.push_back(Reply::Row {
+                    query,
+                    seq,
+                    kind: RowKind::Normal,
+                });
+            }
+        }
+    }
+
+    /// Coordinator: drain every shard's output queue, checking invariants
+    /// as replies arrive. Deterministic (no scheduler choice): per-shard
+    /// FIFO order is what the invariants constrain, and that is fixed by
+    /// the shard's own actions.
+    fn drain_outputs(&mut self) -> Result<(), (&'static str, String)> {
+        for s in 0..self.shards.len() {
+            while let Some(reply) = self
+                .shards
+                .get_mut(s)
+                .and_then(|shard| shard.out.pop_front())
+            {
+                match reply {
+                    Reply::Row { query, seq, kind } => {
+                        // Any delivery path counts: after a shard acked a
+                        // barrier, the only legal carrier for a pre-cut
+                        // row was that barrier's snapshot.
+                        if let Some(cut) = self.last_cut_acked[s] {
+                            if seq <= cut {
+                                return Err((
+                                    "row-crosses-barrier",
+                                    format!(
+                                        "shard {s} emitted {kind:?} row (q{query}, e{seq}) \
+                                         after acking a barrier with cut {cut}; the row \
+                                         belonged in that snapshot"
+                                    ),
+                                ));
+                            }
+                        }
+                        self.record_delivery(query, seq)?;
+                    }
+                    Reply::BarrierAck {
+                        id,
+                        processed,
+                        snapshot,
+                    } => {
+                        let Some(wait) = self.barrier.as_mut() else {
+                            return Err((
+                                "barrier-protocol",
+                                format!("shard {s} acked barrier {id} with no barrier in flight"),
+                            ));
+                        };
+                        if wait.id != id {
+                            return Err((
+                                "barrier-protocol",
+                                format!("shard {s} acked barrier {id}, expected {}", wait.id),
+                            ));
+                        }
+                        wait.processed_union.extend(processed);
+                        wait.pending_acks -= 1;
+                        let cut = wait.cut;
+                        let complete = wait.pending_acks == 0;
+                        if complete {
+                            let mut union = std::mem::take(&mut wait.processed_union);
+                            union.sort_unstable();
+                            let expect: Vec<u64> = (1..=cut).collect();
+                            if union != expect {
+                                return Err((
+                                    "shards-cut-at-different-seqs",
+                                    format!(
+                                        "barrier {id} completed with processed union {union:?}, \
+                                         expected the full ingest prefix 1..={cut}"
+                                    ),
+                                ));
+                            }
+                            self.barrier = None;
+                        }
+                        self.last_cut_acked[s] = Some(cut);
+                        for (query, seq) in snapshot {
+                            self.record_delivery(query, seq)?;
+                        }
+                    }
+                    Reply::FinishAck => self.finish_acks += 1,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn record_delivery(&mut self, query: u32, seq: u64) -> Result<(), (&'static str, String)> {
+        let entry = self.ledger.entry((query, seq)).or_insert((false, 0));
+        entry.1 += 1;
+        if !entry.0 {
+            return Err((
+                "exactly-once-delivery",
+                format!("row (q{query}, e{seq}) was delivered but never expected"),
+            ));
+        }
+        if entry.1 > 1 {
+            return Err((
+                "exactly-once-delivery",
+                format!("row (q{query}, e{seq}) delivered {} times", entry.1),
+            ));
+        }
+        Ok(())
+    }
+
+    /// End-of-run checks (all queues drained, script done).
+    fn final_checks(&self) -> Result<(), (&'static str, String)> {
+        if self.barrier.is_some() {
+            return Err((
+                "barrier-protocol",
+                "execution ended with a barrier still in flight".into(),
+            ));
+        }
+        if self.finish_acks != self.cfg.shards {
+            return Err((
+                "barrier-protocol",
+                format!(
+                    "only {}/{} shards acked the final drain",
+                    self.finish_acks, self.cfg.shards
+                ),
+            ));
+        }
+        let c = &self.counters;
+        if c.barrier_snapshots != c.checkpoints + c.rebalances - c.fused_barriers {
+            return Err((
+                "snapshot-accounting",
+                format!(
+                    "barrier_snapshots {} != checkpoints {} + rebalances {} - fused {}",
+                    c.barrier_snapshots, c.checkpoints, c.rebalances, c.fused_barriers
+                ),
+            ));
+        }
+        for (&(query, seq), &(expected, deliveries)) in &self.ledger {
+            if expected && deliveries != 1 {
+                return Err((
+                    "exactly-once-delivery",
+                    format!("row (q{query}, e{seq}) delivered {deliveries} times, expected 1"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one schedule guided by `prefix` (choices beyond the prefix
+    /// default to 0, i.e. the first enabled action).
+    fn execute(mut self, prefix: &[usize]) -> (RunOutcome, Vec<Action>) {
+        let mut decisions: Vec<(usize, usize)> = Vec::new();
+        loop {
+            let acts = self.enabled();
+            if acts.is_empty() {
+                let violation = self.final_checks().err();
+                return (
+                    RunOutcome {
+                        decisions,
+                        steps: self.steps,
+                        violation,
+                    },
+                    self.trace,
+                );
+            }
+            let choice = if acts.len() == 1 {
+                0
+            } else {
+                let c = prefix.get(decisions.len()).copied().unwrap_or(0);
+                decisions.push((c, acts.len()));
+                c
+            };
+            let act = acts[choice.min(acts.len() - 1)];
+            self.trace.push(act);
+            self.steps += 1;
+            match act {
+                Action::ShardProcess(s) => self.shard_process(s),
+                Action::ShardEmit(s) => self.shard_emit(s),
+                Action::Advance => self.advance(),
+            }
+            if let Err(v) = self.drain_outputs() {
+                return (
+                    RunOutcome {
+                        decisions,
+                        steps: self.steps,
+                        violation: Some(v),
+                    },
+                    self.trace,
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustively explore every schedule of the configured model,
+/// checking all four barrier-protocol invariants in each. Returns the
+/// exploration statistics, or the first [`Violation`] found.
+///
+/// The exploration is a depth-first replay: each complete execution is
+/// re-run from the initial state under a choice prefix, and the prefix
+/// is advanced lexicographically until the whole tree is covered. State
+/// is never cloned mid-run, so the model stays a plain single-threaded
+/// state machine — schedules are reproducible by construction.
+pub fn explore(cfg: &ModelConfig) -> Result<ExploreReport, Box<Violation>> {
+    assert!(
+        (1..=4).contains(&cfg.shards),
+        "model supports 1..=4 shards (state space is exponential)"
+    );
+    assert!(
+        cfg.script.len() <= 32,
+        "scripts longer than 32 ops do not explore exhaustively"
+    );
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0u64;
+    let mut max_decisions = 0usize;
+    let mut max_steps = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > cfg.max_schedules {
+            return Err(Box::new(Violation {
+                schedule: schedules,
+                invariant: "exploration-budget",
+                detail: format!(
+                    "more than {} schedules; shrink the script or shard count",
+                    cfg.max_schedules
+                ),
+                trace: Vec::new(),
+            }));
+        }
+        let (outcome, trace) = Run::new(cfg).execute(&prefix);
+        if let Some((invariant, detail)) = outcome.violation {
+            return Err(Box::new(Violation {
+                schedule: schedules,
+                invariant,
+                detail,
+                trace: trace.into_iter().map(Action::describe).collect(),
+            }));
+        }
+        max_decisions = max_decisions.max(outcome.decisions.len());
+        max_steps = max_steps.max(outcome.steps);
+        // Advance the choice prefix lexicographically (next sibling of
+        // the deepest branch; pop exhausted levels).
+        let mut next: Vec<(usize, usize)> = outcome.decisions;
+        while let Some((choice, factor)) = next.pop() {
+            if choice + 1 < factor {
+                next.push((choice + 1, factor));
+                break;
+            }
+        }
+        if next.is_empty() {
+            return Ok(ExploreReport {
+                schedules,
+                max_decisions,
+                max_steps,
+            });
+        }
+        prefix = next.into_iter().map(|(c, _)| c).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize, script: Vec<Op>) -> ModelConfig {
+        ModelConfig {
+            shards,
+            script,
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_script_has_one_schedule() {
+        let r = explore(&cfg(2, vec![])).unwrap();
+        // Only the final drain runs; a handful of forced interleavings.
+        assert!(r.schedules >= 1);
+    }
+
+    #[test]
+    fn single_ingest_is_clean() {
+        let r = explore(&cfg(2, vec![Op::Register(1), Op::Ingest, Op::Checkpoint])).unwrap();
+        assert!(r.schedules > 1);
+    }
+
+    #[test]
+    fn fused_cuts_account_for_one_snapshot() {
+        // Checkpoint directly followed by Rebalance: one barrier, counters
+        // must still balance (invariant 3 is checked in every schedule).
+        explore(&cfg(
+            2,
+            vec![
+                Op::Register(1),
+                Op::Ingest,
+                Op::Checkpoint,
+                Op::Rebalance,
+                Op::Ingest,
+                Op::Checkpoint,
+            ],
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn skip_cut_fault_is_caught() {
+        let mut c = cfg(
+            2,
+            vec![Op::Register(1), Op::Ingest, Op::Ingest, Op::Checkpoint],
+        );
+        c.fault = Fault::SkipCut { shard: 0 };
+        let v = explore(&c).unwrap_err();
+        assert!(
+            v.invariant == "row-crosses-barrier" || v.invariant == "exactly-once-delivery",
+            "{v}"
+        );
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn early_ack_fault_is_caught() {
+        let mut c = cfg(
+            2,
+            vec![Op::Register(1), Op::Ingest, Op::Ingest, Op::Checkpoint],
+        );
+        c.fault = Fault::EarlyAck { shard: 0 };
+        let v = explore(&c).unwrap_err();
+        assert_eq!(v.invariant, "shards-cut-at-different-seqs", "{v}");
+    }
+}

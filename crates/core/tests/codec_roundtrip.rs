@@ -1,0 +1,321 @@
+//! Property-based roundtrips for every persisted codec: data-model values
+//! (`greta_types::codec`) and the snapshot sections the executor owns
+//! (`GroupSketch`, `RoutingTable`).
+//!
+//! Two properties per codec, mirroring the codec-symmetry lint's contract:
+//!
+//! 1. `decode(encode(x)) == x` for arbitrary `x` — checked on re-encoded
+//!    bytes, so float payloads compare by bit pattern (NaN-safe) and the
+//!    check covers the *encoder* determinism too.
+//! 2. Truncated or corrupted input decodes to a clean [`CodecError`] (or a
+//!    different value, for single-byte corruption that stays in-format) —
+//!    never a panic. Proptest turns any panic into a test failure.
+//!
+//! The vendored `proptest` is a trimmed re-implementation (integer ranges,
+//! tuples, `vec`, `prop_oneof!`, `prop_map`): floats are generated from
+//! arbitrary bit patterns and strings from an explicit charset.
+
+use greta_core::{group_key_hash, GroupSketch, PartitionKey, RoutingTable};
+use greta_types::codec::{GroupStats, Reader};
+use greta_types::{Event, Schema, SchemaRegistry, Time, TypeId, Value};
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+use std::collections::{BTreeSet, HashMap};
+
+// ---------------------------------------------------------------- strategies
+
+/// Arbitrary float from an arbitrary bit pattern: covers NaN payloads,
+/// infinities, subnormals, and -0.0 — exactly what the codec stores.
+fn float() -> BoxedStrategy<f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// Short string over a charset with multi-byte UTF-8 in it.
+fn name() -> BoxedStrategy<String> {
+    const CHARS: [char; 8] = ['a', 'Z', '_', '0', 'é', '·', 'q', '9'];
+    proptest::collection::vec(0usize..CHARS.len(), 0..8)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+}
+
+/// Arbitrary value, including non-finite floats and empty/unicode strings.
+fn value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        float().prop_map(Value::Float),
+        name().prop_map(|s| Value::from(s.as_str())),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+    .boxed()
+}
+
+fn event() -> BoxedStrategy<Event> {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        proptest::collection::vec(value(), 0..6),
+    )
+        .prop_map(|(t, ty, attrs)| Event::new_unchecked(TypeId(ty), Time(t), attrs))
+}
+
+fn schema() -> BoxedStrategy<Schema> {
+    (name(), proptest::collection::vec(name(), 0..5))
+        .prop_map(|(name, attributes)| Schema { name, attributes })
+}
+
+/// Registry input: names and attributes are deduplicated at build time
+/// (decode registers each schema and rejects duplicates, so a duplicating
+/// strategy would only test the error path).
+fn registry() -> BoxedStrategy<SchemaRegistry> {
+    proptest::collection::vec((name(), proptest::collection::vec(name(), 0..4)), 0..6).prop_map(
+        |raw| {
+            let mut reg = SchemaRegistry::new();
+            let mut seen = BTreeSet::new();
+            for (name, attributes) in raw {
+                if name.is_empty() || !seen.insert(name.clone()) {
+                    continue;
+                }
+                let attributes: Vec<String> = attributes
+                    .into_iter()
+                    .filter(|a| !a.is_empty())
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let attr_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+                reg.register_type(&name, &attr_refs).expect("unique names");
+            }
+            reg
+        },
+    )
+}
+
+/// Partition key: per-attribute grouping values, `None` = ungrouped slot.
+fn partition_key() -> BoxedStrategy<PartitionKey> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(None),
+            any::<i64>().prop_map(|i| Some(Value::Int(i))),
+            name().prop_map(|s| Some(Value::from(s.as_str()))),
+        ],
+        0..3,
+    )
+    .prop_map(PartitionKey)
+}
+
+fn encode_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    v.encode(&mut out);
+    out
+}
+
+fn encode_event(e: &Event) -> Vec<u8> {
+    let mut out = Vec::new();
+    e.encode(&mut out);
+    out
+}
+
+fn sketch_from(traffic: &[(PartitionKey, u64)], capacity: usize) -> GroupSketch {
+    let mut sketch = GroupSketch::new(capacity);
+    for (key, events) in traffic {
+        for _ in 0..*events {
+            let k = key.clone();
+            sketch.bump_events(group_key_hash(key), move || k);
+        }
+    }
+    sketch
+}
+
+// --------------------------------------------------------------- roundtrips
+
+proptest! {
+    /// `Value` roundtrips byte-exactly: decoding and re-encoding arbitrary
+    /// values (NaN bit patterns and -0.0 included) reproduces the original
+    /// buffer and consumes it fully.
+    #[test]
+    fn value_roundtrips(v in value()) {
+        let buf = encode_value(&v);
+        let mut r = Reader::new(&buf);
+        let got = Value::decode(&mut r).expect("decode of valid encoding");
+        prop_assert!(r.is_empty(), "decode left {} bytes unread", r.remaining());
+        prop_assert_eq!(encode_value(&got), buf);
+    }
+
+    /// `Event` roundtrips byte-exactly, including events whose attribute
+    /// arity matches no schema (the codec is schema-agnostic by contract).
+    #[test]
+    fn event_roundtrips(e in event()) {
+        let buf = encode_event(&e);
+        let mut r = Reader::new(&buf);
+        let got = Event::decode(&mut r).expect("decode of valid encoding");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(encode_event(&got), buf);
+    }
+
+    /// `Schema` roundtrips field-for-field.
+    #[test]
+    fn schema_roundtrips(s in schema()) {
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let got = Schema::decode(&mut r).expect("decode of valid encoding");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(got, s);
+    }
+
+    /// `SchemaRegistry` roundtrips with dense ids preserved: every name
+    /// resolves to the same `TypeId` before and after.
+    #[test]
+    fn registry_roundtrips(reg in registry()) {
+        let mut buf = Vec::new();
+        reg.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let got = SchemaRegistry::decode(&mut r).expect("decode of valid encoding");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(got.len(), reg.len());
+        for (id, s) in reg.iter() {
+            prop_assert_eq!(got.type_id(&s.name).expect("name survives"), id);
+            prop_assert_eq!(&got.schema(id).attributes, &s.attributes);
+        }
+    }
+
+    /// `GroupStats` roundtrips across the full `u64` range.
+    #[test]
+    fn group_stats_roundtrips(events in any::<u64>(), vertices in any::<u64>()) {
+        let s = GroupStats { events, vertices };
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(GroupStats::decode(&mut r).expect("decode"), s);
+        prop_assert!(r.is_empty());
+    }
+
+    /// Snapshot section: a `GroupSketch` built from arbitrary bump/vertex
+    /// traffic re-encodes byte-identically after decode — the property the
+    /// byte-identical-snapshot guarantee rests on.
+    #[test]
+    fn group_sketch_roundtrips(
+        traffic in proptest::collection::vec((partition_key(), 1u64..30), 0..12),
+        vertex_adds in proptest::collection::vec((0usize..12, 1u64..9), 0..6),
+    ) {
+        let mut sketch = sketch_from(&traffic, 64); // above traffic len: no compaction
+        for (i, n) in &vertex_adds {
+            if let Some((key, _)) = traffic.get(*i) {
+                sketch.add_vertices(key, *n);
+            }
+        }
+        let mut buf = Vec::new();
+        sketch.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let got = GroupSketch::decode(64, &mut r).expect("decode of valid encoding");
+        prop_assert!(r.is_empty());
+        let mut buf2 = Vec::new();
+        got.encode(&mut buf2);
+        prop_assert_eq!(buf2, buf);
+        prop_assert_eq!(got.len(), sketch.len());
+    }
+
+    /// Snapshot section: a `RoutingTable` with arbitrary pinned groups
+    /// roundtrips exactly (epoch, overrides, and the derived hash index).
+    #[test]
+    fn routing_table_roundtrips(
+        pins in proptest::collection::vec((partition_key(), 0u32..4), 0..8),
+        installs in 1usize..4,
+    ) {
+        let shards = 4;
+        // Duplicate generated keys collapse here (last one wins) — assert
+        // against the installed map, not the raw pin list.
+        let overrides: HashMap<PartitionKey, u32> = pins.into_iter().collect();
+        let mut table = RoutingTable::default();
+        for _ in 0..installs {
+            // Re-installing advances the epoch; encode must carry it.
+            table.install(overrides.clone());
+        }
+        let mut buf = Vec::new();
+        table.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let got = RoutingTable::decode(&mut r, shards).expect("decode of valid encoding");
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(&got, &table);
+        for (key, shard) in &overrides {
+            prop_assert_eq!(got.shard_for(key), Some(*shard as usize));
+        }
+    }
+}
+
+// ------------------------------------------------- truncation and corruption
+
+proptest! {
+    /// Every strict prefix of a valid `Value` encoding fails with a clean
+    /// error: the decoder consumes a fixed span, so a shorter buffer can
+    /// never decode successfully — and must never panic.
+    #[test]
+    fn truncated_value_is_clean_error(v in value(), cut_sel in any::<u64>()) {
+        let buf = encode_value(&v);
+        let cut = (cut_sel % buf.len() as u64) as usize; // strict prefix
+        prop_assert!(Value::decode(&mut Reader::new(&buf[..cut])).is_err());
+    }
+
+    /// Every strict prefix of a valid `Event` encoding fails cleanly.
+    #[test]
+    fn truncated_event_is_clean_error(e in event(), cut_sel in any::<u64>()) {
+        let buf = encode_event(&e);
+        let cut = (cut_sel % buf.len() as u64) as usize;
+        prop_assert!(Event::decode(&mut Reader::new(&buf[..cut])).is_err());
+    }
+
+    /// Single-byte corruption anywhere in an `Event` encoding never
+    /// panics: it decodes to some event or fails with a `CodecError`. If
+    /// it decodes, the result must itself re-encode without panicking.
+    #[test]
+    fn corrupted_event_never_panics(e in event(), idx_sel in any::<u64>(), flip in 1u8..=255) {
+        let mut buf = encode_event(&e);
+        let i = (idx_sel % buf.len() as u64) as usize;
+        buf[i] ^= flip;
+        if let Ok(got) = Event::decode(&mut Reader::new(&buf)) {
+            let _ = encode_event(&got);
+        }
+    }
+
+    /// Single-byte corruption in a snapshot's routing-table section never
+    /// panics; whatever does decode is itself a well-formed table that
+    /// re-encodes and re-decodes to an identical value.
+    #[test]
+    fn corrupted_routing_table_never_panics(
+        pins in proptest::collection::vec((partition_key(), 0u32..4), 0..6),
+        idx_sel in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let shards = 4;
+        let mut table = RoutingTable::default();
+        table.install(pins.into_iter().collect::<HashMap<_, _>>());
+        let mut buf = Vec::new();
+        table.encode(&mut buf);
+        let i = (idx_sel % buf.len() as u64) as usize;
+        buf[i] ^= flip;
+        if let Ok(got) = RoutingTable::decode(&mut Reader::new(&buf), shards) {
+            let mut buf2 = Vec::new();
+            got.encode(&mut buf2);
+            let again = RoutingTable::decode(&mut Reader::new(&buf2), shards)
+                .expect("re-encoding of a decoded table is valid");
+            prop_assert_eq!(again, got);
+        }
+    }
+
+    /// Single-byte corruption in a group-sketch section never panics; a
+    /// successful decode still respects the capacity bound (the decoder
+    /// compacts immediately if the blob claims more groups than allowed).
+    #[test]
+    fn corrupted_group_sketch_never_panics(
+        traffic in proptest::collection::vec((partition_key(), 1u64..20), 1..6),
+        idx_sel in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let sketch = sketch_from(&traffic, 8);
+        let mut buf = Vec::new();
+        sketch.encode(&mut buf);
+        let i = (idx_sel % buf.len() as u64) as usize;
+        buf[i] ^= flip;
+        if let Ok(got) = GroupSketch::decode(8, &mut Reader::new(&buf)) {
+            prop_assert!(got.len() <= 8);
+        }
+    }
+}

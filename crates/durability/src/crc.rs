@@ -15,6 +15,7 @@ const fn make_table() -> [u32; 256] {
             };
             k += 1;
         }
+        // lint:allow(panic): `i < 256` loop bound; const-evaluated, a bad index is a compile error
         table[i] = c;
         i += 1;
     }
@@ -27,6 +28,7 @@ static TABLE: [u32; 256] = make_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // lint:allow(panic): index is masked with `& 0xFF` and TABLE has 256 entries
         c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF

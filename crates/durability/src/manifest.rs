@@ -37,10 +37,10 @@ fn manifest_path(dir: &Path) -> PathBuf {
 impl Manifest {
     /// Atomically persist this manifest in `dir`.
     pub fn store(&self, dir: &Path) -> Result<(), DurabilityError> {
-        let mut body = [0u8; BODY_LEN];
-        body[0..8].copy_from_slice(&self.epoch.to_le_bytes());
-        body[8..16].copy_from_slice(&self.wal_index.to_le_bytes());
-        body[16..20].copy_from_slice(&self.shards.to_le_bytes());
+        let mut body = Vec::with_capacity(BODY_LEN);
+        body.extend_from_slice(&self.epoch.to_le_bytes());
+        body.extend_from_slice(&self.wal_index.to_le_bytes());
+        body.extend_from_slice(&self.shards.to_le_bytes());
         let mut buf = Vec::with_capacity(9 + BODY_LEN);
         buf.extend_from_slice(MAGIC);
         buf.push(VERSION);
@@ -76,27 +76,43 @@ impl Manifest {
             file: path.clone(),
             msg: msg.to_string(),
         };
-        if data.len() != 9 + BODY_LEN || &data[0..4] != MAGIC {
+        if data.len() != 9 + BODY_LEN {
             return Err(corrupt("malformed manifest"));
         }
-        if data[4] != VERSION {
-            return Err(corrupt(&format!(
-                "unsupported manifest version {}",
-                data[4]
-            )));
+        let Some((magic, rest)) = data.split_first_chunk::<4>() else {
+            return Err(corrupt("malformed manifest"));
+        };
+        if magic != MAGIC {
+            return Err(corrupt("malformed manifest"));
         }
-        let crc = u32::from_le_bytes(data[5..9].try_into().unwrap());
-        let body = &data[9..];
-        if crc32(body) != crc {
+        let Some((&[version], rest)) = rest.split_first_chunk::<1>() else {
+            return Err(corrupt("malformed manifest"));
+        };
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported manifest version {version}")));
+        }
+        let Some((crc_bytes, body)) = rest.split_first_chunk::<4>() else {
+            return Err(corrupt("malformed manifest"));
+        };
+        if crc32(body) != u32::from_le_bytes(*crc_bytes) {
             return Err(DurabilityError::BadChecksum {
                 file: path,
                 offset: 9,
             });
         }
+        let Some((epoch, body)) = body.split_first_chunk::<8>() else {
+            return Err(corrupt("manifest body too short"));
+        };
+        let Some((wal_index, body)) = body.split_first_chunk::<8>() else {
+            return Err(corrupt("manifest body too short"));
+        };
+        let Some((shards, _)) = body.split_first_chunk::<4>() else {
+            return Err(corrupt("manifest body too short"));
+        };
         Ok(Some(Manifest {
-            epoch: u64::from_le_bytes(body[0..8].try_into().unwrap()),
-            wal_index: u64::from_le_bytes(body[8..16].try_into().unwrap()),
-            shards: u32::from_le_bytes(body[16..20].try_into().unwrap()),
+            epoch: u64::from_le_bytes(*epoch),
+            wal_index: u64::from_le_bytes(*wal_index),
+            shards: u32::from_le_bytes(*shards),
         }))
     }
 }

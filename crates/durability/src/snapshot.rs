@@ -73,24 +73,32 @@ impl SnapshotStore {
             file: path.clone(),
             msg: msg.to_string(),
         };
-        if data.len() < 17 || &data[0..4] != MAGIC {
+        let Some((magic, rest)) = data.split_first_chunk::<4>() else {
+            return Err(corrupt("missing snapshot header"));
+        };
+        if magic != MAGIC {
             return Err(corrupt("missing snapshot header"));
         }
-        if data[4] != VERSION {
-            return Err(corrupt(&format!(
-                "unsupported snapshot version {}",
-                data[4]
-            )));
+        let Some((&[version], rest)) = rest.split_first_chunk::<1>() else {
+            return Err(corrupt("missing snapshot header"));
+        };
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported snapshot version {version}")));
         }
-        let crc = u32::from_le_bytes(data[5..9].try_into().unwrap());
-        let len = u64::from_le_bytes(data[9..17].try_into().unwrap()) as usize;
-        if data.len() - 17 != len {
+        let Some((crc_bytes, rest)) = rest.split_first_chunk::<4>() else {
+            return Err(corrupt("missing snapshot header"));
+        };
+        let crc = u32::from_le_bytes(*crc_bytes);
+        let Some((len_bytes, payload)) = rest.split_first_chunk::<8>() else {
+            return Err(corrupt("missing snapshot header"));
+        };
+        let len = u64::from_le_bytes(*len_bytes) as usize;
+        if payload.len() != len {
             return Err(corrupt(&format!(
                 "payload length mismatch: header says {len}, file has {}",
-                data.len() - 17
+                payload.len()
             )));
         }
-        let payload = &data[17..];
         if crc32(payload) != crc {
             return Err(DurabilityError::BadChecksum {
                 file: path,

@@ -107,41 +107,37 @@ struct SegmentScan {
 /// checksum or an absurd length.
 fn scan_segment(path: &Path, mut f: impl FnMut(&[u8])) -> Result<SegmentScan, DurabilityError> {
     let data = fs::read(path).map_err(io_err(format!("read segment {}", path.display())))?;
-    let mut pos = 0usize;
+    let mut rest: &[u8] = &data;
     let mut records = 0u64;
     loop {
-        if pos == data.len() {
-            return Ok(SegmentScan {
-                records,
-                valid_len: pos as u64,
-                torn: false,
-            });
+        // Byte offset of the frame being examined (frames already
+        // consumed have been split off the front of `rest`).
+        let pos = data.len() - rest.len();
+        let scan = |torn| SegmentScan {
+            records,
+            valid_len: pos as u64,
+            torn,
+        };
+        if rest.is_empty() {
+            return Ok(scan(false));
         }
-        if data.len() - pos < FRAME_HEADER {
-            return Ok(SegmentScan {
-                records,
-                valid_len: pos as u64,
-                torn: true,
-            });
-        }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let Some((len_bytes, after_len)) = rest.split_first_chunk::<4>() else {
+            return Ok(scan(true));
+        };
+        let Some((crc_bytes, body)) = after_len.split_first_chunk::<4>() else {
+            return Ok(scan(true));
+        };
+        let len = u32::from_le_bytes(*len_bytes);
+        let crc = u32::from_le_bytes(*crc_bytes);
         if len > MAX_RECORD {
             return Err(DurabilityError::Corrupt {
                 file: path.to_path_buf(),
                 msg: format!("frame length {len} at offset {pos} exceeds maximum"),
             });
         }
-        let body_start = pos + FRAME_HEADER;
-        let body_end = body_start + len as usize;
-        if body_end > data.len() {
-            return Ok(SegmentScan {
-                records,
-                valid_len: pos as u64,
-                torn: true,
-            });
-        }
-        let payload = &data[body_start..body_end];
+        let Some((payload, next)) = body.split_at_checked(len as usize) else {
+            return Ok(scan(true));
+        };
         if crc32(payload) != crc {
             return Err(DurabilityError::BadChecksum {
                 file: path.to_path_buf(),
@@ -150,7 +146,7 @@ fn scan_segment(path: &Path, mut f: impl FnMut(&[u8])) -> Result<SegmentScan, Du
         }
         f(payload);
         records += 1;
-        pos = body_end;
+        rest = next;
     }
 }
 
@@ -314,10 +310,11 @@ impl Wal {
         let segs = list_segments(&self.dir)?;
         let mut removed = 0;
         for w in segs.windows(2) {
-            let (base, ref path) = w[0];
-            let (next_base, _) = w[1];
+            let [(base, path), (next_base, _)] = w else {
+                continue;
+            };
             // Segment covers [base, next_base).
-            if next_base <= index && base < self.segment_base {
+            if *next_base <= index && *base < self.segment_base {
                 fs::remove_file(path)
                     .map_err(io_err(format!("remove segment {}", path.display())))?;
                 removed += 1;
@@ -342,16 +339,16 @@ impl Wal {
     ) -> Result<u64, DurabilityError> {
         let dir = dir.as_ref();
         let segs = list_segments(dir)?;
-        if segs.is_empty() {
-            return Ok(from_index);
-        }
-        if from_index < segs[0].0 {
+        let first_base = match segs.first() {
+            Some((base, _)) => *base,
+            None => return Ok(from_index),
+        };
+        if from_index < first_base {
             return Err(DurabilityError::NothingToRecover(format!(
-                "WAL starts at record {} but replay needs record {from_index}",
-                segs[0].0
+                "WAL starts at record {first_base} but replay needs record {from_index}"
             )));
         }
-        let mut idx = segs[0].0;
+        let mut idx = first_base;
         for (si, (base, path)) in segs.iter().enumerate() {
             if *base != idx {
                 return Err(DurabilityError::Corrupt {

@@ -141,13 +141,19 @@ impl Client {
     /// the last sub-batch's, whose counters cover the whole batch.
     pub fn ingest(&mut self, session: u64, events: Vec<Event>) -> Result<IngestAck, ClientError> {
         let req = Request::Ingest { session, events };
-        match self.call(&req) {
+        let res = self.call(&req);
+        // Take the batch back out of `req` (constructed as `Ingest` just
+        // above) so the frame-split path below can halve it without a
+        // clone; the fallback arm exists only to keep this panic-free.
+        let Request::Ingest { events, .. } = req else {
+            return Err(ClientError::Unexpected(
+                "ingest request changed shape mid-call".into(),
+            ));
+        };
+        match res {
             Ok(Response::Ack(a)) => Ok(a),
             Ok(other) => Err(ClientError::Unexpected(format!("{other:?}"))),
             Err(ClientError::Proto(ProtoError::FrameTooLarge(n))) => {
-                let Request::Ingest { events, .. } = req else {
-                    unreachable!("req is built above as Request::Ingest");
-                };
                 if events.len() <= 1 {
                     // A single event that cannot fit in a frame.
                     return Err(ClientError::Proto(ProtoError::FrameTooLarge(n)));

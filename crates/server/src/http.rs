@@ -56,7 +56,8 @@ fn read_head(stream: &mut TcpStream) -> Option<String> {
         match stream.read(&mut byte) {
             Ok(0) => break,
             Ok(_) => {
-                buf.push(byte[0]);
+                let [b] = byte;
+                buf.push(b);
                 if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
                     break;
                 }

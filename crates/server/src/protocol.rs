@@ -632,12 +632,14 @@ pub fn write_preamble(w: &mut impl Write) -> io::Result<()> {
 
 /// Consume and validate the preamble written by [`write_preamble`].
 pub fn read_preamble(r: &mut impl Read) -> Result<(), ProtoError> {
-    let mut buf = [0u8; 6];
-    r.read_exact(&mut buf)?;
-    if buf[..4] != MAGIC {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
         return Err(ProtoError::Malformed("bad magic".into()));
     }
-    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    let mut version_bytes = [0u8; 2];
+    r.read_exact(&mut version_bytes)?;
+    let version = u16::from_le_bytes(version_bytes);
     if version != VERSION {
         return Err(ProtoError::Malformed(format!(
             "unsupported protocol version {version} (expected {VERSION})"

@@ -8,6 +8,12 @@
 //! (the workspace is offline/vendored-deps-only, so no async runtime);
 //! each session gets its own executor-owning thread (see
 //! [`crate::session`]).
+//!
+//! Lock discipline (checked by `greta-lint`): registry locks are
+//! acquired in the declared order below and never held across a socket
+//! write — a stalled peer must not be able to freeze the registry.
+
+// lint:lock-order: sessions < drained_tail < last_stats < query_texts < join
 
 use crate::metrics::{self, ServerMetrics, SessionMetrics};
 use crate::protocol::{self, ProtoError, Request, Response, SessionOptions};
@@ -439,7 +445,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         binary_connection(stream, &shared);
     } else if matches!(&first, b"GET " | b"HEAD" | b"POST" | b"PUT ") {
         http::handle(stream, &shared);
-    } else if first[0] == b'{' {
+    } else if matches!(first, [b'{', ..]) {
         jsonl::handle(stream, &shared);
     } else {
         shared.protocol_errors.fetch_add(1, Ordering::Relaxed);

@@ -10,6 +10,12 @@
 //! fills and `result_occupancy` rises), and every ingest ack carries a
 //! `busy` bit computed from those occupancies — the credit signal the
 //! wire protocol's backpressure contract is built on.
+//!
+//! Lock discipline (checked by `greta-lint`): the handle's locks follow
+//! the same global order as `server.rs` and are never held across a
+//! socket write.
+
+// lint:lock-order: sessions < drained_tail < last_stats < query_texts < join
 
 use crate::protocol::{IngestAck, SessionOptions};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
@@ -329,9 +335,13 @@ fn run_session(
                     worked = true;
                     let res = s.register(&text, emission);
                     if let Ok(q) = &res {
-                        if let Ok(mut g) = query_texts.lock() {
-                            g.push((*q, text));
-                        }
+                        // Poison recovery: the list only ever grows by
+                        // whole tuples, so state after a writer panic is
+                        // still well-formed.
+                        query_texts
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((*q, text));
                     }
                     s.publish_stats(&last_stats);
                     let _ = reply.send(res);
@@ -535,9 +545,14 @@ impl SessionLoop {
     }
 
     fn publish_stats(&self, last_stats: &Mutex<ExecutorStats>) {
-        if let Ok(mut g) = last_stats.lock() {
-            *g = self.exec.stats();
-        }
+        // Recover from a poisoned mutex: the stored stats are replaced
+        // wholesale, so a writer that panicked mid-update cannot leave
+        // torn state behind — and stats must not silently freeze for
+        // the rest of the session's life.
+        let mut g = last_stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *g = self.exec.stats();
     }
 }
 
@@ -623,7 +638,15 @@ impl SessionHandle {
         }
         match reply_rx.recv() {
             Ok(res) => {
-                if let Some(j) = self.join.lock().ok().and_then(|mut g| g.take()) {
+                // Poison recovery: the slot holds only an Option —
+                // taking it after a panic elsewhere is always sound,
+                // and skipping the join would leak the thread.
+                let join = self
+                    .join
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                if let Some(j) = join {
                     let _ = j.join();
                 }
                 res

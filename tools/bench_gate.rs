@@ -91,7 +91,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
             self.i += 1;
         }
     }
@@ -105,10 +105,11 @@ impl<'a> Parser<'a> {
     }
 
     fn eat(&mut self, want: u8) -> Result<(), String> {
-        if self.peek()? != want {
+        let got = self.peek()?;
+        if got != want {
             return Err(format!(
                 "expected '{}' at offset {}, found '{}'",
-                want as char, self.i, self.s[self.i] as char
+                want as char, self.i, got as char
             ));
         }
         self.i += 1;
@@ -128,7 +129,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, v: Json) -> Result<Json, String> {
-        if self.s[self.i..].starts_with(text.as_bytes()) {
+        let rest = self.s.get(self.i..).unwrap_or_default();
+        if rest.starts_with(text.as_bytes()) {
             self.i += text.len();
             Ok(v)
         } else {
@@ -138,16 +140,15 @@ impl<'a> Parser<'a> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.i;
-        while self.i < self.s.len()
-            && matches!(
-                self.s[self.i],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
-            )
-        {
+        while matches!(
+            self.s.get(self.i),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
             self.i += 1;
         }
-        std::str::from_utf8(&self.s[start..self.i])
-            .ok()
+        self.s
+            .get(start..self.i)
+            .and_then(|digits| std::str::from_utf8(digits).ok())
             .and_then(|t| t.parse().ok())
             .map(Json::Num)
             .ok_or_else(|| format!("bad number at offset {start}"))
@@ -184,9 +185,13 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Copy one UTF-8 scalar (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.s[self.i..])
-                        .map_err(|e| format!("invalid UTF-8: {e}"))?;
-                    let ch = rest.chars().next().unwrap();
+                    let tail = self.s.get(self.i..).unwrap_or_default();
+                    let rest =
+                        std::str::from_utf8(tail).map_err(|e| format!("invalid UTF-8: {e}"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("unexpected end of string at offset {}", self.i))?;
                     out.push(ch);
                     self.i += ch.len_utf8();
                 }

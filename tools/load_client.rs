@@ -106,7 +106,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn generate(workload: Workload, events: usize) -> (SchemaRegistry, Vec<Event>, &'static str) {
+fn generate(
+    workload: Workload,
+    events: usize,
+) -> Result<(SchemaRegistry, Vec<Event>, &'static str), String> {
     let mut reg = SchemaRegistry::new();
     match workload {
         Workload::Stock => {
@@ -117,14 +120,14 @@ fn generate(workload: Workload, events: usize) -> (SchemaRegistry, Vec<Event>, &
                 },
                 &mut reg,
             )
-            .expect("stock generator");
-            (
+            .map_err(|e| format!("stock generator: {e}"))?;
+            Ok((
                 reg,
                 gen.generate(),
                 "RETURN sector, COUNT(*) PATTERN Stock S+ \
                  WHERE [company, sector] AND S.price > NEXT(S).price \
                  GROUP-BY sector WITHIN 500 SLIDE 250",
-            )
+            ))
         }
         Workload::LinearRoad => {
             let gen = LinearRoadGen::new(
@@ -134,15 +137,15 @@ fn generate(workload: Workload, events: usize) -> (SchemaRegistry, Vec<Event>, &
                 },
                 &mut reg,
             )
-            .expect("linear road generator");
-            (
+            .map_err(|e| format!("linear road generator: {e}"))?;
+            Ok((
                 reg,
                 gen.generate(),
                 "RETURN segment, COUNT(*), AVG(P.speed) \
                  PATTERN Position P+ \
                  WHERE [P.vehicle, segment] AND P.speed > NEXT(P).speed \
                  GROUP-BY segment WITHIN 1000 SLIDE 1000",
-            )
+            ))
         }
     }
 }
@@ -161,10 +164,12 @@ fn run(args: &Args) -> Result<(), String> {
     let addr = match (&server, &args.addr) {
         (Some(s), _) => s.local_addr().to_string(),
         (None, Some(a)) => a.clone(),
-        (None, None) => unreachable!("validated in parse_args"),
+        // parse_args rejects this combination; keep the arm typed so a
+        // future refactor of the validation cannot introduce a panic.
+        (None, None) => return Err("need --addr HOST:PORT or --spawn".into()),
     };
 
-    let (reg, events, query) = generate(args.workload, args.events);
+    let (reg, events, query) = generate(args.workload, args.events)?;
     eprintln!(
         "workload {:?}: {} events, {} connections to {addr}",
         args.workload,
